@@ -1,0 +1,56 @@
+//! Diagnostic: visibility sparsity of a city configuration — drives the
+//! N_vnode / N_node regime that Table 2 and Fig. 7/8 depend on.
+
+use hdov_bench::{EvalScene, RunOptions};
+use hdov_core::{HdovBuildConfig, HdovTree};
+use hdov_scene::CityConfig;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for (label, mut city) in [
+        ("default_paper", CityConfig::default_paper()),
+        (
+            "low towers",
+            CityConfig {
+                tower_fraction: 0.01,
+                ..CityConfig::default_paper()
+            },
+        ),
+        (
+            "low towers, 16x16",
+            CityConfig {
+                tower_fraction: 0.01,
+                blocks_x: 16,
+                blocks_y: 16,
+                ..CityConfig::default_paper()
+            },
+        ),
+        (
+            "no towers, 16x16",
+            CityConfig {
+                tower_fraction: 0.0,
+                blocks_x: 16,
+                blocks_y: 16,
+                ..CityConfig::default_paper()
+            },
+        ),
+    ] {
+        city = city.seed(2003);
+        let eval = EvalScene::from_city(city, &opts);
+        let cfg = HdovBuildConfig {
+            dov: eval.build_cfg.dov,
+            ..Default::default()
+        };
+        let (tree, cells) = HdovTree::build_with_table(&eval.scene, &cfg, &eval.table).unwrap();
+        let n_nodes = tree.node_count() as f64;
+        let avg_vnodes = cells.iter().map(|c| c.len() as f64).sum::<f64>() / cells.len() as f64;
+        println!(
+            "{label:>20}: objects {:>5}, nodes {:>4}, avg N_vobj {:>6.1}, avg N_vnode {:>6.1} ({:.1}% of nodes)",
+            eval.scene.len(),
+            tree.node_count(),
+            eval.table.avg_visible(),
+            avg_vnodes,
+            100.0 * avg_vnodes / n_nodes
+        );
+    }
+}

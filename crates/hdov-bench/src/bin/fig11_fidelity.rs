@@ -1,0 +1,103 @@
+//! **Figure 11** — visual fidelity comparison (quantitative substitute for
+//! the paper's screenshots).
+//!
+//! Paper: (a) original models; (b) REVIEW with 200 m boxes loses far
+//! objects; (c) VISUAL at η = 0.001 has no obvious loss. We measure
+//! DoV-weighted coverage and missed-visible-object counts over a session.
+
+use hdov_bench::{print_table, write_csv, EvalScene, RunOptions};
+use hdov_core::StorageScheme;
+use hdov_review::{ReviewConfig, ReviewSystem};
+use hdov_walkthrough::{
+    run_session, FrameModel, ReviewWalkthrough, Session, SessionKind, VisualSystem,
+    WalkthroughMetrics,
+};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eval = EvalScene::standard(&opts);
+    let session = Session::record(
+        eval.scene.viewpoint_region(),
+        SessionKind::Normal,
+        opts.session_frames(),
+        11,
+    );
+    let fm = FrameModel::PAPER_ERA;
+
+    let mut rows = Vec::new();
+    fn row(label: &str, m: &WalkthroughMetrics, polys: f64) -> Vec<String> {
+        vec![
+            label.to_string(),
+            format!("{:.4}", m.avg_dov_coverage()),
+            format!("{:.4}", m.min_dov_coverage()),
+            format!("{:.1}", m.avg_missed_objects()),
+            format!("{polys:.0}"),
+        ]
+    }
+
+    // (a) "original models": every visible object at full detail — the
+    // ground-truth reference rendering.
+    let full_detail_polys: f64 = {
+        let env = eval.environment(StorageScheme::IndexedVertical);
+        let mut acc = 0.0;
+        for &vp in &session.viewpoints {
+            let cell = env.cell_of(vp);
+            let visible = eval.table.cell(cell);
+            acc += visible
+                .iter()
+                .map(|&(o, _)| eval.scene.chain_of(o as u64).highest().polygons as f64)
+                .sum::<f64>();
+        }
+        acc / session.len() as f64
+    };
+    rows.push(vec![
+        "(a) original models".into(),
+        "1.0000".into(),
+        "1.0000".into(),
+        "0.0".into(),
+        format!("{full_detail_polys:.0}"),
+    ]);
+
+    // (b) REVIEW, 200 m boxes.
+    let review_sys = ReviewSystem::build(
+        &eval.scene,
+        ReviewConfig {
+            box_size: 200.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut review = ReviewWalkthrough::new(review_sys, eval.table.clone(), eval.grid.clone());
+    let mr = run_session(&mut review, &session, &fm).unwrap();
+    rows.push(row("(b) REVIEW (200m boxes)", &mr, mr.avg_polygons()));
+
+    // (c) VISUAL, eta = 0.001.
+    let mut visual =
+        VisualSystem::new(eval.environment(StorageScheme::IndexedVertical), 0.001).unwrap();
+    let mv = run_session(&mut visual, &session, &fm).unwrap();
+    rows.push(row("(c) VISUAL (eta=0.001)", &mv, mv.avg_polygons()));
+
+    print_table(
+        "Figure 11: visual fidelity (DoV coverage in [0,1]; 1 = nothing visible lost)",
+        &[
+            "rendering",
+            "avg DoV coverage",
+            "worst frame",
+            "avg missed objects",
+            "avg polygons",
+        ],
+        &rows,
+    );
+    println!("paper shape: REVIEW misses far objects; VISUAL at eta=0.001 loses ~nothing");
+    write_csv(
+        "fig11_fidelity",
+        &[
+            "rendering",
+            "avg_coverage",
+            "min_coverage",
+            "avg_missed",
+            "avg_polygons",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! **Table 2** — storage space required by the three storage schemes.
+//!
+//! Paper (default dataset): horizontal 4 GB, vertical 267 MB,
+//! indexed-vertical 152.8 MB — "the space taken by the horizontal scheme is
+//! very huge … almost 20 times that of the other two schemes".
+
+use hdov_bench::{fmt_bytes, print_table, write_csv, EvalScene, RunOptions};
+use hdov_core::StorageScheme;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eval = EvalScene::standard(&opts);
+    println!(
+        "scene: {} objects, {} cells, {} model bytes",
+        eval.scene.len(),
+        eval.grid.cell_count(),
+        fmt_bytes(eval.scene.total_model_bytes())
+    );
+
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+    for scheme in StorageScheme::all() {
+        let env = eval.environment(scheme);
+        let bytes = env.vstore().storage_bytes();
+        sizes.push(bytes);
+        rows.push(vec![
+            scheme.to_string(),
+            bytes.to_string(),
+            fmt_bytes(bytes),
+            paper_row(scheme).to_string(),
+        ]);
+    }
+    print_table(
+        "Table 2: storage space required by the schemes",
+        &["scheme", "bytes", "measured", "paper (full scale)"],
+        &rows,
+    );
+    println!(
+        "ratios: horizontal/vertical = {:.1}x, vertical/indexed = {:.2}x (paper: ~15x, ~1.75x)",
+        sizes[0] as f64 / sizes[1] as f64,
+        sizes[1] as f64 / sizes[2] as f64
+    );
+    write_csv("table2_storage", &["scheme", "bytes"], &rows);
+}
+
+fn paper_row(s: StorageScheme) -> &'static str {
+    match s {
+        StorageScheme::Horizontal => "4 GB",
+        StorageScheme::Vertical => "267 MB",
+        StorageScheme::IndexedVertical => "152.8 MB",
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared infrastructure for the table/figure harness binaries.
+//!
+//! Every binary reproduces one table or figure of the paper's §5 and prints
+//! the paper's reported values next to the measured ones. Pass `--quick` to
+//! any binary for a fast smoke run on a smaller scene (shapes hold, absolute
+//! numbers shrink); results are also written as CSV under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hdov_core::{HdovBuildConfig, HdovEnvironment, StorageScheme};
+use hdov_geom::Vec3;
+use hdov_scene::{CityConfig, Scene};
+use hdov_visibility::{CellGrid, CellGridConfig, DovConfig, DovTable};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Paper η sweep of Figs. 7–8 (the text: "η values in [0, 0.008]"), plus
+/// two extended points showing where our scaled scene's light-I/O crossover
+/// lands (see EXPERIMENTS.md).
+pub const ETA_SWEEP: [f64; 8] = [0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.012, 0.016];
+
+/// Table 3's η column.
+pub const TABLE3_ETAS: [f64; 9] = [
+    0.0, 0.00005, 0.0001, 0.0002, 0.0003, 0.0005, 0.001, 0.002, 0.004,
+];
+
+/// Harness run options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Smaller scene, fewer queries (CI / smoke).
+    pub quick: bool,
+}
+
+impl RunOptions {
+    /// Parses `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+        RunOptions { quick }
+    }
+
+    /// Number of visibility queries for Fig. 7/8-style sweeps.
+    pub fn query_count(&self) -> usize {
+        if self.quick {
+            200
+        } else {
+            2000
+        }
+    }
+
+    /// Session length in frames.
+    pub fn session_frames(&self) -> usize {
+        if self.quick {
+            80
+        } else {
+            400
+        }
+    }
+}
+
+/// The evaluation scene bundle shared by the harness binaries.
+pub struct EvalScene {
+    /// The generated city.
+    pub scene: Scene,
+    /// The viewing-cell grid.
+    pub grid: CellGrid,
+    /// Ground-truth DoV table (shared by all systems under test).
+    pub table: DovTable,
+    /// The build configuration used for HDoV environments.
+    pub build_cfg: HdovBuildConfig,
+}
+
+impl EvalScene {
+    /// Builds the default evaluation scene (the paper's "default dataset",
+    /// byte-scaled; see DESIGN.md §3).
+    pub fn standard(opts: &RunOptions) -> EvalScene {
+        let city = if opts.quick {
+            CityConfig::small()
+        } else {
+            CityConfig::default_paper()
+        };
+        Self::from_city(city.seed(2003), opts)
+    }
+
+    /// Builds an evaluation bundle from an explicit city config.
+    pub fn from_city(city: CityConfig, opts: &RunOptions) -> EvalScene {
+        let scene = city.generate();
+        let (nx, ny) = if opts.quick { (8, 8) } else { (24, 24) };
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(nx, ny)
+            .build();
+        let dov = DovConfig {
+            rays_per_viewpoint: if opts.quick { 2048 } else { 8192 },
+            viewpoints_per_cell: 5,
+            seed: 2003,
+            ..Default::default()
+        };
+        let build_cfg = HdovBuildConfig {
+            dov,
+            ..Default::default()
+        };
+        let table = DovTable::compute(&scene, &grid, &dov, 0);
+        EvalScene {
+            scene,
+            grid,
+            table,
+            build_cfg,
+        }
+    }
+
+    /// Instantiates an HDoV environment with the given storage scheme,
+    /// reusing the shared DoV table.
+    pub fn environment(&self, scheme: StorageScheme) -> HdovEnvironment {
+        HdovEnvironment::build_with_table(
+            &self.scene,
+            self.grid.clone(),
+            self.build_cfg.clone(),
+            scheme,
+            self.table.clone(),
+        )
+        .expect("environment build")
+    }
+
+    /// `n` deterministic random viewpoints inside the walkable region
+    /// ("random viewpoint positions obtained from the precomputed cells").
+    pub fn random_viewpoints(&self, n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = hdov_geom::sampling::SplitMix64::new(seed);
+        let r = self.scene.viewpoint_region();
+        let e = r.extent();
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    r.min.x + rng.next_f64() * e.x,
+                    r.min.y + rng.next_f64() * e.y,
+                    (r.min.z + r.max.z) * 0.5,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Formats bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes rows as CSV under `results/<name>.csv` (best effort — harness
+/// output is also printed).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let Ok(mut f) = std::fs::File::create(&path) else {
+        return;
+    };
+    let _ = writeln!(f, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(f, "{}", row.join(","));
+    }
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Mean of an iterator.
+pub fn mean(it: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_ranges() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MB");
+        assert!(fmt_bytes(5 * 1024 * 1024 * 1024).contains("GB"));
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn run_options_defaults() {
+        let o = RunOptions { quick: false };
+        assert_eq!(o.query_count(), 2000);
+        assert_eq!(o.session_frames(), 400);
+        let q = RunOptions { quick: true };
+        assert!(q.query_count() < o.query_count());
+        assert!(q.session_frames() < o.session_frames());
+    }
+
+    /// Heavy smoke test over the shared harness plumbing; run with
+    /// `cargo test -p hdov-bench -- --ignored`.
+    #[test]
+    #[ignore = "builds a full quick-mode evaluation scene (~seconds)"]
+    fn eval_scene_smoke() {
+        let opts = RunOptions { quick: true };
+        let eval = EvalScene::standard(&opts);
+        assert!(eval.scene.len() > 100);
+        assert_eq!(eval.table.cell_count(), eval.grid.cell_count());
+        let vps = eval.random_viewpoints(10, 1);
+        assert_eq!(vps.len(), 10);
+        let mut env = eval.environment(hdov_core::StorageScheme::IndexedVertical);
+        let (r, st) = env.query_with_stats(vps[0], 0.001).unwrap();
+        assert!(!r.entries().is_empty());
+        assert!(st.search_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn eta_sweep_matches_paper_range() {
+        assert_eq!(ETA_SWEEP[0], 0.0);
+        // The paper's range is [0, 0.008]; two extended points follow.
+        assert!(ETA_SWEEP.contains(&0.008));
+        assert!(ETA_SWEEP.windows(2).all(|w| w[0] < w[1]));
+        assert!(TABLE3_ETAS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,294 @@
+//! [`HdovEnvironment`] — the assembled system: tree + storage scheme +
+//! models + cell grid, behind a small query API.
+
+use crate::build::{HdovBuildConfig, HdovTree};
+use crate::delta::{DeltaSearch, DeltaSummary};
+use crate::search::{naive_query, search, ObjectModels, QueryResult, SearchStats};
+use crate::storage::{StorageScheme, VisibilityStore};
+use hdov_geom::Vec3;
+use hdov_scene::Scene;
+use hdov_storage::Result;
+use hdov_visibility::{CellGrid, CellGridConfig, CellId, DovTable};
+
+/// A complete, queryable HDoV-tree deployment.
+///
+/// Owns the node file, the chosen visibility store, the object and
+/// internal-LoD model banks, the cell grid, and (for fidelity metrics) the
+/// ground-truth DoV table.
+pub struct HdovEnvironment {
+    tree: HdovTree,
+    vstore: Box<dyn VisibilityStore>,
+    objects: ObjectModels,
+    grid: CellGrid,
+    table: DovTable,
+    scheme: StorageScheme,
+}
+
+impl HdovEnvironment {
+    /// Builds the full environment for `scene`.
+    pub fn build(
+        scene: &Scene,
+        grid_cfg: &CellGridConfig,
+        cfg: HdovBuildConfig,
+        scheme: StorageScheme,
+    ) -> Result<Self> {
+        let grid = grid_cfg.build();
+        let table = DovTable::compute(scene, &grid, &cfg.dov, cfg.threads);
+        Self::build_with_table(scene, grid, cfg, scheme, table)
+    }
+
+    /// Builds the environment reusing a precomputed [`DovTable`] (avoids
+    /// re-sampling when several systems share one scene).
+    pub fn build_with_table(
+        scene: &Scene,
+        grid: CellGrid,
+        cfg: HdovBuildConfig,
+        scheme: StorageScheme,
+        table: DovTable,
+    ) -> Result<Self> {
+        let (tree, cells) = HdovTree::build_with_table(scene, &cfg, &table)?;
+        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk)?;
+        let objects = ObjectModels::build(scene, cfg.disk)?;
+        Ok(HdovEnvironment {
+            tree,
+            vstore,
+            objects,
+            grid,
+            table,
+            scheme,
+        })
+    }
+
+    /// The viewing cell containing (or nearest to) `viewpoint`.
+    pub fn cell_of(&self, viewpoint: Vec3) -> CellId {
+        self.grid.clamped_cell_of(viewpoint)
+    }
+
+    /// Visibility query at `viewpoint` with threshold `eta` (Fig. 3).
+    pub fn query(&mut self, viewpoint: Vec3, eta: f64) -> Result<QueryResult> {
+        Ok(self.query_with_stats(viewpoint, eta)?.0)
+    }
+
+    /// [`query`](Self::query) plus the per-query cost breakdown.
+    pub fn query_with_stats(
+        &mut self,
+        viewpoint: Vec3,
+        eta: f64,
+    ) -> Result<(QueryResult, SearchStats)> {
+        let cell = self.cell_of(viewpoint);
+        self.query_cell(cell, eta)
+    }
+
+    /// Query by cell id.
+    pub fn query_cell(&mut self, cell: CellId, eta: f64) -> Result<(QueryResult, SearchStats)> {
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        search(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+            eta,
+            None,
+        )
+    }
+
+    /// The naïve (cell, list-of-objects) baseline at `viewpoint`.
+    pub fn query_naive(&mut self, viewpoint: Vec3) -> Result<(QueryResult, SearchStats)> {
+        let cell = self.cell_of(viewpoint);
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        naive_query(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+        )
+    }
+
+    /// Delta query for walkthroughs: models resident in `delta` at the same
+    /// LoD level are reused without model I/O; the resident set is updated.
+    pub fn query_delta(
+        &mut self,
+        viewpoint: Vec3,
+        eta: f64,
+        delta: &mut DeltaSearch,
+    ) -> Result<(QueryResult, SearchStats, DeltaSummary)> {
+        let cell = self.cell_of(viewpoint);
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        let skip = delta.skip_map();
+        let (result, stats) = search(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+            eta,
+            Some(&skip),
+        )?;
+        let summary = delta.apply(&result);
+        Ok((result, stats, summary))
+    }
+
+    /// Frustum-prioritized (optionally budgeted) query — see
+    /// [`search_prioritized`](crate::priority::search_prioritized).
+    pub fn query_prioritized(
+        &mut self,
+        frustum: &hdov_geom::Frustum,
+        eta: f64,
+        budget_ms: Option<f64>,
+    ) -> Result<(crate::priority::PrioritizedOutcome, SearchStats)> {
+        let cell = self.cell_of(frustum.eye);
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        crate::priority::search_prioritized(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+            eta,
+            frustum,
+            budget_ms,
+        )
+    }
+
+    /// Budgeted, frustum-prioritized delta query: resident models are
+    /// reused without I/O, the rest stream in priority order until
+    /// `budget_ms` expires; the resident set is updated with whatever
+    /// loaded.
+    pub fn query_prioritized_delta(
+        &mut self,
+        frustum: &hdov_geom::Frustum,
+        eta: f64,
+        budget_ms: Option<f64>,
+        delta: &mut DeltaSearch,
+    ) -> Result<(crate::priority::PrioritizedOutcome, SearchStats)> {
+        let cell = self.cell_of(frustum.eye);
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        let skip = delta.skip_map();
+        let (outcome, stats) = crate::priority::search_prioritized_delta(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+            eta,
+            frustum,
+            budget_ms,
+            Some(&skip),
+        )?;
+        if outcome.completed {
+            delta.apply(&outcome.result);
+        } else {
+            // A truncated frame must not evict content that simply didn't
+            // get re-confirmed before the deadline: merge instead.
+            delta.merge(&outcome.result);
+        }
+        Ok((outcome, stats))
+    }
+
+    /// The ground-truth total DoV of a cell (denominator of fidelity
+    /// metrics).
+    pub fn cell_total_dov(&self, cell: CellId) -> f64 {
+        self.table.total_dov(cell)
+    }
+
+    /// Number of visible objects in a cell (`N_vobj`).
+    pub fn cell_visible_objects(&self, cell: CellId) -> usize {
+        self.table.visible_count(cell)
+    }
+
+    /// Replaces the environment's visibility data with an updated
+    /// [`DovTable`] (e.g. after [`DovTable::recompute_cells`] absorbed a
+    /// lighting or door-state change): the view-invariant tree, internal
+    /// LoDs, and object models are reused; only the V-page store is rebuilt.
+    pub fn refresh_visibility(
+        &mut self,
+        table: DovTable,
+        disk: hdov_storage::DiskModel,
+    ) -> Result<()> {
+        let cells = self.tree.aggregate_from_table(&table)?;
+        self.vstore = self.scheme.build(self.tree.entry_counts(), &cells, disk)?;
+        self.table = table;
+        Ok(())
+    }
+
+    /// Renders the *instantiated* tree of one cell as indented text — the
+    /// paper's Fig. 1 made inspectable: the same topology, with each entry's
+    /// view-variant `(DoV, NVO)` for that cell. Hidden subtrees print as
+    /// `(hidden)` and are not descended into.
+    pub fn dump_cell(&mut self, cell: CellId) -> Result<String> {
+        self.vstore.enter_cell(cell)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cell {cell}: {} visible objects, total DoV {:.4}\n",
+            self.table.visible_count(cell),
+            self.table.total_dov(cell)
+        ));
+        self.dump_node(0, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn dump_node(&mut self, ordinal: u32, depth: usize, out: &mut String) -> Result<()> {
+        use std::fmt::Write as _;
+        let indent = "  ".repeat(depth);
+        let Some(vpage) = self.vstore.fetch(ordinal)? else {
+            let _ = writeln!(out, "{indent}node {ordinal} (hidden)");
+            return Ok(());
+        };
+        let node = self.tree.read_node(ordinal)?;
+        let _ = writeln!(
+            out,
+            "{indent}node {ordinal} [{}] dov={:.4} nvo={}",
+            if node.is_leaf { "leaf" } else { "internal" },
+            vpage.node_dov(),
+            vpage.node_nvo()
+        );
+        for (e, ve) in node.entries.iter().zip(&vpage.entries) {
+            if !ve.visible() {
+                continue;
+            }
+            if e.is_object() {
+                let _ = writeln!(out, "{indent}  object {} dov={:.4}", e.child, ve.dov);
+            } else {
+                self.dump_node(e.child_ordinal, depth + 1, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The precomputed DoV table (ground truth for metrics).
+    pub fn dov_table(&self) -> &DovTable {
+        &self.table
+    }
+
+    /// The cell grid.
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// The view-invariant tree.
+    pub fn tree(&self) -> &HdovTree {
+        &self.tree
+    }
+
+    /// Mutable tree access (benchmarks reading nodes directly).
+    pub fn tree_mut(&mut self) -> &mut HdovTree {
+        &mut self.tree
+    }
+
+    /// The object model bank.
+    pub fn objects(&self) -> &ObjectModels {
+        &self.objects
+    }
+
+    /// The active storage scheme.
+    pub fn scheme(&self) -> StorageScheme {
+        self.scheme
+    }
+
+    /// The visibility store (for storage-size accounting).
+    pub fn vstore(&self) -> &dyn VisibilityStore {
+        self.vstore.as_ref()
+    }
+}

@@ -1,0 +1,45 @@
+//! **The HDoV-tree** — a Hierarchical Degree-of-Visibility tree
+//! (Shou, Huang, Tan; ICDE 2003).
+//!
+//! The HDoV-tree combines three ingredients (paper §3.2):
+//!
+//! 1. an R-tree backbone capturing the spatial distribution of the scene,
+//! 2. *internal LoDs*: every node carries a chain of coarse meshes standing
+//!    in for its whole subtree, and
+//! 3. per-viewing-cell *degree-of-visibility* data `VD = (DoV, NVO)` for
+//!    every entry — view-variant, stored outside the nodes in **V-pages**.
+//!
+//! A visibility query walks the tree under a DoV threshold `η`: entries with
+//! `DoV = 0` are pruned, barely-visible subtrees (`DoV ≤ η`, and cheaper by
+//! the Eq. 3/4 polygon heuristic) terminate at an internal LoD, and the rest
+//! recurse down to objects whose LoD level is blended by Eq. 6.
+//!
+//! Three on-disk layouts for the view-variant data are provided behind
+//! [`VisibilityStore`]: [`StorageScheme::Horizontal`],
+//! [`StorageScheme::Vertical`], and [`StorageScheme::IndexedVertical`]
+//! (paper §4), with exact storage-size and page-I/O accounting.
+//!
+//! The easiest entry point is [`HdovEnvironment`], which owns the whole
+//! stack (node file, V-page store, model stores, cell grid) and answers
+//! point visibility queries and delta queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod delta;
+pub mod env;
+pub mod node;
+pub mod priority;
+pub mod search;
+pub mod storage;
+pub mod vpage;
+
+pub use build::{HdovBuildConfig, HdovTree, TerminationHeuristic};
+pub use delta::DeltaSearch;
+pub use env::HdovEnvironment;
+pub use node::{HdovEntry, HdovNode};
+pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
+pub use search::{naive_query, search, QueryResult, ResultEntry, ResultKey, SearchStats};
+pub use storage::{StorageScheme, VisibilityStore};
+pub use vpage::{VEntry, VPage, VPAGE_SIZE};

@@ -1,0 +1,476 @@
+//! The HDoV-tree visibility query (paper Fig. 3) and the naïve
+//! (cell, list-of-objects) baseline.
+//!
+//! ```text
+//! Algorithm Search(Node)
+//! 1. for each entry E in Node
+//! 3.   if E.DoV = 0          -> prune the branch
+//! 4.   if E is leaf          -> add E.ptr->LoD_leaf      (Eq. 6)
+//! 7.   else if E.DoV <= eta and h(1 + log_M s) < log_M(E.NVO)
+//! 8.                         -> add E.ptr->LoD_internal  (Eq. 5)
+//! 10.  else                  -> Search(E.ptr)
+//! ```
+//!
+//! Model retrieval is charged against the object / internal-LoD model files,
+//! V-page fetches against the [`VisibilityStore`], and node reads against the
+//! node file; [`SearchStats`] separates "light-weight" (nodes + V-pages) from
+//! "heavy-weight" (models) I/O exactly as the paper's Fig. 8 does.
+
+use crate::build::{HdovTree, TerminationHeuristic};
+use crate::node::HdovEntry;
+use crate::storage::VisibilityStore;
+use crate::vpage::VEntry;
+use hdov_geom::solid_angle::MAX_DOV;
+use hdov_scene::{ModelStore, Scene};
+use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
+use hdov_visibility::CellId;
+use std::collections::HashMap;
+
+/// CPU cost charged per node visited (µs) on top of simulated I/O time.
+pub const CPU_PER_NODE_US: f64 = 15.0;
+/// CPU cost charged per result entry (µs).
+pub const CPU_PER_RESULT_US: f64 = 2.0;
+
+/// What a result entry represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResultKey {
+    /// An object model.
+    Object(u64),
+    /// An internal LoD of the node with this ordinal.
+    Internal(u32),
+}
+
+/// One retrieved representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultEntry {
+    /// What was retrieved.
+    pub key: ResultKey,
+    /// LoD level fetched (0 = highest detail).
+    pub level: usize,
+    /// Polygons of the fetched level.
+    pub polygons: u64,
+    /// Bytes of the fetched level.
+    pub bytes: u64,
+    /// The driving DoV value.
+    pub dov: f32,
+    /// True when the model was already resident (delta search) and no model
+    /// I/O was performed.
+    pub cached: bool,
+}
+
+/// The answer set of one visibility query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    entries: Vec<ResultEntry>,
+}
+
+impl QueryResult {
+    /// All retrieved representations.
+    pub fn entries(&self) -> &[ResultEntry] {
+        &self.entries
+    }
+
+    /// Total polygons the graphics engine would render.
+    pub fn total_polygons(&self) -> u64 {
+        self.entries.iter().map(|e| e.polygons).sum()
+    }
+
+    /// Total model bytes in the answer set.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Bytes actually fetched this query (excludes cached entries).
+    pub fn fetched_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.cached)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Total DoV mass captured by the answer set (objects and internal LoDs).
+    pub fn captured_dov(&self) -> f64 {
+        self.entries.iter().map(|e| e.dov as f64).sum()
+    }
+
+    /// Number of object-level entries.
+    pub fn object_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.key, ResultKey::Object(_)))
+            .count()
+    }
+
+    /// Number of internal-LoD entries.
+    pub fn internal_count(&self) -> usize {
+        self.entries.len() - self.object_count()
+    }
+
+    /// Test-only constructor hook.
+    #[doc(hidden)]
+    pub fn push_for_test(&mut self, e: ResultEntry) {
+        self.entries.push(e);
+    }
+}
+
+/// Per-query cost breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Tree nodes read.
+    pub nodes_visited: u64,
+    /// V-pages fetched (including hidden-placeholder fetches under the
+    /// horizontal scheme).
+    pub vpages_fetched: u64,
+    /// Node-file I/O.
+    pub node_io: IoStats,
+    /// Visibility-store I/O (V-page-index + V-pages).
+    pub vstore_io: IoStats,
+    /// Object model I/O.
+    pub model_io: IoStats,
+    /// Internal-LoD model I/O.
+    pub internal_io: IoStats,
+}
+
+impl SearchStats {
+    /// "Light-weight" I/O: tree nodes + visibility data (paper Fig. 8b).
+    pub fn light_io(&self) -> IoStats {
+        self.node_io + self.vstore_io
+    }
+
+    /// "Heavy-weight" I/O: model data (object + internal LoDs).
+    pub fn heavy_io(&self) -> IoStats {
+        self.model_io + self.internal_io
+    }
+
+    /// Everything (paper Fig. 8a).
+    pub fn total_io(&self) -> IoStats {
+        self.light_io() + self.heavy_io()
+    }
+
+    /// Simulated search time in milliseconds: I/O time plus a small CPU
+    /// charge per node and result.
+    pub fn search_time_ms(&self) -> f64 {
+        (self.total_io().elapsed_us
+            + self.nodes_visited as f64 * CPU_PER_NODE_US
+            + self.vpages_fetched as f64 * CPU_PER_RESULT_US)
+            / 1000.0
+    }
+
+    /// Search time excluding model retrieval (paper Fig. 9 reports the
+    /// traversal cost only).
+    pub fn traversal_time_ms(&self) -> f64 {
+        (self.light_io().elapsed_us + self.nodes_visited as f64 * CPU_PER_NODE_US) / 1000.0
+    }
+}
+
+/// The object-model bank: the scene's LoD geometry on its own metered disk.
+pub struct ObjectModels {
+    /// Directory of per-object LoD chains.
+    pub store: ModelStore,
+    /// The metered model file.
+    pub disk: SimulatedDisk<MemPagedFile>,
+}
+
+impl ObjectModels {
+    /// Lays out every scene object's LoD chain on a fresh simulated disk.
+    pub fn build(scene: &Scene, model: DiskModel) -> Result<Self> {
+        let mut disk = SimulatedDisk::new(MemPagedFile::new(), model);
+        let chains = scene
+            .objects()
+            .iter()
+            .map(|o| scene.prototypes().chain(o.prototype));
+        let store = ModelStore::build(&mut disk, chains)?;
+        disk.reset_stats();
+        Ok(ObjectModels { store, disk })
+    }
+}
+
+/// Resolves a blend factor `k ∈ [0, 1]` to a discrete LoD level of `key` in
+/// `store` — the paper's Eq. 5/6 interpolation
+/// (`k · LoD_highest + (1 − k) · LoD_lowest`), snapped to the level whose
+/// polygon count is nearest the interpolated budget.
+pub fn select_level(store: &ModelStore, key: u64, k: f64) -> usize {
+    store.select_level(key, k)
+}
+
+/// Runs the threshold visibility query of Fig. 3.
+///
+/// `skip` maps already-resident keys to their resident LoD level: matching
+/// entries are included in the result with `cached = true` and cost no model
+/// I/O (the walkthrough "delta" optimisation, §5.4).
+pub fn search(
+    tree: &mut HdovTree,
+    vstore: &mut dyn VisibilityStore,
+    objects: &mut ObjectModels,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+) -> Result<(QueryResult, SearchStats)> {
+    assert!(eta >= 0.0, "eta must be non-negative");
+    let node_io0 = tree.node_io();
+    let internal_io0 = tree.internal_io();
+    let model_io0 = objects.disk.stats();
+    vstore.reset_stats();
+    vstore.enter_cell(cell)?;
+
+    let mut out = QueryResult::default();
+    let mut stats = SearchStats::default();
+    recurse(
+        tree,
+        vstore,
+        objects,
+        tree.root_ordinal(),
+        eta,
+        skip,
+        &mut out,
+        &mut stats,
+    )?;
+
+    stats.node_io = tree.node_io().since(&node_io0);
+    stats.internal_io = tree.internal_io().since(&internal_io0);
+    stats.model_io = objects.disk.stats().since(&model_io0);
+    stats.vstore_io = vstore.stats();
+    Ok((out, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    tree: &mut HdovTree,
+    vstore: &mut dyn VisibilityStore,
+    objects: &mut ObjectModels,
+    ordinal: u32,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    out: &mut QueryResult,
+    stats: &mut SearchStats,
+) -> Result<()> {
+    let Some(vpage) = vstore.fetch(ordinal)? else {
+        return Ok(()); // invisible (vertical/indexed prove it for free)
+    };
+    stats.vpages_fetched += 1;
+    if !vpage.any_visible() {
+        return Ok(()); // horizontal placeholder for a hidden node
+    }
+    let node = tree.read_node(ordinal)?;
+    stats.nodes_visited += 1;
+
+    for (entry, ve) in node.entries.iter().zip(&vpage.entries) {
+        if ve.dov <= 0.0 {
+            continue; // line 3: completely hidden branch
+        }
+        if entry.is_object() {
+            // Lines 4–5: leaf entry, Eq. 6.
+            let k = (ve.dov as f64 / MAX_DOV).min(1.0);
+            let level = select_level(&objects.store, entry.child, k);
+            let key = ResultKey::Object(entry.child);
+            let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+            let h = if cached {
+                objects.store.handle(entry.child, level)
+            } else {
+                objects.store.fetch(&mut objects.disk, entry.child, level)?
+            };
+            out.entries.push(ResultEntry {
+                key,
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                dov: ve.dov,
+                cached,
+            });
+        } else if (ve.dov as f64) <= eta && terminates_entry(tree, entry, ve) {
+            // Lines 7–8: barely visible subtree, Eq. 5.
+            let k = if eta > 0.0 {
+                (ve.dov as f64 / eta).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let child = entry.child_ordinal;
+            let level = select_level(tree.internal_store(), child as u64, k);
+            let key = ResultKey::Internal(child);
+            let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+            let h = if cached {
+                tree.internal_store().handle(child as u64, level)
+            } else {
+                tree.fetch_internal_lod(child, level)?
+            };
+            out.entries.push(ResultEntry {
+                key,
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                dov: ve.dov,
+                cached,
+            });
+        } else {
+            // Line 10: descend.
+            recurse(
+                tree,
+                vstore,
+                objects,
+                entry.child_ordinal,
+                eta,
+                skip,
+                out,
+                stats,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The second condition of Fig. 3 line 7, per the configured heuristic.
+/// (Shared with the prioritized traversal in [`crate::priority`].)
+pub(crate) fn terminates_entry(tree: &HdovTree, entry: &HdovEntry, ve: &VEntry) -> bool {
+    match tree.heuristic() {
+        TerminationHeuristic::Always => true,
+        TerminationHeuristic::Eq4 => {
+            // h (1 + log_M s) < log_M NVO, with h = subtree height above the
+            // leaf level and M the fan-out.
+            let m = tree.fanout() as f64;
+            let log_m = |x: f64| x.ln() / m.ln();
+            let h = entry.child_height.saturating_sub(1) as f64;
+            let s = (entry.child_s as f64).max(1e-9);
+            h * (1.0 + log_m(s)) < log_m(ve.nvo.max(1) as f64)
+        }
+        TerminationHeuristic::Exact => {
+            // Eq. 3: internal LoD polygons < visible descendant polygons.
+            let internal = tree
+                .internal_store()
+                .handle(entry.child_ordinal as u64, 0)
+                .polygons as f64;
+            internal < ve.nvo as f64 * entry.child_f as f64
+        }
+    }
+}
+
+/// The naïve (cell, list-of-objects) baseline of §5.3: "accesses the V-pages
+/// of visible leaf nodes only; all the models retrieved are from the object
+/// LoDs". Leaf→object lists are in-memory (view-invariant), so the only
+/// light-weight I/O is the leaf V-pages.
+pub fn naive_query(
+    tree: &mut HdovTree,
+    vstore: &mut dyn VisibilityStore,
+    objects: &mut ObjectModels,
+    cell: CellId,
+) -> Result<(QueryResult, SearchStats)> {
+    let model_io0 = objects.disk.stats();
+    vstore.reset_stats();
+    vstore.enter_cell(cell)?;
+
+    let mut out = QueryResult::default();
+    let mut stats = SearchStats::default();
+    let leaf_ordinals: Vec<u32> = tree.leaf_ordinals().to_vec();
+    for (i, ordinal) in leaf_ordinals.iter().enumerate() {
+        let Some(vpage) = vstore.fetch(*ordinal)? else {
+            continue;
+        };
+        stats.vpages_fetched += 1;
+        if !vpage.any_visible() {
+            continue;
+        }
+        let ids: Vec<u64> = tree.leaf_objects(i).to_vec();
+        for (&id, ve) in ids.iter().zip(&vpage.entries) {
+            if ve.dov <= 0.0 {
+                continue;
+            }
+            let k = (ve.dov as f64 / MAX_DOV).min(1.0);
+            let level = select_level(&objects.store, id, k);
+            let h = objects.store.fetch(&mut objects.disk, id, level)?;
+            out.entries.push(ResultEntry {
+                key: ResultKey::Object(id),
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                dov: ve.dov,
+                cached: false,
+            });
+        }
+    }
+    stats.model_io = objects.disk.stats().since(&model_io0);
+    stats.vstore_io = vstore.stats();
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    fn io(reads: u64, us: f64) -> IoStats {
+        IoStats {
+            page_reads: reads,
+            page_writes: 0,
+            sequential_reads: 0,
+            random_reads: reads,
+            elapsed_us: us,
+        }
+    }
+
+    #[test]
+    fn stat_partitions_sum_to_total() {
+        let s = SearchStats {
+            nodes_visited: 4,
+            vpages_fetched: 5,
+            node_io: io(4, 400.0),
+            vstore_io: io(6, 600.0),
+            model_io: io(10, 1000.0),
+            internal_io: io(2, 200.0),
+        };
+        assert_eq!(s.light_io().page_reads, 10);
+        assert_eq!(s.heavy_io().page_reads, 12);
+        assert_eq!(s.total_io().page_reads, 22);
+        assert!((s.total_io().elapsed_us - 2200.0).abs() < 1e-9);
+        // Time model: I/O + per-node and per-vpage CPU.
+        let expect_ms = (2200.0 + 4.0 * CPU_PER_NODE_US + 5.0 * CPU_PER_RESULT_US) / 1000.0;
+        assert!((s.search_time_ms() - expect_ms).abs() < 1e-12);
+        assert!(s.traversal_time_ms() < s.search_time_ms());
+    }
+
+    #[test]
+    fn query_result_accessors() {
+        let mut r = QueryResult::default();
+        r.push_for_test(ResultEntry {
+            key: ResultKey::Object(1),
+            level: 0,
+            polygons: 100,
+            bytes: 1200,
+            dov: 0.3,
+            cached: false,
+        });
+        r.push_for_test(ResultEntry {
+            key: ResultKey::Internal(5),
+            level: 1,
+            polygons: 40,
+            bytes: 500,
+            dov: 0.001,
+            cached: true,
+        });
+        assert_eq!(r.total_polygons(), 140);
+        assert_eq!(r.total_bytes(), 1700);
+        assert_eq!(r.fetched_bytes(), 1200, "cached entries are not fetched");
+        assert_eq!(r.object_count(), 1);
+        assert_eq!(r.internal_count(), 1);
+        assert!((r.captured_dov() - 0.301).abs() < 1e-6);
+    }
+
+    #[test]
+    fn result_keys_order_deterministically() {
+        let mut keys = vec![
+            ResultKey::Internal(2),
+            ResultKey::Object(1),
+            ResultKey::Object(0),
+            ResultKey::Internal(0),
+        ];
+        keys.sort();
+        // Objects sort before internals (enum variant order), ids ascending.
+        assert_eq!(
+            keys,
+            vec![
+                ResultKey::Object(0),
+                ResultKey::Object(1),
+                ResultKey::Internal(0),
+                ResultKey::Internal(2),
+            ]
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The horizontal storage scheme (paper §4.1).
+//!
+//! "The most straightforward scheme is to store a pointer in each node
+//! pointing to a list of visibility data, which is indexed by the cell ID
+//! number." Every `(node, cell)` pair gets a V-page — including hidden
+//! nodes — so a visibility query on a node always costs exactly one V-page
+//! access, but the storage is `size_vpage · c · N_node` and, because the
+//! layout is node-major, the V-pages touched by one cell's query are
+//! scattered (extra seeks: the paper's Fig. 7 worst case).
+
+use super::{StorageScheme, VPageFile, VisibilityStore};
+use crate::vpage::{VEntry, VPage};
+use hdov_storage::{DiskModel, IoStats, Result};
+use hdov_visibility::CellId;
+
+/// Horizontal store: record index = `ordinal · c + cell`.
+pub struct HorizontalStore {
+    vpages: VPageFile,
+    cells: u32,
+    n_nodes: u32,
+    current: Option<CellId>,
+}
+
+impl HorizontalStore {
+    /// Builds the store; see
+    /// [`StorageScheme::build`](super::StorageScheme::build) for argument
+    /// conventions.
+    pub fn build(
+        entry_counts: &[u16],
+        cells: &[Vec<(u32, VPage)>],
+        model: DiskModel,
+    ) -> Result<Self> {
+        let n_nodes = entry_counts.len() as u32;
+        let c = cells.len() as u32;
+        let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
+        let mut vpages = VPageFile::new(model, max_entries);
+        // Node-major: for each node, a run of `c` V-pages indexed by cell.
+        for n in 0..n_nodes {
+            // Sparse lookup per cell.
+            for cell in cells.iter() {
+                let vp = match cell.binary_search_by_key(&n, |&(o, _)| o) {
+                    Ok(i) => cell[i].1.clone(),
+                    Err(_) => VPage::new(vec![VEntry::HIDDEN; entry_counts[n as usize] as usize]),
+                };
+                vpages.append(&vp)?;
+            }
+        }
+        vpages.reset_stats(); // build-time writes are not query I/O
+        Ok(HorizontalStore {
+            vpages,
+            cells: c,
+            n_nodes,
+            current: None,
+        })
+    }
+}
+
+impl VisibilityStore for HorizontalStore {
+    fn scheme(&self) -> StorageScheme {
+        StorageScheme::Horizontal
+    }
+
+    fn cell_count(&self) -> u32 {
+        self.cells
+    }
+
+    fn enter_cell(&mut self, cell: CellId) -> Result<()> {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        self.current = Some(cell);
+        Ok(())
+    }
+
+    fn current_cell(&self) -> Option<CellId> {
+        self.current
+    }
+
+    fn fetch(&mut self, ordinal: u32) -> Result<Option<VPage>> {
+        let cell = self.current.expect("enter_cell before fetch");
+        assert!(ordinal < self.n_nodes, "node ordinal out of range");
+        let record = ordinal as u64 * self.cells as u64 + cell as u64;
+        Ok(Some(self.vpages.read(record)?))
+    }
+
+    fn stats(&self) -> IoStats {
+        self.vpages.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.vpages.reset_stats();
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        // size_vpage · c · N_node (paper §4.1).
+        self.vpages.record_bytes() as u64 * self.cells as u64 * self.n_nodes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::testutil;
+
+    #[test]
+    fn conformance() {
+        let (counts, cells) = testutil::sample_cells(12);
+        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        testutil::conformance(&mut s, &cells, 12);
+    }
+
+    #[test]
+    fn every_fetch_costs_one_page() {
+        let (counts, cells) = testutil::sample_cells(12);
+        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        s.enter_cell(0).unwrap();
+        s.reset_stats();
+        for n in 0..12 {
+            let _ = s.fetch(n).unwrap();
+        }
+        assert_eq!(s.stats().page_reads, 12);
+    }
+
+    #[test]
+    fn hidden_nodes_return_hidden_pages() {
+        let (counts, cells) = testutil::sample_cells(12);
+        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        s.enter_cell(2).unwrap(); // nothing visible
+        for n in 0..12 {
+            let vp = s.fetch(n).unwrap().unwrap();
+            assert!(!vp.any_visible());
+            assert_eq!(vp.entries.len(), counts[n as usize] as usize);
+        }
+    }
+
+    #[test]
+    fn storage_matches_formula() {
+        let (counts, cells) = testutil::sample_cells(10);
+        let s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let vpage = 4 + 8 * *counts.iter().max().unwrap() as u64;
+        assert_eq!(s.storage_bytes(), vpage * 3 * 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fetch_before_enter_panics() {
+        let (counts, cells) = testutil::sample_cells(4);
+        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let _ = s.fetch(0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The indexed-vertical storage scheme (paper §4.3).
+//!
+//! Like the vertical scheme, but "only the offset numbers and the V-page
+//! pointers of the visible nodes are saved in the V-page-index file" —
+//! segments become variable-length lists of `(node offset, pointer)` pairs,
+//! shrinking both the index storage and the flip cost from `O(N_node)` to
+//! `O(N_vnode)` I/Os. A tiny in-memory directory maps each cell to its
+//! segment extent (the "simple one-to-one index").
+
+use super::{StorageScheme, VPageFile, VisibilityStore};
+use crate::vpage::VPage;
+use hdov_storage::codec::ByteReader;
+use hdov_storage::{
+    DiskModel, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk, PAGE_SIZE,
+};
+use hdov_visibility::CellId;
+
+/// Bytes per index record: node offset (u32) + V-page pointer (u64).
+const REC_BYTES: usize = 12;
+
+#[derive(Debug, Clone, Copy)]
+struct SegmentDir {
+    start_byte: u64,
+    count: u32,
+}
+
+/// Indexed-vertical store: sparse segments for visible nodes only.
+pub struct IndexedVerticalStore {
+    index: SimulatedDisk<MemPagedFile>,
+    vpages: VPageFile,
+    cells: u32,
+    n_nodes: u32,
+    dir: Vec<SegmentDir>,
+    current: Option<CellId>,
+    /// Flipped-in segment: `(ordinal, pointer)` sorted by ordinal.
+    segment: Vec<(u32, u64)>,
+}
+
+impl IndexedVerticalStore {
+    /// Builds the store; see
+    /// [`StorageScheme::build`](super::StorageScheme::build) for argument
+    /// conventions.
+    pub fn build(
+        entry_counts: &[u16],
+        cells: &[Vec<(u32, VPage)>],
+        model: DiskModel,
+    ) -> Result<Self> {
+        let n_nodes = entry_counts.len() as u32;
+        let c = cells.len() as u32;
+        let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
+        let mut vpages = VPageFile::new(model, max_entries);
+        let mut index = SimulatedDisk::new(MemPagedFile::new(), model);
+
+        let mut raw: Vec<u8> = Vec::new();
+        let mut dir = Vec::with_capacity(cells.len());
+        for cell in cells {
+            dir.push(SegmentDir {
+                start_byte: raw.len() as u64,
+                count: cell.len() as u32,
+            });
+            for (ordinal, vp) in cell {
+                let ptr = vpages.append(vp)?;
+                raw.extend_from_slice(&ordinal.to_le_bytes());
+                raw.extend_from_slice(&ptr.to_le_bytes());
+            }
+        }
+        // Lay the packed segments out in pages.
+        for chunk in raw.chunks(PAGE_SIZE) {
+            index.append_page(&Page::from_bytes(chunk))?;
+        }
+        if raw.is_empty() {
+            index.allocate_page()?;
+        }
+        vpages.reset_stats();
+        index.reset_stats();
+        Ok(IndexedVerticalStore {
+            index,
+            vpages,
+            cells: c,
+            n_nodes,
+            dir,
+            current: None,
+            segment: Vec::new(),
+        })
+    }
+}
+
+impl VisibilityStore for IndexedVerticalStore {
+    fn scheme(&self) -> StorageScheme {
+        StorageScheme::IndexedVertical
+    }
+
+    fn cell_count(&self) -> u32 {
+        self.cells
+    }
+
+    fn enter_cell(&mut self, cell: CellId) -> Result<()> {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        if self.current == Some(cell) {
+            return Ok(());
+        }
+        let d = self.dir[cell as usize];
+        let seg_bytes = d.count as usize * REC_BYTES;
+        let mut segment = Vec::with_capacity(d.count as usize);
+        if seg_bytes > 0 {
+            let first_page = d.start_byte / PAGE_SIZE as u64;
+            let last_page = (d.start_byte + seg_bytes as u64 - 1) / PAGE_SIZE as u64;
+            let mut bytes = Vec::with_capacity(((last_page - first_page + 1) as usize) * PAGE_SIZE);
+            let mut page = Page::zeroed();
+            for p in first_page..=last_page {
+                self.index.read_page(PageId(p), &mut page)?;
+                bytes.extend_from_slice(page.bytes());
+            }
+            let off = (d.start_byte - first_page * PAGE_SIZE as u64) as usize;
+            let mut r = ByteReader::new(&bytes[off..off + seg_bytes]);
+            for _ in 0..d.count {
+                let ordinal = r.get_u32()?;
+                let ptr = r.get_u64()?;
+                segment.push((ordinal, ptr));
+            }
+        }
+        self.segment = segment;
+        self.current = Some(cell);
+        Ok(())
+    }
+
+    fn current_cell(&self) -> Option<CellId> {
+        self.current
+    }
+
+    fn fetch(&mut self, ordinal: u32) -> Result<Option<VPage>> {
+        assert!(self.current.is_some(), "enter_cell before fetch");
+        assert!(ordinal < self.n_nodes, "node ordinal out of range");
+        match self.segment.binary_search_by_key(&ordinal, |&(o, _)| o) {
+            Err(_) => Ok(None),
+            Ok(i) => {
+                let ptr = self.segment[i].1;
+                Ok(Some(self.vpages.read(ptr)?))
+            }
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.index.stats() + self.vpages.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.index.reset_stats();
+        self.vpages.reset_stats();
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        // (size_ptr + size_int) · Σ N_vnode + size_vpage · Σ N_vnode (§4.3).
+        (REC_BYTES as u64 + self.vpages.record_bytes() as u64) * self.vpages.records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::testutil;
+    use crate::storage::VerticalStore;
+
+    #[test]
+    fn conformance() {
+        let (counts, cells) = testutil::sample_cells(12);
+        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        testutil::conformance(&mut s, &cells, 12);
+    }
+
+    #[test]
+    fn flip_cost_scales_with_visible_not_total() {
+        // 2000 nodes, few visible: indexed flip must read far fewer pages
+        // than the dense vertical flip.
+        let n = 2000u32;
+        let (counts, cells) = testutil::sample_cells(n);
+        // Keep only cell 1 (3 visible nodes) replicated.
+        let sparse_cells = vec![cells[1].clone(), cells[1].clone()];
+        let mut iv =
+            IndexedVerticalStore::build(&counts, &sparse_cells, DiskModel::PAPER_ERA).unwrap();
+        let mut v = VerticalStore::build(&counts, &sparse_cells, DiskModel::PAPER_ERA).unwrap();
+        iv.enter_cell(0).unwrap();
+        v.enter_cell(0).unwrap();
+        let iv_flip = iv.stats().page_reads;
+        let v_flip = v.stats().page_reads;
+        assert!(iv_flip <= 1, "indexed flip read {iv_flip} pages");
+        assert_eq!(v_flip, (n as u64 * 8).div_ceil(PAGE_SIZE as u64));
+        assert!(iv_flip < v_flip);
+    }
+
+    #[test]
+    fn storage_smaller_than_vertical() {
+        let (counts, cells) = testutil::sample_cells(500);
+        let iv = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let v = VerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        assert!(iv.storage_bytes() < v.storage_bytes());
+    }
+
+    #[test]
+    fn storage_matches_formula() {
+        let (counts, cells) = testutil::sample_cells(10);
+        let s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let vnode_total: u64 = cells.iter().map(|c| c.len() as u64).sum();
+        let vpage = 4 + 8 * *counts.iter().max().unwrap() as u64;
+        assert_eq!(s.storage_bytes(), (12 + vpage) * vnode_total);
+    }
+
+    #[test]
+    fn empty_cell_flip_is_free_after_dir_lookup() {
+        let (counts, cells) = testutil::sample_cells(12);
+        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        s.enter_cell(2).unwrap(); // empty cell: zero records
+        assert_eq!(s.stats().page_reads, 0);
+        assert!(s.fetch(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn segment_straddling_page_boundary() {
+        // Enough visible nodes that a segment crosses a page boundary.
+        let n = 800u32;
+        let counts: Vec<u16> = vec![2; n as usize];
+        let mk = |o: u32| {
+            (
+                o,
+                VPage::new(vec![
+                    crate::vpage::VEntry { dov: 0.5, nvo: 1 },
+                    crate::vpage::VEntry { dov: 0.25, nvo: 2 },
+                ]),
+            )
+        };
+        // Cell 0: 500 visible; cell 1: 500 visible — combined raw index
+        // bytes cross several pages.
+        let cells = vec![
+            (0..500).map(mk).collect::<Vec<_>>(),
+            (300..800).map(mk).collect::<Vec<_>>(),
+        ];
+        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        for cid in 0..2u32 {
+            s.enter_cell(cid).unwrap();
+            for &(o, ref vp) in &cells[cid as usize] {
+                assert_eq!(s.fetch(o).unwrap().as_ref(), Some(vp));
+            }
+        }
+    }
+}

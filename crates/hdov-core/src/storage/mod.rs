@@ -1,0 +1,267 @@
+//! On-disk storage schemes for the view-variant data (paper §4).
+//!
+//! The HDoV-tree is view-variant: `(DoV, NVO)` differs per viewing cell. The
+//! paper stores all cells' data on disk and fetches the current cell's; three
+//! layouts are proposed, trading storage for flip/fetch cost:
+//!
+//! | Scheme | Layout | Storage (paper §4) |
+//! |---|---|---|
+//! | [`Horizontal`](StorageScheme::Horizontal) | every node keeps a cell-indexed list of V-pages | `size_vpage · c · N_node` |
+//! | [`Vertical`](StorageScheme::Vertical) | per-cell segment of `N_node` pointers + per-cell DFS-clustered V-pages | `size_ptr · N_node · c + size_vpage · N_vnode · c` |
+//! | [`IndexedVertical`](StorageScheme::IndexedVertical) | per-cell sparse segment of `(offset, ptr)` pairs for visible nodes only | `(size_ptr + size_int) · N_vnode · c + size_vpage · N_vnode · c` |
+//!
+//! All three implement [`VisibilityStore`]; the search code is agnostic.
+
+mod horizontal;
+mod indexed_vertical;
+mod vertical;
+
+pub use horizontal::HorizontalStore;
+pub use indexed_vertical::IndexedVerticalStore;
+pub use vertical::VerticalStore;
+
+use crate::vpage::VPage;
+use hdov_storage::{
+    DiskModel, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk, PAGE_SIZE,
+};
+use hdov_visibility::CellId;
+
+/// The three storage schemes of paper §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageScheme {
+    /// §4.1 — a V-page per (node, cell), node-major.
+    Horizontal,
+    /// §4.2 — per-cell pointer segments + clustered V-pages.
+    Vertical,
+    /// §4.3 — sparse per-cell segments holding visible nodes only.
+    IndexedVertical,
+}
+
+impl StorageScheme {
+    /// All schemes, in paper order.
+    pub fn all() -> [StorageScheme; 3] {
+        [
+            StorageScheme::Horizontal,
+            StorageScheme::Vertical,
+            StorageScheme::IndexedVertical,
+        ]
+    }
+
+    /// Builds a store of this scheme over the given per-cell visibility data.
+    ///
+    /// * `entry_counts[n]` — number of entries of node `n` (for hidden-node
+    ///   placeholders in the horizontal scheme),
+    /// * `cells[c]` — the visible nodes of cell `c` as `(ordinal, VPage)`,
+    ///   sorted by ordinal (DFS preorder),
+    /// * `model` — disk cost model for the store's files.
+    pub fn build(
+        self,
+        entry_counts: &[u16],
+        cells: &[Vec<(u32, VPage)>],
+        model: DiskModel,
+    ) -> Result<Box<dyn VisibilityStore>> {
+        Ok(match self {
+            StorageScheme::Horizontal => {
+                Box::new(HorizontalStore::build(entry_counts, cells, model)?)
+            }
+            StorageScheme::Vertical => Box::new(VerticalStore::build(entry_counts, cells, model)?),
+            StorageScheme::IndexedVertical => {
+                Box::new(IndexedVerticalStore::build(entry_counts, cells, model)?)
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for StorageScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageScheme::Horizontal => write!(f, "horizontal"),
+            StorageScheme::Vertical => write!(f, "vertical"),
+            StorageScheme::IndexedVertical => write!(f, "indexed-vertical"),
+        }
+    }
+}
+
+/// Access to one scheme's view-variant data at query time.
+pub trait VisibilityStore: Send {
+    /// The scheme this store implements.
+    fn scheme(&self) -> StorageScheme;
+
+    /// Number of cells the store was built for.
+    fn cell_count(&self) -> u32;
+
+    /// Prepares for queries in `cell` — the paper's "segment flip". Charged
+    /// against the store's disks. A no-op when already in `cell`.
+    fn enter_cell(&mut self, cell: CellId) -> Result<()>;
+
+    /// The cell last entered.
+    fn current_cell(&self) -> Option<CellId>;
+
+    /// Fetches the V-page of node `ordinal` in the current cell.
+    ///
+    /// Returns `Ok(None)` when the node is invisible **and** the scheme can
+    /// prove it without touching disk (vertical / indexed-vertical). The
+    /// horizontal scheme always performs one V-page access and returns an
+    /// all-hidden V-page for invisible nodes.
+    ///
+    /// # Panics
+    /// Panics if no cell was entered.
+    fn fetch(&mut self, ordinal: u32) -> Result<Option<VPage>>;
+
+    /// Accumulated I/O since construction / [`reset_stats`](Self::reset_stats).
+    fn stats(&self) -> IoStats;
+
+    /// Clears the I/O counters.
+    fn reset_stats(&mut self);
+
+    /// Exact storage footprint in bytes, per the paper's §4 formulas
+    /// (excluding the tree structure, as in Table 2).
+    fn storage_bytes(&self) -> u64;
+}
+
+/// V-page records packed into disk pages (several per page, never
+/// straddling), addressed by record index.
+///
+/// The record size is `4 + 8 · M` bytes where `M` is the tree's fan-out —
+/// a V-page holds exactly one node's V-entries (paper §4.1), so a smaller
+/// fan-out means more V-pages per disk page and proportionally smaller
+/// storage formulas.
+pub(crate) struct VPageFile {
+    disk: SimulatedDisk<MemPagedFile>,
+    records: u64,
+    record_bytes: usize,
+    records_per_page: u64,
+}
+
+/// V-page record size for nodes holding at most `max_entries` entries.
+pub(crate) fn vpage_record_bytes(max_entries: usize) -> usize {
+    4 + 8 * max_entries.max(1)
+}
+
+impl VPageFile {
+    pub fn new(model: DiskModel, max_entries: usize) -> Self {
+        let record_bytes = vpage_record_bytes(max_entries).min(PAGE_SIZE);
+        VPageFile {
+            disk: SimulatedDisk::new(MemPagedFile::new(), model),
+            records: 0,
+            record_bytes,
+            records_per_page: (PAGE_SIZE / record_bytes) as u64,
+        }
+    }
+
+    /// The fixed per-record size (the paper's `size_vpage`).
+    pub fn record_bytes(&self) -> usize {
+        self.record_bytes
+    }
+
+    /// Appends a V-page, returning its record index.
+    ///
+    /// # Panics
+    /// Panics if `vpage` holds more entries than the configured record size
+    /// admits (a build invariant).
+    pub fn append(&mut self, vpage: &VPage) -> Result<u64> {
+        let bytes = vpage.encode_sized(self.record_bytes);
+        let idx = self.records;
+        let page_id = idx / self.records_per_page;
+        let slot = (idx % self.records_per_page) as usize;
+        let mut page = Page::zeroed();
+        if page_id < self.disk.page_count() {
+            self.disk.read_page(PageId(page_id), &mut page)?;
+        } else {
+            self.disk.allocate_page()?;
+        }
+        page.bytes_mut()[slot * self.record_bytes..(slot + 1) * self.record_bytes]
+            .copy_from_slice(&bytes);
+        self.disk.write_page(PageId(page_id), &page)?;
+        self.records += 1;
+        Ok(idx)
+    }
+
+    /// Reads record `idx` (one page I/O).
+    pub fn read(&mut self, idx: u64) -> Result<VPage> {
+        let page_id = idx / self.records_per_page;
+        let slot = (idx % self.records_per_page) as usize;
+        let mut page = Page::zeroed();
+        self.disk.read_page(PageId(page_id), &mut page)?;
+        VPage::decode(&page.bytes()[slot * self.record_bytes..(slot + 1) * self.record_bytes])
+    }
+
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::vpage::VEntry;
+
+    /// A small synthetic dataset: `n_nodes` nodes, 3 cells with differing
+    /// visible sets.
+    pub fn sample_cells(n_nodes: u32) -> (Vec<u16>, Vec<Vec<(u32, VPage)>>) {
+        let entry_counts: Vec<u16> = (0..n_nodes).map(|n| 2 + (n % 3) as u16).collect();
+        let mk = |ordinal: u32, base: f32| {
+            let count = 2 + (ordinal % 3) as usize;
+            VPage::new(
+                (0..count)
+                    .map(|i| VEntry {
+                        dov: base + i as f32 * 0.01,
+                        nvo: i as u32 + 1,
+                    })
+                    .collect(),
+            )
+        };
+        let cells = vec![
+            // Cell 0: even nodes visible.
+            (0..n_nodes)
+                .filter(|n| n % 2 == 0)
+                .map(|n| (n, mk(n, 0.1)))
+                .collect(),
+            // Cell 1: first three nodes.
+            (0..n_nodes.min(3)).map(|n| (n, mk(n, 0.2))).collect(),
+            // Cell 2: nothing visible.
+            Vec::new(),
+        ];
+        (entry_counts, cells)
+    }
+
+    /// Scheme-agnostic conformance suite.
+    pub fn conformance(store: &mut dyn VisibilityStore, cells: &[Vec<(u32, VPage)>], n_nodes: u32) {
+        assert_eq!(store.cell_count(), cells.len() as u32);
+        for (cid, cell) in cells.iter().enumerate() {
+            store.enter_cell(cid as CellId).unwrap();
+            assert_eq!(store.current_cell(), Some(cid as CellId));
+            let visible: std::collections::HashMap<u32, &VPage> =
+                cell.iter().map(|(o, v)| (*o, v)).collect();
+            for n in 0..n_nodes {
+                let got = store.fetch(n).unwrap();
+                match visible.get(&n) {
+                    Some(want) => {
+                        let got = got.expect("visible node must have a V-page");
+                        assert_eq!(&got, *want, "cell {cid} node {n}");
+                    }
+                    None => match got {
+                        None => {}
+                        Some(vp) => assert!(
+                            !vp.any_visible(),
+                            "hidden node {n} returned visible data in cell {cid}"
+                        ),
+                    },
+                }
+            }
+        }
+        // Re-entering the same cell is a no-op (no extra flip I/O).
+        store.enter_cell(0).unwrap();
+        store.reset_stats();
+        store.enter_cell(0).unwrap();
+        assert_eq!(store.stats().page_reads, 0, "re-entering cell must be free");
+    }
+}

@@ -1,0 +1,170 @@
+//! V-pages: the view-variant `(DoV, NVO)` data of one node in one cell.
+//!
+//! "The V-page contains V-entries, one for each entry in a tree node, i.e.,
+//! each MBR has a corresponding V-entry" (paper §4.1). V-pages are fixed
+//! size, sized to the node capacity; several V-pages pack into one disk
+//! page, and a V-page never straddles a disk-page boundary, so fetching a
+//! V-page costs exactly one page I/O.
+
+use hdov_storage::codec::{ByteReader, ByteWriter};
+use hdov_storage::{Result, StorageError, PAGE_SIZE};
+
+/// Maximum entries per HDoV node (must match [`crate::node::MAX_ENTRIES`]).
+pub(crate) const VPAGE_CAPACITY: usize = crate::node::MAX_ENTRIES;
+
+/// Fixed V-page size in bytes: 4-byte count header + capacity × 8-byte
+/// V-entries.
+pub const VPAGE_SIZE: usize = 4 + VPAGE_CAPACITY * 8;
+
+/// V-pages per disk page.
+pub const VPAGES_PER_DISK_PAGE: usize = PAGE_SIZE / VPAGE_SIZE;
+
+/// The view-variant data of one node entry: `VD = (DoV, NVO)` (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VEntry {
+    /// Degree of visibility of the entry's subtree (or object) in `[0, 1]`.
+    pub dov: f32,
+    /// Number of visible objects below the entry (1 for a visible object).
+    pub nvo: u32,
+}
+
+impl VEntry {
+    /// An invisible entry.
+    pub const HIDDEN: VEntry = VEntry { dov: 0.0, nvo: 0 };
+
+    /// True if anything under this entry is visible.
+    #[inline]
+    pub fn visible(&self) -> bool {
+        self.dov > 0.0
+    }
+}
+
+/// One node's V-entries for one cell.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VPage {
+    /// V-entries, aligned with the node's entry order.
+    pub entries: Vec<VEntry>,
+}
+
+impl VPage {
+    /// Creates a V-page from entries.
+    ///
+    /// # Panics
+    /// Panics when more entries than the node capacity are supplied.
+    pub fn new(entries: Vec<VEntry>) -> Self {
+        assert!(entries.len() <= VPAGE_CAPACITY, "V-page overflow");
+        VPage { entries }
+    }
+
+    /// Total DoV across entries (the node's own DoV, by paper property 2).
+    pub fn node_dov(&self) -> f64 {
+        self.entries.iter().map(|e| e.dov as f64).sum()
+    }
+
+    /// Total NVO across entries.
+    pub fn node_nvo(&self) -> u64 {
+        self.entries.iter().map(|e| e.nvo as u64).sum()
+    }
+
+    /// True if any entry is visible.
+    pub fn any_visible(&self) -> bool {
+        self.entries.iter().any(VEntry::visible)
+    }
+
+    /// Serializes into exactly [`VPAGE_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_sized(VPAGE_SIZE)
+    }
+
+    /// Serializes into exactly `record_bytes` bytes (`4 + 8·M` for fan-out
+    /// `M` V-pages).
+    ///
+    /// # Panics
+    /// Panics when the entries do not fit the record.
+    pub fn encode_sized(&self, record_bytes: usize) -> Vec<u8> {
+        assert!(
+            4 + 8 * self.entries.len() <= record_bytes,
+            "{} entries exceed a {record_bytes}-byte V-page record",
+            self.entries.len()
+        );
+        let mut w = ByteWriter::with_capacity(record_bytes);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_f32(e.dov);
+            w.put_u32(e.nvo);
+        }
+        let mut bytes = w.into_bytes();
+        bytes.resize(record_bytes, 0);
+        bytes
+    }
+
+    /// Decodes a V-page from a [`VPAGE_SIZE`]-byte record.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let count = r.get_u32()? as usize;
+        if count > VPAGE_CAPACITY {
+            return Err(StorageError::Corrupt(format!(
+                "V-page count {count} exceeds capacity {VPAGE_CAPACITY}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(VEntry {
+                dov: r.get_f32()?,
+                nvo: r.get_u32()?,
+            });
+        }
+        Ok(VPage { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn packing_constants() {
+        assert!(VPAGES_PER_DISK_PAGE >= 1);
+        assert!(VPAGE_SIZE * VPAGES_PER_DISK_PAGE <= PAGE_SIZE);
+    }
+
+    #[test]
+    fn round_trip() {
+        let vp = VPage::new(vec![
+            VEntry { dov: 0.25, nvo: 3 },
+            VEntry::HIDDEN,
+            VEntry { dov: 0.001, nvo: 1 },
+        ]);
+        let bytes = vp.encode();
+        assert_eq!(bytes.len(), VPAGE_SIZE);
+        assert_eq!(VPage::decode(&bytes).unwrap(), vp);
+    }
+
+    #[test]
+    fn aggregates() {
+        let vp = VPage::new(vec![
+            VEntry { dov: 0.25, nvo: 3 },
+            VEntry { dov: 0.5, nvo: 4 },
+        ]);
+        assert!((vp.node_dov() - 0.75).abs() < 1e-9);
+        assert_eq!(vp.node_nvo(), 7);
+        assert!(vp.any_visible());
+        assert!(!VPage::new(vec![VEntry::HIDDEN]).any_visible());
+        assert!(!VEntry::HIDDEN.visible());
+    }
+
+    #[test]
+    fn decode_rejects_bad_count() {
+        let mut bytes = VPage::new(vec![]).encode();
+        bytes[0] = 0xFF;
+        bytes[1] = 0xFF;
+        assert!(VPage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let _ = VPage::new(vec![VEntry::HIDDEN; VPAGE_CAPACITY + 1]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Faithfulness tests for the paper's equations: the Eq. 4 log-form must
+//! agree with its Eq. 3 derivation, and the LoD interpolation (Eqs. 5/6)
+//! must behave as specified.
+
+use hdov_geom::solid_angle::MAX_DOV;
+
+/// Eq. 3: terminate when `m · f · s^h < f · n` (estimated internal-LoD
+/// polygons below the visible descendants' polygons).
+fn eq3(m: f64, s: f64, h: f64, n: f64) -> bool {
+    m * s.powf(h) < n
+}
+
+/// Eq. 4: `h (1 + log_M s) < log_M n`, derived by substituting `m = M^h`.
+fn eq4(big_m: f64, s: f64, h: f64, n: f64) -> bool {
+    let log_m = |x: f64| x.ln() / big_m.ln();
+    h * (1.0 + log_m(s)) < log_m(n)
+}
+
+#[test]
+fn eq4_equals_eq3_when_m_is_full_power() {
+    // The paper's derivation assumes exactly m = M^h leaf descendants.
+    for big_m in [4.0f64, 8.0, 16.0, 64.0] {
+        for h in [0.0f64, 1.0, 2.0, 3.0] {
+            let m = big_m.powf(h);
+            for s in [0.05f64, 0.25, 0.5, 0.9, 1.5] {
+                for n in [1.0f64, 2.0, 5.0, 20.0, 100.0, 5000.0] {
+                    let a = eq3(m, s, h, n);
+                    let b = eq4(big_m, s, h, n);
+                    // Boundary cases (equality) may flip either way in
+                    // floating point; skip near-ties.
+                    let lhs = m * s.powf(h);
+                    if (lhs - n).abs() / n < 1e-9 {
+                        continue;
+                    }
+                    assert_eq!(a, b, "eq3 != eq4 at M={big_m} h={h} s={s} n={n} (m={m})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eq4_is_monotone_in_the_right_directions() {
+    // More visible objects (n up) should make termination easier; a worse
+    // compression ratio (s up) should make it harder.
+    let big_m = 8.0;
+    let h = 2.0;
+    assert!(!eq4(big_m, 0.5, h, 2.0));
+    assert!(eq4(big_m, 0.25, h, 5000.0));
+    // Monotone in n.
+    let flips: Vec<bool> = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0]
+        .iter()
+        .map(|&n| eq4(big_m, 0.25, h, n))
+        .collect();
+    let first_true = flips.iter().position(|&b| b);
+    if let Some(i) = first_true {
+        assert!(
+            flips[i..].iter().all(|&b| b),
+            "eq4 not monotone in n: {flips:?}"
+        );
+    }
+    // Monotone (anti) in s.
+    let flips: Vec<bool> = [0.01, 0.05, 0.25, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|&s| eq4(big_m, s, h, 64.0))
+        .collect();
+    let first_false = flips.iter().position(|&b| !b);
+    if let Some(i) = first_false {
+        assert!(
+            flips[i..].iter().all(|&b| !b),
+            "eq4 not anti-monotone in s: {flips:?}"
+        );
+    }
+}
+
+#[test]
+fn eq6_blend_factor_saturates_at_maxdov() {
+    // k = min(DoV / MAXDOV, 1) with MAXDOV = 0.5: any DoV ≥ 0.5 gets full
+    // detail ("the spherical projection of an object will not exceed 0.5 if
+    // the viewpoint is outside the bounding box").
+    assert_eq!(MAX_DOV, 0.5);
+    let k = |dov: f64| (dov / MAX_DOV).min(1.0);
+    assert_eq!(k(0.5), 1.0);
+    assert_eq!(k(0.9), 1.0);
+    assert!((k(0.25) - 0.5).abs() < 1e-12);
+    assert_eq!(k(0.0), 0.0);
+}
+
+#[test]
+fn environment_types_are_send() {
+    // Environments can be moved across threads (e.g. one per worker in a
+    // multi-client server); queries remain &mut-exclusive by design.
+    fn assert_send<T: Send>() {}
+    assert_send::<hdov_core::HdovEnvironment>();
+    assert_send::<hdov_core::HdovTree>();
+    assert_send::<hdov_core::DeltaSearch>();
+    assert_send::<hdov_core::QueryResult>();
+}

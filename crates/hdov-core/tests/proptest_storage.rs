@@ -1,0 +1,123 @@
+//! Property-based differential tests: the three storage schemes are
+//! observationally equivalent on arbitrary sparse visibility data, and
+//! their storage formulas stay ordered in the sparse regime.
+
+use hdov_core::{StorageScheme, VEntry, VPage};
+use hdov_storage::DiskModel;
+use proptest::prelude::*;
+
+/// Arbitrary per-cell sparse visibility data over `n_nodes` nodes.
+fn cells_strategy(n_nodes: u32, max_cells: usize) -> impl Strategy<Value = Vec<Vec<(u32, VPage)>>> {
+    let cell = prop::collection::btree_map(
+        0..n_nodes,
+        (0.0f32..1.0, 0u32..50),
+        0..(n_nodes as usize).min(40),
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(ordinal, (dov, nvo))| {
+                let entries = vec![
+                    VEntry {
+                        dov: dov.max(1e-6),
+                        nvo: nvo + 1,
+                    };
+                    ((ordinal % 7) + 2) as usize
+                ];
+                (ordinal, VPage::new(entries))
+            })
+            .collect::<Vec<_>>()
+    });
+    prop::collection::vec(cell, 1..max_cells)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schemes_agree_on_every_fetch(cells in cells_strategy(60, 8)) {
+        let entry_counts: Vec<u16> = (0..60u32).map(|n| ((n % 7) + 2) as u16).collect();
+        let mut stores: Vec<_> = StorageScheme::all()
+            .into_iter()
+            .map(|s| s.build(&entry_counts, &cells, DiskModel::FREE).unwrap())
+            .collect();
+        for (cid, cell) in cells.iter().enumerate() {
+            for store in stores.iter_mut() {
+                store.enter_cell(cid as u32).unwrap();
+            }
+            let expected: std::collections::HashMap<u32, &VPage> =
+                cell.iter().map(|(o, v)| (*o, v)).collect();
+            for n in 0..60u32 {
+                let answers: Vec<Option<VPage>> = stores
+                    .iter_mut()
+                    .map(|s| s.fetch(n).unwrap())
+                    .collect();
+                match expected.get(&n) {
+                    Some(want) => {
+                        for (a, s) in answers.iter().zip(StorageScheme::all()) {
+                            prop_assert_eq!(
+                                a.as_ref(),
+                                Some(*want),
+                                "{} wrong for visible node {} in cell {}",
+                                s, n, cid
+                            );
+                        }
+                    }
+                    None => {
+                        for (a, s) in answers.iter().zip(StorageScheme::all()) {
+                            match a {
+                                None => {}
+                                Some(vp) => prop_assert!(
+                                    !vp.any_visible(),
+                                    "{} leaked visibility for hidden node {} in cell {}",
+                                    s, n, cid
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn revisiting_cells_is_stable(cells in cells_strategy(40, 6), order in prop::collection::vec(0usize..6, 1..20)) {
+        let entry_counts: Vec<u16> = (0..40u32).map(|n| ((n % 7) + 2) as u16).collect();
+        let mut store = StorageScheme::IndexedVertical
+            .build(&entry_counts, &cells, DiskModel::FREE)
+            .unwrap();
+        for &raw in &order {
+            let cid = raw % cells.len();
+            store.enter_cell(cid as u32).unwrap();
+            let expected: std::collections::HashMap<u32, &VPage> =
+                cells[cid].iter().map(|(o, v)| (*o, v)).collect();
+            for n in 0..40u32 {
+                let got = store.fetch(n).unwrap();
+                prop_assert_eq!(got.as_ref(), expected.get(&n).copied(), "cell {} node {}", cid, n);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_formulas_consistent(cells in cells_strategy(80, 6)) {
+        let entry_counts: Vec<u16> = (0..80u32).map(|n| ((n % 7) + 2) as u16).collect();
+        let vnode_total: u64 = cells.iter().map(|c| c.len() as u64).sum();
+        let max_entries = *entry_counts.iter().max().unwrap() as u64;
+        let vpage = 4 + 8 * max_entries;
+        let c = cells.len() as u64;
+
+        let h = StorageScheme::Horizontal
+            .build(&entry_counts, &cells, DiskModel::FREE)
+            .unwrap();
+        prop_assert_eq!(h.storage_bytes(), vpage * c * 80);
+
+        let v = StorageScheme::Vertical
+            .build(&entry_counts, &cells, DiskModel::FREE)
+            .unwrap();
+        prop_assert_eq!(v.storage_bytes(), 8 * 80 * c + vpage * vnode_total);
+
+        let iv = StorageScheme::IndexedVertical
+            .build(&entry_counts, &cells, DiskModel::FREE)
+            .unwrap();
+        prop_assert_eq!(iv.storage_bytes(), (12 + vpage) * vnode_total);
+    }
+}

@@ -1,0 +1,224 @@
+//! View frusta for walkthrough cameras.
+//!
+//! REVIEW converts the frustum into axis-aligned query boxes; VISUAL uses the
+//! frustum only to prioritize loading. Both need containment tests and the
+//! bounding box of a truncated pyramid.
+
+use crate::{Aabb, Plane, Vec3};
+
+/// A perspective view frustum: apex at `eye`, looking along `dir`, truncated
+/// at `near` and `far` distances.
+#[derive(Debug, Clone)]
+pub struct Frustum {
+    /// Camera position (apex).
+    pub eye: Vec3,
+    /// Unit viewing direction.
+    pub dir: Vec3,
+    /// Unit up vector (orthogonal to `dir`).
+    pub up: Vec3,
+    /// Vertical field of view in radians.
+    pub fov_y: f64,
+    /// Width / height ratio.
+    pub aspect: f64,
+    /// Near clip distance (> 0).
+    pub near: f64,
+    /// Far clip distance (> near).
+    pub far: f64,
+    planes: [Plane; 6],
+}
+
+impl Frustum {
+    /// Builds a frustum. `dir` and `up` need not be unit or exactly
+    /// orthogonal; they are orthonormalized.
+    ///
+    /// # Panics
+    /// Panics if `dir` is zero, parallel to `up`, or if
+    /// `!(0 < near < far)` / `fov_y` out of `(0, π)`.
+    pub fn new(
+        eye: Vec3,
+        dir: Vec3,
+        up: Vec3,
+        fov_y: f64,
+        aspect: f64,
+        near: f64,
+        far: f64,
+    ) -> Self {
+        assert!(near > 0.0 && far > near, "need 0 < near < far");
+        assert!(
+            fov_y > 0.0 && fov_y < std::f64::consts::PI,
+            "fov_y out of range"
+        );
+        assert!(aspect > 0.0, "aspect must be positive");
+        let d = dir.try_normalize().expect("zero view direction");
+        let right = d.cross(up).try_normalize().expect("up parallel to dir");
+        let u = right.cross(d);
+
+        let mut f = Frustum {
+            eye,
+            dir: d,
+            up: u,
+            fov_y,
+            aspect,
+            near,
+            far,
+            // placeholder, replaced below
+            planes: [Plane {
+                normal: Vec3::Z,
+                d: 0.0,
+            }; 6],
+        };
+        // Build each plane from three of its points and orient the normal
+        // toward an interior reference point; this is robust to any
+        // handedness conventions.
+        let c = f.corners(); // near: 0..4, far: 4..8 in (-x,-y),(+x,-y),(-x,+y),(+x,+y) order
+        let interior = eye + d * (near + far) * 0.5;
+        let mk = |a: Vec3, b: Vec3, cc: Vec3| {
+            let mut pl = Plane::from_points(a, b, cc).expect("degenerate frustum face");
+            if pl.signed_distance(interior) < 0.0 {
+                pl = Plane {
+                    normal: -pl.normal,
+                    d: -pl.d,
+                };
+            }
+            pl
+        };
+        f.planes = [
+            mk(c[0], c[1], c[2]), // near
+            mk(c[4], c[5], c[6]), // far
+            mk(eye, c[0], c[2]),  // left (-x side)
+            mk(eye, c[1], c[3]),  // right (+x side)
+            mk(eye, c[0], c[1]),  // bottom (-y side)
+            mk(eye, c[2], c[3]),  // top (+y side)
+        ];
+        f
+    }
+
+    /// The six bounding planes (normals pointing inward):
+    /// near, far, left, right, bottom, top.
+    #[inline]
+    pub fn planes(&self) -> &[Plane; 6] {
+        &self.planes
+    }
+
+    /// True if point `p` is inside the frustum (or on its boundary).
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.planes
+            .iter()
+            .all(|pl| pl.signed_distance(p) >= -crate::EPSILON)
+    }
+
+    /// Conservative frustum/box test: false only when the box is entirely
+    /// outside some plane. May return true for boxes outside the frustum but
+    /// not separated by any single plane (standard conservative behaviour).
+    pub fn intersects_aabb(&self, aabb: &Aabb) -> bool {
+        !aabb.is_empty()
+            && self
+                .planes
+                .iter()
+                .all(|pl| pl.intersects_positive_halfspace(aabb))
+    }
+
+    /// The eight corners: 4 on the near plane then 4 on the far plane, each
+    /// in (−x,−y), (+x,−y), (−x,+y), (+x,+y) order.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let right = self.dir.cross(self.up);
+        let tan_y = (self.fov_y * 0.5).tan();
+        let tan_x = tan_y * self.aspect;
+        let mut out = [Vec3::ZERO; 8];
+        for (i, dist) in [self.near, self.far].iter().enumerate() {
+            let c = self.eye + self.dir * *dist;
+            let half_x = right * (tan_x * dist);
+            let half_y = self.up * (tan_y * dist);
+            out[i * 4] = c - half_x - half_y;
+            out[i * 4 + 1] = c + half_x - half_y;
+            out[i * 4 + 2] = c - half_x + half_y;
+            out[i * 4 + 3] = c + half_x + half_y;
+        }
+        out
+    }
+
+    /// Axis-aligned bounding box of the truncated frustum.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(self.corners())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn forward_frustum() -> Frustum {
+        Frustum::new(Vec3::ZERO, Vec3::X, Vec3::Z, FRAC_PI_2, 1.0, 1.0, 100.0)
+    }
+
+    #[test]
+    fn contains_points_on_axis() {
+        let f = forward_frustum();
+        assert!(f.contains_point(Vec3::new(50.0, 0.0, 0.0)));
+        assert!(!f.contains_point(Vec3::new(0.5, 0.0, 0.0))); // before near
+        assert!(!f.contains_point(Vec3::new(150.0, 0.0, 0.0))); // beyond far
+        assert!(!f.contains_point(Vec3::new(-10.0, 0.0, 0.0))); // behind
+        assert!(!f.contains_point(Vec3::new(10.0, 100.0, 0.0))); // far off side
+    }
+
+    #[test]
+    fn fov_boundary() {
+        // 90° vertical fov, aspect 1: at distance d the half-extent is d.
+        let f = forward_frustum();
+        assert!(f.contains_point(Vec3::new(10.0, 0.0, 9.9)));
+        assert!(!f.contains_point(Vec3::new(10.0, 0.0, 10.5)));
+        assert!(f.contains_point(Vec3::new(10.0, 9.9, 0.0)));
+        assert!(!f.contains_point(Vec3::new(10.0, 10.5, 0.0)));
+    }
+
+    #[test]
+    fn box_tests() {
+        let f = forward_frustum();
+        let inside = Aabb::from_center_half_extent(Vec3::new(50.0, 0.0, 0.0), Vec3::splat(1.0));
+        let behind = Aabb::from_center_half_extent(Vec3::new(-50.0, 0.0, 0.0), Vec3::splat(1.0));
+        let straddles_far =
+            Aabb::from_center_half_extent(Vec3::new(100.0, 0.0, 0.0), Vec3::splat(5.0));
+        assert!(f.intersects_aabb(&inside));
+        assert!(!f.intersects_aabb(&behind));
+        assert!(f.intersects_aabb(&straddles_far));
+        assert!(!f.intersects_aabb(&Aabb::EMPTY));
+    }
+
+    #[test]
+    fn corners_and_bbox() {
+        let f = forward_frustum();
+        let bb = f.bounding_box();
+        // Far plane corners at x=100, |y|,|z| = 100.
+        assert!((bb.max.x - 100.0).abs() < 1e-9);
+        assert!((bb.max.y - 100.0).abs() < 1e-9);
+        assert!((bb.min.y + 100.0).abs() < 1e-9);
+        assert!((bb.min.x - 1.0).abs() < 1e-9);
+        for c in f.corners() {
+            assert!(f.contains_point(c.lerp(Vec3::new(50.0, 0.0, 0.0), 1e-6)));
+        }
+    }
+
+    #[test]
+    fn orthonormalizes_inputs() {
+        // up not orthogonal to dir.
+        let f = Frustum::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.2),
+            Vec3::Z,
+            1.0,
+            1.3,
+            0.5,
+            10.0,
+        );
+        assert!((f.dir.length() - 1.0).abs() < 1e-12);
+        assert!((f.up.length() - 1.0).abs() < 1e-12);
+        assert!(f.dir.dot(f.up).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_near_far_panics() {
+        let _ = Frustum::new(Vec3::ZERO, Vec3::X, Vec3::Z, 1.0, 1.0, 5.0, 1.0);
+    }
+}

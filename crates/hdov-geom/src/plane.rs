@@ -1,0 +1,100 @@
+//! Oriented planes, used to bound view frusta.
+
+use crate::{Aabb, Vec3};
+
+/// An oriented plane `normal . p = d`.
+///
+/// Points with `signed_distance > 0` are on the side the normal points to —
+/// the *inside* when the plane bounds a frustum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Unit normal.
+    pub normal: Vec3,
+    /// Offset: `normal . p = d` for points on the plane.
+    pub d: f64,
+}
+
+impl Plane {
+    /// Creates a plane from a (not necessarily unit) normal and a point on
+    /// the plane. Returns `None` for a zero normal.
+    pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Self> {
+        let n = normal.try_normalize()?;
+        Some(Plane {
+            normal: n,
+            d: n.dot(point),
+        })
+    }
+
+    /// Creates a plane through three points with normal `(b-a) x (c-a)`.
+    /// Returns `None` for collinear points.
+    pub fn from_points(a: Vec3, b: Vec3, c: Vec3) -> Option<Self> {
+        Plane::from_point_normal(a, (b - a).cross(c - a))
+    }
+
+    /// Signed distance from `p`: positive on the normal side.
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        self.normal.dot(p) - self.d
+    }
+
+    /// True if the box lies at least partially on the positive side.
+    ///
+    /// Uses the standard "positive vertex" test: only the box corner furthest
+    /// along the normal is examined.
+    #[inline]
+    pub fn intersects_positive_halfspace(&self, aabb: &Aabb) -> bool {
+        if aabb.is_empty() {
+            return false;
+        }
+        let p = Vec3::new(
+            if self.normal.x >= 0.0 {
+                aabb.max.x
+            } else {
+                aabb.min.x
+            },
+            if self.normal.y >= 0.0 {
+                aabb.max.y
+            } else {
+                aabb.min.y
+            },
+            if self.normal.z >= 0.0 {
+                aabb.max.z
+            } else {
+                aabb.min.z
+            },
+        );
+        self.signed_distance(p) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_point_normal() {
+        let p = Plane::from_point_normal(Vec3::new(0.0, 0.0, 5.0), Vec3::Z * 3.0).unwrap();
+        assert!((p.normal - Vec3::Z).length() < 1e-12);
+        assert!((p.signed_distance(Vec3::new(1.0, 2.0, 7.0)) - 2.0).abs() < 1e-12);
+        assert!(Plane::from_point_normal(Vec3::ZERO, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn from_points_orientation() {
+        let p = Plane::from_points(Vec3::ZERO, Vec3::X, Vec3::Y).unwrap();
+        assert!((p.normal - Vec3::Z).length() < 1e-12);
+        assert!(Plane::from_points(Vec3::ZERO, Vec3::X, Vec3::X * 2.0).is_none());
+    }
+
+    #[test]
+    fn halfspace_test() {
+        let p = Plane::from_point_normal(Vec3::ZERO, Vec3::Z).unwrap();
+        let above = Aabb::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 1.0, 2.0));
+        let below = Aabb::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(1.0, 1.0, -1.0));
+        let straddle = Aabb::new(Vec3::new(0.0, 0.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        assert!(p.intersects_positive_halfspace(&above));
+        assert!(!p.intersects_positive_halfspace(&below));
+        assert!(p.intersects_positive_halfspace(&straddle));
+        assert!(!p.intersects_positive_halfspace(&Aabb::EMPTY));
+    }
+}

@@ -1,0 +1,58 @@
+//! Rays, used by the Monte-Carlo degree-of-visibility sampler.
+
+use crate::Vec3;
+
+/// A half-line `origin + t * dir`, `t >= 0`.
+///
+/// `dir` is not required to be unit length, but the DoV sampler always
+/// normalizes directions so that hit parameters compare as distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Start point.
+    pub origin: Vec3,
+    /// Direction (conventionally unit length).
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray.
+    #[inline]
+    pub const fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir }
+    }
+
+    /// Creates a ray pointing from `origin` towards `target`.
+    ///
+    /// Returns `None` when the points coincide.
+    #[inline]
+    pub fn towards(origin: Vec3, target: Vec3) -> Option<Self> {
+        (target - origin)
+            .try_normalize()
+            .map(|dir| Ray { origin, dir })
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_parameter() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert_eq!(r.at(0.0), Vec3::ZERO);
+        assert_eq!(r.at(2.5), Vec3::new(2.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn towards_normalizes() {
+        let r = Ray::towards(Vec3::ZERO, Vec3::new(0.0, 3.0, 4.0)).unwrap();
+        assert!((r.dir.length() - 1.0).abs() < 1e-12);
+        assert!(Ray::towards(Vec3::X, Vec3::X).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Solid-angle utilities.
+//!
+//! The paper defines the degree of visibility (DoV) of a point set `X` seen
+//! from `p` as the spherical-projection area of the *visible* part of `X`
+//! divided by the full sphere area `4π` (Section 3.1). These helpers provide
+//! analytic solid angles used for normalization and for fast conservative
+//! bounds, while the Monte-Carlo estimator lives in `hdov-visibility`.
+
+use crate::{Aabb, Vec3};
+
+/// Total solid angle of the unit sphere, `4π` steradians.
+pub const FULL_SPHERE: f64 = 4.0 * std::f64::consts::PI;
+
+/// The paper's `MAXDOV = 0.5`: the spherical projection of an object cannot
+/// exceed half the sphere when the viewpoint lies outside its bounding box
+/// (Section 3.3, Eq. 6).
+pub const MAX_DOV: f64 = 0.5;
+
+/// Solid angle (in steradians) subtended by a sphere of radius `r` whose
+/// centre is at distance `d` from the viewpoint.
+///
+/// Returns [`FULL_SPHERE`] when the viewpoint is inside the sphere
+/// (`d <= r`).
+pub fn sphere_solid_angle(r: f64, d: f64) -> f64 {
+    debug_assert!(r >= 0.0 && d >= 0.0);
+    if d <= r {
+        return FULL_SPHERE;
+    }
+    // Ω = 2π (1 - cos θ), sin θ = r / d.
+    let cos_theta = (1.0 - (r / d).powi(2)).sqrt();
+    2.0 * std::f64::consts::PI * (1.0 - cos_theta)
+}
+
+/// Fraction of the sphere (i.e. an upper-bound DoV in `[0, 1]`) subtended by
+/// the bounding sphere of `aabb` as seen from `p`.
+///
+/// This is a conservative *upper bound* on the true unoccluded DoV of any
+/// geometry inside the box, and is used to bound per-node DoV values and to
+/// prioritize traversal.
+pub fn aabb_dov_upper_bound(aabb: &Aabb, p: Vec3) -> f64 {
+    if aabb.is_empty() {
+        return 0.0;
+    }
+    let r = aabb.bounding_radius();
+    let d = aabb.center().distance(p);
+    (sphere_solid_angle(r, d) / FULL_SPHERE).min(1.0)
+}
+
+/// Converts a solid angle in steradians to a DoV fraction in `[0, 1]`.
+#[inline]
+pub fn steradians_to_dov(omega: f64) -> f64 {
+    (omega / FULL_SPHERE).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inside_sphere_is_full() {
+        assert_eq!(sphere_solid_angle(2.0, 1.0), FULL_SPHERE);
+        assert_eq!(sphere_solid_angle(1.0, 1.0), FULL_SPHERE);
+    }
+
+    #[test]
+    fn far_sphere_matches_small_angle_approximation() {
+        // Ω ≈ π r² / d² for d >> r.
+        let (r, d) = (1.0, 1000.0);
+        let omega = sphere_solid_angle(r, d);
+        let approx = std::f64::consts::PI * (r / d).powi(2);
+        assert!((omega - approx).abs() / approx < 1e-4);
+    }
+
+    #[test]
+    fn monotonically_decreasing_with_distance() {
+        let mut prev = FULL_SPHERE;
+        for i in 1..50 {
+            let omega = sphere_solid_angle(1.0, 1.0 + i as f64 * 0.5);
+            assert!(omega < prev);
+            prev = omega;
+        }
+    }
+
+    #[test]
+    fn aabb_bound_behaviour() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        // Inside the box -> inside the bounding sphere -> bound = 1.
+        assert_eq!(aabb_dov_upper_bound(&b, Vec3::splat(0.5)), 1.0);
+        // Far away -> tiny.
+        let far = aabb_dov_upper_bound(&b, Vec3::splat(100.0));
+        assert!(far > 0.0 && far < 1e-3);
+        // Farther is smaller.
+        assert!(aabb_dov_upper_bound(&b, Vec3::splat(200.0)) < far);
+        assert_eq!(aabb_dov_upper_bound(&Aabb::EMPTY, Vec3::ZERO), 0.0);
+    }
+
+    #[test]
+    fn dov_conversion_clamps() {
+        assert_eq!(steradians_to_dov(FULL_SPHERE), 1.0);
+        assert_eq!(steradians_to_dov(2.0 * FULL_SPHERE), 1.0);
+        assert_eq!(steradians_to_dov(0.0), 0.0);
+        assert!((steradians_to_dov(FULL_SPHERE / 2.0) - 0.5).abs() < 1e-12);
+    }
+}

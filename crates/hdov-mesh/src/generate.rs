@@ -1,0 +1,346 @@
+//! Deterministic procedural model generators.
+//!
+//! These replace the paper's city/bunny model files: buildings are extruded
+//! boxes with window-grid tessellation (so high-detail LoDs genuinely carry
+//! thousands of polygons), towers are prismatic cylinders, and "bunnies" are
+//! noise-displaced icospheres.
+
+use crate::TriMesh;
+use hdov_geom::sampling::SplitMix64;
+use hdov_geom::Vec3;
+
+/// Axis-aligned box mesh between `min` and `max` (12 triangles).
+pub fn box_mesh(min: Vec3, max: Vec3) -> TriMesh {
+    let v = |x: f64, y: f64, z: f64| [x as f32, y as f32, z as f32];
+    let vertices = vec![
+        v(min.x, min.y, min.z),
+        v(max.x, min.y, min.z),
+        v(max.x, max.y, min.z),
+        v(min.x, max.y, min.z),
+        v(min.x, min.y, max.z),
+        v(max.x, min.y, max.z),
+        v(max.x, max.y, max.z),
+        v(min.x, max.y, max.z),
+    ];
+    let indices = vec![
+        [0, 2, 1],
+        [0, 3, 2], // bottom (z = min)
+        [4, 5, 6],
+        [4, 6, 7], // top
+        [0, 1, 5],
+        [0, 5, 4], // y = min
+        [2, 3, 7],
+        [2, 7, 6], // y = max
+        [1, 2, 6],
+        [1, 6, 5], // x = max
+        [3, 0, 4],
+        [3, 4, 7], // x = min
+    ];
+    TriMesh { vertices, indices }
+}
+
+/// A box tessellated into a `nx × ny × nz` grid per face.
+///
+/// Used for high-detail building LoDs: a `20 × 20` facade grid makes a
+/// building cost thousands of polygons at full detail, like the paper's
+/// models.
+pub fn tessellated_box(min: Vec3, max: Vec3, div: usize) -> TriMesh {
+    assert!(div >= 1);
+    let mut mesh = TriMesh::new();
+    let e = max - min;
+    // For each face: origin, u-axis, v-axis.
+    let faces = [
+        (min, Vec3::new(e.x, 0.0, 0.0), Vec3::new(0.0, e.y, 0.0)), // bottom
+        (
+            Vec3::new(min.x, min.y, max.z),
+            Vec3::new(0.0, e.y, 0.0),
+            Vec3::new(e.x, 0.0, 0.0),
+        ), // top
+        (min, Vec3::new(0.0, 0.0, e.z), Vec3::new(e.x, 0.0, 0.0)), // y=min
+        (
+            Vec3::new(min.x, max.y, min.z),
+            Vec3::new(e.x, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, e.z),
+        ), // y=max
+        (min, Vec3::new(0.0, e.y, 0.0), Vec3::new(0.0, 0.0, e.z)), // x=min
+        (
+            Vec3::new(max.x, min.y, min.z),
+            Vec3::new(0.0, 0.0, e.z),
+            Vec3::new(0.0, e.y, 0.0),
+        ), // x=max
+    ];
+    for (origin, u, v) in faces {
+        let base = mesh.vertices.len() as u32;
+        for i in 0..=div {
+            for j in 0..=div {
+                let p = origin + u * (i as f64 / div as f64) + v * (j as f64 / div as f64);
+                mesh.vertices.push([p.x as f32, p.y as f32, p.z as f32]);
+            }
+        }
+        let stride = (div + 1) as u32;
+        for i in 0..div as u32 {
+            for j in 0..div as u32 {
+                let a = base + i * stride + j;
+                let b = a + stride;
+                mesh.indices.push([a, b, a + 1]);
+                mesh.indices.push([a + 1, b, b + 1]);
+            }
+        }
+    }
+    // Weld the seams between faces so the box is watertight.
+    mesh.weld(1e-6 * (e.length() + 1.0));
+    mesh
+}
+
+/// A vertical prismatic tower (cylinder approximation) with `segments` sides,
+/// centred at `center_xy` on the ground plane `z = base_z`.
+pub fn tower(center: Vec3, radius: f64, height: f64, segments: usize) -> TriMesh {
+    assert!(segments >= 3);
+    let mut vertices = Vec::with_capacity(segments * 2 + 2);
+    for ring in 0..2 {
+        let z = center.z + ring as f64 * height;
+        for s in 0..segments {
+            let a = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
+            vertices.push([
+                (center.x + radius * a.cos()) as f32,
+                (center.y + radius * a.sin()) as f32,
+                z as f32,
+            ]);
+        }
+    }
+    let bottom_center = vertices.len() as u32;
+    vertices.push([center.x as f32, center.y as f32, center.z as f32]);
+    let top_center = vertices.len() as u32;
+    vertices.push([center.x as f32, center.y as f32, (center.z + height) as f32]);
+
+    let mut indices = Vec::with_capacity(segments * 4);
+    let n = segments as u32;
+    for s in 0..n {
+        let s1 = (s + 1) % n;
+        // Side quad.
+        indices.push([s, s1, n + s]);
+        indices.push([s1, n + s1, n + s]);
+        // Caps.
+        indices.push([bottom_center, s1, s]);
+        indices.push([top_center, n + s, n + s1]);
+    }
+    TriMesh { vertices, indices }
+}
+
+/// An icosphere with `subdivisions` levels (0 = icosahedron, 20 faces; each
+/// level multiplies the face count by 4).
+pub fn icosphere(radius: f64, subdivisions: u32) -> TriMesh {
+    // Icosahedron.
+    let t = (1.0 + 5.0_f64.sqrt()) / 2.0;
+    let raw = [
+        (-1.0, t, 0.0),
+        (1.0, t, 0.0),
+        (-1.0, -t, 0.0),
+        (1.0, -t, 0.0),
+        (0.0, -1.0, t),
+        (0.0, 1.0, t),
+        (0.0, -1.0, -t),
+        (0.0, 1.0, -t),
+        (t, 0.0, -1.0),
+        (t, 0.0, 1.0),
+        (-t, 0.0, -1.0),
+        (-t, 0.0, 1.0),
+    ];
+    let mut vertices: Vec<Vec3> = raw
+        .iter()
+        .map(|&(x, y, z)| Vec3::new(x, y, z).normalize_or_zero())
+        .collect();
+    let mut faces: Vec<[u32; 3]> = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+    use std::collections::HashMap;
+    for _ in 0..subdivisions {
+        let mut midpoint: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut next = Vec::with_capacity(faces.len() * 4);
+        for [a, b, c] in faces {
+            let mut mid = |i: u32, j: u32, vertices: &mut Vec<Vec3>| -> u32 {
+                let key = (i.min(j), i.max(j));
+                *midpoint.entry(key).or_insert_with(|| {
+                    let m =
+                        ((vertices[i as usize] + vertices[j as usize]) * 0.5).normalize_or_zero();
+                    vertices.push(m);
+                    vertices.len() as u32 - 1
+                })
+            };
+            let ab = mid(a, b, &mut vertices);
+            let bc = mid(b, c, &mut vertices);
+            let ca = mid(c, a, &mut vertices);
+            next.push([a, ab, ca]);
+            next.push([b, bc, ab]);
+            next.push([c, ca, bc]);
+            next.push([ab, bc, ca]);
+        }
+        faces = next;
+    }
+    TriMesh {
+        vertices: vertices
+            .into_iter()
+            .map(|v| {
+                let p = v * radius;
+                [p.x as f32, p.y as f32, p.z as f32]
+            })
+            .collect(),
+        indices: faces,
+    }
+}
+
+/// A "bunny": an icosphere displaced by deterministic multi-frequency noise,
+/// standing in for the Stanford bunny models of the paper's dataset.
+pub fn bunny(radius: f64, subdivisions: u32, seed: u64) -> TriMesh {
+    let mut mesh = icosphere(radius, subdivisions);
+    let hash_noise = |p: Vec3, freq: f64| -> f64 {
+        // Value noise from hashed lattice cells (deterministic).
+        let q = p * freq;
+        let cell = (q.x.floor() as i64, q.y.floor() as i64, q.z.floor() as i64);
+        let mut h = SplitMix64::new(
+            seed ^ (cell.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (cell.1 as u64).wrapping_mul(0xC2B2AE3D27D4EB4F)
+                ^ (cell.2 as u64).wrapping_mul(0x165667B19E3779F9),
+        );
+        h.next_f64() - 0.5
+    };
+    for v in &mut mesh.vertices {
+        let p = Vec3::from(*v);
+        let dir = p.normalize_or_zero();
+        let d = 0.25 * hash_noise(p, 2.0 / radius) + 0.1 * hash_noise(p, 6.0 / radius);
+        let q = p + dir * (d * radius);
+        *v = [q.x as f32, q.y as f32, q.z as f32];
+    }
+    mesh
+}
+
+/// A building: tessellated main block plus a seeded number of setback tiers.
+///
+/// `detail` controls the facade tessellation (triangle count grows with
+/// `detail²`); footprint is `[min, max]` on the ground, total height `height`.
+pub fn building(min: Vec3, max: Vec3, height: f64, detail: usize, seed: u64) -> TriMesh {
+    let mut rng = SplitMix64::new(seed);
+    let tiers = 1 + (rng.next_u64() % 3) as usize;
+    let mut mesh = TriMesh::new();
+    let mut lo = min;
+    let mut hi = Vec3::new(max.x, max.y, min.z);
+    let mut remaining = height;
+    for tier in 0..tiers {
+        let tier_h = if tier + 1 == tiers {
+            remaining
+        } else {
+            let f = 0.4 + 0.3 * rng.next_f64();
+            remaining * f
+        };
+        hi = Vec3::new(hi.x, hi.y, lo.z + tier_h);
+        mesh.append(&tessellated_box(lo, hi, detail.max(1)));
+        remaining -= tier_h;
+        // Setback for the next tier.
+        let inset_x = (hi.x - lo.x) * (0.1 + 0.15 * rng.next_f64());
+        let inset_y = (hi.y - lo.y) * (0.1 + 0.15 * rng.next_f64());
+        lo = Vec3::new(lo.x + inset_x, lo.y + inset_y, hi.z);
+        hi = Vec3::new(hi.x - inset_x, hi.y - inset_y, hi.z);
+        if remaining <= 0.0 || hi.x <= lo.x || hi.y <= lo.y {
+            break;
+        }
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdov_geom::Aabb;
+
+    #[test]
+    fn box_mesh_is_closed_cuboid() {
+        let m = box_mesh(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.triangle_count(), 12);
+        assert_eq!(m.vertex_count(), 8);
+        assert!((m.surface_area() - 22.0).abs() < 1e-4);
+        assert_eq!(m.aabb(), Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)));
+    }
+
+    #[test]
+    fn tessellated_box_matches_plain_box() {
+        let m = tessellated_box(Vec3::ZERO, Vec3::splat(2.0), 4);
+        assert_eq!(m.triangle_count(), 6 * 4 * 4 * 2);
+        assert!((m.surface_area() - 24.0).abs() < 1e-3);
+        assert_eq!(m.aabb(), Aabb::new(Vec3::ZERO, Vec3::splat(2.0)));
+    }
+
+    #[test]
+    fn tower_shape() {
+        let m = tower(Vec3::ZERO, 1.0, 5.0, 16);
+        assert_eq!(m.triangle_count(), 16 * 4);
+        let bb = m.aabb();
+        assert!((bb.max.z - 5.0).abs() < 1e-6);
+        assert!((bb.max.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn icosphere_face_counts() {
+        assert_eq!(icosphere(1.0, 0).triangle_count(), 20);
+        assert_eq!(icosphere(1.0, 1).triangle_count(), 80);
+        assert_eq!(icosphere(1.0, 2).triangle_count(), 320);
+    }
+
+    #[test]
+    fn icosphere_vertices_on_sphere() {
+        let m = icosphere(2.5, 2);
+        for v in &m.vertices {
+            let r = Vec3::from(*v).length();
+            assert!((r - 2.5).abs() < 1e-5, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn bunny_is_seeded_and_bounded() {
+        let a = bunny(1.0, 2, 7);
+        let b = bunny(1.0, 2, 7);
+        let c = bunny(1.0, 2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Displacement is at most 0.35 * radius.
+        for v in &a.vertices {
+            assert!(Vec3::from(*v).length() < 1.4);
+        }
+    }
+
+    #[test]
+    fn building_deterministic_and_positive() {
+        let a = building(Vec3::ZERO, Vec3::new(10.0, 8.0, 0.0), 30.0, 6, 99);
+        let b = building(Vec3::ZERO, Vec3::new(10.0, 8.0, 0.0), 30.0, 6, 99);
+        assert_eq!(a, b);
+        assert!(a.triangle_count() >= 6 * 6 * 6 * 2);
+        let bb = a.aabb();
+        assert!((bb.max.z - 30.0).abs() < 1e-4);
+        assert!(bb.min.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn building_detail_scales_polygons() {
+        let coarse = building(Vec3::ZERO, Vec3::splat(10.0), 20.0, 1, 5);
+        let fine = building(Vec3::ZERO, Vec3::splat(10.0), 20.0, 10, 5);
+        assert!(fine.triangle_count() > 20 * coarse.triangle_count());
+    }
+}

@@ -1,0 +1,201 @@
+//! Wavefront OBJ import/export.
+//!
+//! The paper's walkthrough system renders model files; this module lets the
+//! reproduction exchange geometry with standard tools — export any scene or
+//! query result for inspection in a mesh viewer, or import real models
+//! (e.g. an actual Stanford bunny) to index instead of the synthetic city.
+//!
+//! Supported subset: `v x y z` vertices and `f` faces (triangles or convex
+//! polygons, which are fan-triangulated; `v/vt/vn` index forms accepted,
+//! negative indices resolved per the OBJ spec). Everything else is ignored.
+
+use crate::TriMesh;
+use std::fmt::Write as _;
+
+/// Errors produced by the OBJ parser.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ObjError {
+    /// A `v` line did not hold three coordinates.
+    BadVertex {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An `f` line held fewer than three vertices or a malformed index.
+    BadFace {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A face referenced a vertex that does not exist.
+    IndexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::BadVertex { line } => write!(f, "malformed vertex on line {line}"),
+            ObjError::BadFace { line } => write!(f, "malformed face on line {line}"),
+            ObjError::IndexOutOfRange { line } => {
+                write!(f, "face index out of range on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Serializes a mesh as OBJ text.
+pub fn to_obj(mesh: &TriMesh) -> String {
+    let mut out = String::with_capacity(mesh.vertex_count() * 24 + mesh.triangle_count() * 16);
+    out.push_str("# exported by hdov-mesh\n");
+    for v in &mesh.vertices {
+        let _ = writeln!(out, "v {} {} {}", v[0], v[1], v[2]);
+    }
+    for t in &mesh.indices {
+        let _ = writeln!(out, "f {} {} {}", t[0] + 1, t[1] + 1, t[2] + 1);
+    }
+    out
+}
+
+/// Parses OBJ text into a mesh (vertices + fan-triangulated faces).
+///
+/// ```
+/// let mesh = hdov_mesh::from_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n").unwrap();
+/// assert_eq!(mesh.triangle_count(), 1);
+/// assert!(hdov_mesh::to_obj(&mesh).contains("f 1 2 3"));
+/// ```
+pub fn from_obj(text: &str) -> Result<TriMesh, ObjError> {
+    let mut vertices: Vec<[f32; 3]> = Vec::new();
+    let mut indices: Vec<[u32; 3]> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let mut coords = [0.0f32; 3];
+                for c in &mut coords {
+                    *c = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(ObjError::BadVertex { line: line_no })?;
+                }
+                // A fourth (w) coordinate is legal; ignore it.
+                vertices.push(coords);
+            }
+            Some("f") => {
+                let mut face: Vec<u32> = Vec::with_capacity(4);
+                for tok in parts {
+                    // "idx", "idx/t", "idx/t/n", "idx//n"
+                    let idx_str = tok.split('/').next().unwrap_or("");
+                    let idx: i64 = idx_str
+                        .parse()
+                        .map_err(|_| ObjError::BadFace { line: line_no })?;
+                    let resolved: i64 = if idx > 0 {
+                        idx - 1
+                    } else if idx < 0 {
+                        vertices.len() as i64 + idx
+                    } else {
+                        return Err(ObjError::BadFace { line: line_no });
+                    };
+                    if resolved < 0 || resolved >= vertices.len() as i64 {
+                        return Err(ObjError::IndexOutOfRange { line: line_no });
+                    }
+                    face.push(resolved as u32);
+                }
+                if face.len() < 3 {
+                    return Err(ObjError::BadFace { line: line_no });
+                }
+                for k in 1..face.len() - 1 {
+                    indices.push([face[0], face[k], face[k + 1]]);
+                }
+            }
+            _ => {} // vt, vn, o, g, usemtl, s, mtllib ... ignored
+        }
+    }
+    Ok(TriMesh { vertices, indices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use hdov_geom::Vec3;
+
+    #[test]
+    fn round_trip_generated_meshes() {
+        for mesh in [
+            generate::box_mesh(Vec3::ZERO, Vec3::splat(2.0)),
+            generate::icosphere(1.0, 2),
+            generate::bunny(1.0, 1, 3),
+        ] {
+            let obj = to_obj(&mesh);
+            let parsed = from_obj(&obj).unwrap();
+            assert_eq!(parsed.triangle_count(), mesh.triangle_count());
+            assert_eq!(parsed.vertex_count(), mesh.vertex_count());
+            assert_eq!(parsed.indices, mesh.indices);
+            // f32 -> decimal -> f32 is exact for shortest-round-trip printing.
+            assert_eq!(parsed.vertices, mesh.vertices);
+        }
+    }
+
+    #[test]
+    fn parses_quads_by_fan_triangulation() {
+        let obj = "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n";
+        let m = from_obj(obj).unwrap();
+        assert_eq!(m.triangle_count(), 2);
+        assert_eq!(m.indices, vec![[0, 1, 2], [0, 2, 3]]);
+    }
+
+    #[test]
+    fn parses_slash_forms_and_negative_indices() {
+        let obj = "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2//2 -1\n";
+        let m = from_obj(obj).unwrap();
+        assert_eq!(m.indices, vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn ignores_comments_and_foreign_lines() {
+        let obj = "# header\nmtllib x.mtl\nvn 0 0 1\nvt 0 0\no thing\nv 0 0 0 1.0\nv 1 0 0\nv 0 1 0\ns off\nf 1 2 3 # tail comment\n";
+        let m = from_obj(obj).unwrap();
+        assert_eq!(m.vertex_count(), 3);
+        assert_eq!(m.triangle_count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(from_obj("v 1 2\n"), Err(ObjError::BadVertex { line: 1 }));
+        // Too few vertices, second index also out of range: the index
+        // check fires first.
+        assert_eq!(
+            from_obj("v 0 0 0\nf 1 2\n"),
+            Err(ObjError::IndexOutOfRange { line: 2 })
+        );
+        assert_eq!(
+            from_obj("v 0 0 0\nf 1 1\n"),
+            Err(ObjError::BadFace { line: 2 })
+        );
+        assert_eq!(
+            from_obj("v 0 0 0\nf 1 2 9\n"),
+            Err(ObjError::IndexOutOfRange { line: 2 })
+        );
+        assert_eq!(
+            from_obj("f 0 1 2\nv 0 0 0\n"),
+            Err(ObjError::BadFace { line: 1 })
+        );
+        let err = from_obj("v a b c\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_mesh() {
+        let m = from_obj("").unwrap();
+        assert!(m.is_empty());
+        assert_eq!(to_obj(&m).lines().count(), 1); // header only
+    }
+}

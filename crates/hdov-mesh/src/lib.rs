@@ -1,0 +1,31 @@
+//! Triangle meshes, procedural model generators, mesh simplification, and
+//! level-of-detail (LoD) chains.
+//!
+//! The paper's dataset is "a synthetic city model containing numerous
+//! buildings and bunny models", each object carrying multi-resolution
+//! representations produced with *qslim* (quadric error metrics). This crate
+//! rebuilds that tool chain:
+//!
+//! * [`TriMesh`] — indexed triangle meshes,
+//! * [`generate`] — deterministic building / tower / blob ("bunny")
+//!   generators,
+//! * [`mod@simplify`] — a quadric-error-metric edge-collapse simplifier
+//!   (the qslim substitute), and
+//! * [`LodChain`] — ordered multi-resolution representations with the
+//!   interpolated LoD selection of the paper's Eqs. 5 and 6, and
+//! * [`io`] — Wavefront OBJ import/export for exchanging geometry with
+//!   standard tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod io;
+pub mod lod;
+pub mod mesh;
+pub mod simplify;
+
+pub use io::{from_obj, to_obj, ObjError};
+pub use lod::{LodChain, LodLevel};
+pub use mesh::TriMesh;
+pub use simplify::simplify;

@@ -1,0 +1,239 @@
+//! Level-of-detail chains and the paper's interpolated LoD selection.
+//!
+//! Each object (and each internal HDoV-tree node) carries an ordered chain of
+//! representations from `LoD_highest` (full detail) to `LoD_lowest`. The
+//! traversal algorithm picks a *blend factor* `k ∈ (0, 1]`:
+//!
+//! * leaf objects: `k = min(DoV / MAXDOV, 1)` with `MAXDOV = 0.5` (Eq. 6),
+//! * internal nodes: `k = DoV / η` (Eq. 5),
+//!
+//! and the chain resolves `k` to the discrete level whose polygon count is
+//! closest to the interpolated budget
+//! `k · npoly(highest) + (1 − k) · npoly(lowest)`.
+
+use crate::{simplify, TriMesh};
+
+/// One level of a LoD chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LodLevel {
+    /// The geometry at this level.
+    pub mesh: TriMesh,
+    /// Cached triangle count.
+    pub polygons: usize,
+    /// Cached serialized byte size.
+    pub bytes: usize,
+}
+
+impl LodLevel {
+    /// Wraps a mesh as a level.
+    pub fn new(mesh: TriMesh) -> Self {
+        let polygons = mesh.triangle_count();
+        let bytes = mesh.byte_size();
+        LodLevel {
+            mesh,
+            polygons,
+            bytes,
+        }
+    }
+}
+
+/// An ordered multi-resolution chain: level 0 is the *highest* detail, the
+/// last level is the *lowest*.
+///
+/// ```
+/// use hdov_mesh::{generate, LodChain};
+/// let chain = LodChain::build(generate::icosphere(1.0, 2), 3, 0.25);
+/// assert!(chain.highest().polygons > chain.lowest().polygons);
+/// assert_eq!(chain.select(1.0), 0);               // full detail
+/// assert_eq!(chain.select(0.0), chain.len() - 1); // coarsest
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LodChain {
+    levels: Vec<LodLevel>,
+}
+
+impl LodChain {
+    /// Builds a chain from pre-made levels (must be non-empty and sorted by
+    /// non-increasing polygon count).
+    ///
+    /// Returns `None` if empty or mis-ordered.
+    pub fn from_levels(levels: Vec<LodLevel>) -> Option<Self> {
+        if levels.is_empty() {
+            return None;
+        }
+        if levels.windows(2).any(|w| w[0].polygons < w[1].polygons) {
+            return None;
+        }
+        Some(LodChain { levels })
+    }
+
+    /// Builds a chain by repeatedly simplifying `mesh`.
+    ///
+    /// Produces `num_levels` levels where each level has roughly `ratio`
+    /// times the polygons of the previous one (`0 < ratio < 1`). Level 0 is
+    /// the input mesh itself.
+    pub fn build(mesh: TriMesh, num_levels: usize, ratio: f64) -> Self {
+        assert!(num_levels >= 1, "need at least one level");
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+        let mut levels = Vec::with_capacity(num_levels);
+        let base_count = mesh.triangle_count();
+        levels.push(LodLevel::new(mesh));
+        for i in 1..num_levels {
+            let target = ((base_count as f64) * ratio.powi(i as i32)).round() as usize;
+            let prev = &levels[i - 1].mesh;
+            let simplified = simplify(prev, target.max(4));
+            // Simplification is monotone but guard against plateaus.
+            if simplified.triangle_count() >= levels[i - 1].polygons {
+                break;
+            }
+            levels.push(LodLevel::new(simplified));
+        }
+        LodChain { levels }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if the chain has exactly one level.
+    pub fn is_single(&self) -> bool {
+        self.levels.len() == 1
+    }
+
+    /// Never true: chains always hold at least one level.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All levels, highest detail first.
+    pub fn levels(&self) -> &[LodLevel] {
+        &self.levels
+    }
+
+    /// The full-detail level.
+    pub fn highest(&self) -> &LodLevel {
+        &self.levels[0]
+    }
+
+    /// The coarsest level.
+    pub fn lowest(&self) -> &LodLevel {
+        self.levels.last().expect("chain is never empty")
+    }
+
+    /// Level by index (0 = highest).
+    pub fn level(&self, i: usize) -> &LodLevel {
+        &self.levels[i]
+    }
+
+    /// Interpolated polygon budget for blend factor `k ∈ [0, 1]` — the
+    /// paper's `k · LoD_highest + (1 − k) · LoD_lowest` measured in polygons.
+    pub fn interpolated_polygons(&self, k: f64) -> f64 {
+        let k = k.clamp(0.0, 1.0);
+        k * self.highest().polygons as f64 + (1.0 - k) * self.lowest().polygons as f64
+    }
+
+    /// Resolves blend factor `k` to the discrete level whose polygon count is
+    /// closest to [`interpolated_polygons`](Self::interpolated_polygons).
+    ///
+    /// Returns the level index (0 = highest detail).
+    pub fn select(&self, k: f64) -> usize {
+        let budget = self.interpolated_polygons(k);
+        let mut best = 0usize;
+        let mut best_err = f64::INFINITY;
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let err = (lvl.polygons as f64 - budget).abs();
+            if err < best_err {
+                best = i;
+                best_err = err;
+            }
+        }
+        best
+    }
+
+    /// Total bytes across all levels (what the model store writes).
+    pub fn total_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use hdov_geom::Vec3;
+
+    fn sphere_chain() -> LodChain {
+        LodChain::build(generate::icosphere(1.0, 3), 4, 0.25)
+    }
+
+    #[test]
+    fn build_produces_decreasing_levels() {
+        let c = sphere_chain();
+        assert!(c.len() >= 3, "expected several levels, got {}", c.len());
+        for w in c.levels().windows(2) {
+            assert!(w[0].polygons > w[1].polygons);
+        }
+        assert_eq!(c.highest().polygons, 1280);
+    }
+
+    #[test]
+    fn select_extremes() {
+        let c = sphere_chain();
+        assert_eq!(c.select(1.0), 0);
+        assert_eq!(c.select(0.0), c.len() - 1);
+    }
+
+    #[test]
+    fn select_is_monotone_in_k() {
+        let c = sphere_chain();
+        let mut prev = usize::MAX;
+        for i in 0..=10 {
+            let k = i as f64 / 10.0;
+            let lvl = c.select(k);
+            assert!(
+                lvl <= prev,
+                "selection must move to finer levels as k grows"
+            );
+            prev = lvl;
+        }
+    }
+
+    #[test]
+    fn interpolated_polygon_budget() {
+        let c = sphere_chain();
+        let hi = c.highest().polygons as f64;
+        let lo = c.lowest().polygons as f64;
+        assert_eq!(c.interpolated_polygons(1.0), hi);
+        assert_eq!(c.interpolated_polygons(0.0), lo);
+        assert!((c.interpolated_polygons(0.5) - (hi + lo) / 2.0).abs() < 1e-9);
+        // Out-of-range k clamps.
+        assert_eq!(c.interpolated_polygons(7.0), hi);
+    }
+
+    #[test]
+    fn from_levels_validation() {
+        let big = LodLevel::new(generate::icosphere(1.0, 2));
+        let small = LodLevel::new(generate::icosphere(1.0, 0));
+        assert!(LodChain::from_levels(vec![]).is_none());
+        assert!(LodChain::from_levels(vec![small.clone(), big.clone()]).is_none());
+        let c = LodChain::from_levels(vec![big, small]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn single_level_chain() {
+        let c = LodChain::build(generate::box_mesh(Vec3::ZERO, Vec3::splat(1.0)), 1, 0.5);
+        assert!(c.is_single());
+        assert_eq!(c.select(0.3), 0);
+        assert_eq!(c.highest().polygons, c.lowest().polygons);
+    }
+
+    #[test]
+    fn total_bytes_sums_levels() {
+        let c = sphere_chain();
+        let sum: usize = c.levels().iter().map(|l| l.bytes).sum();
+        assert_eq!(c.total_bytes(), sum);
+        assert!(sum > 0);
+    }
+}

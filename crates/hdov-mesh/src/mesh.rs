@@ -1,0 +1,267 @@
+//! Indexed triangle meshes.
+
+use hdov_geom::{Aabb, Triangle, Vec3};
+
+/// An indexed triangle mesh with `f32` vertices.
+///
+/// Vertices are stored single-precision (as a real model file would be);
+/// geometry queries convert to `f64` at the boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<[f32; 3]>,
+    /// Triangles as vertex-index triples.
+    pub indices: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a mesh from parts, validating the indices.
+    ///
+    /// Returns `None` when any index is out of range.
+    pub fn from_parts(vertices: Vec<[f32; 3]>, indices: Vec<[u32; 3]>) -> Option<Self> {
+        let n = vertices.len() as u32;
+        if indices.iter().flatten().any(|&i| i >= n) {
+            return None;
+        }
+        Some(TriMesh { vertices, indices })
+    }
+
+    /// Number of triangles (the paper's "polygons").
+    #[inline]
+    pub fn triangle_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the mesh has no triangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Serialized size in bytes: 12 bytes per vertex + 12 per triangle.
+    /// This is what the model store charges when a LoD is fetched from disk.
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.vertices.len() * 12 + self.indices.len() * 12
+    }
+
+    /// Vertex position `i` as a `Vec3`.
+    #[inline]
+    pub fn vertex(&self, i: u32) -> Vec3 {
+        self.vertices[i as usize].into()
+    }
+
+    /// Triangle `t` as a geometric [`Triangle`].
+    #[inline]
+    pub fn triangle(&self, t: usize) -> Triangle {
+        let [a, b, c] = self.indices[t];
+        Triangle::new(self.vertex(a), self.vertex(b), self.vertex(c))
+    }
+
+    /// Iterator over all triangles.
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle> + '_ {
+        (0..self.indices.len()).map(|t| self.triangle(t))
+    }
+
+    /// Bounding box of all vertices (not only referenced ones).
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(self.vertices.iter().map(|&v| v.into()))
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles().map(|t| t.area()).sum()
+    }
+
+    /// Translates every vertex by `d`.
+    pub fn translate(&mut self, d: Vec3) {
+        for v in &mut self.vertices {
+            v[0] += d.x as f32;
+            v[1] += d.y as f32;
+            v[2] += d.z as f32;
+        }
+    }
+
+    /// Scales every vertex about the origin.
+    pub fn scale(&mut self, s: Vec3) {
+        for v in &mut self.vertices {
+            v[0] *= s.x as f32;
+            v[1] *= s.y as f32;
+            v[2] *= s.z as f32;
+        }
+    }
+
+    /// Appends another mesh (concatenating vertex and index buffers).
+    pub fn append(&mut self, other: &TriMesh) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.indices.extend(
+            other
+                .indices
+                .iter()
+                .map(|&[a, b, c]| [a + base, b + base, c + base]),
+        );
+    }
+
+    /// Welds vertices that coincide within `tolerance`, remapping indices and
+    /// dropping triangles that become degenerate. Returns the number of
+    /// vertices removed.
+    ///
+    /// Generators that emit per-face vertex grids (e.g.
+    /// [`generate::tessellated_box`](crate::generate::tessellated_box)) call
+    /// this so the result is watertight — open seams would otherwise let the
+    /// simplifier shrink each face patch independently.
+    pub fn weld(&mut self, tolerance: f64) -> usize {
+        use std::collections::HashMap;
+        let inv = 1.0 / tolerance.max(1e-12);
+        let quantize = |v: &[f32; 3]| {
+            (
+                (v[0] as f64 * inv).round() as i64,
+                (v[1] as f64 * inv).round() as i64,
+                (v[2] as f64 * inv).round() as i64,
+            )
+        };
+        let before = self.vertices.len();
+        let mut canonical: HashMap<(i64, i64, i64), u32> = HashMap::new();
+        let mut remap = vec![0u32; before];
+        let mut new_vertices = Vec::with_capacity(before);
+        for (i, v) in self.vertices.iter().enumerate() {
+            let key = quantize(v);
+            let idx = *canonical.entry(key).or_insert_with(|| {
+                new_vertices.push(*v);
+                new_vertices.len() as u32 - 1
+            });
+            remap[i] = idx;
+        }
+        for tri in &mut self.indices {
+            for i in tri {
+                *i = remap[*i as usize];
+            }
+        }
+        self.vertices = new_vertices;
+        self.indices.retain(|&[a, b, c]| a != b && b != c && a != c);
+        before - self.vertices.len()
+    }
+
+    /// Drops degenerate triangles (repeated vertex indices) and unreferenced
+    /// vertices, remapping indices. Returns the number of triangles removed.
+    pub fn compact(&mut self) -> usize {
+        let before = self.indices.len();
+        self.indices.retain(|&[a, b, c]| a != b && b != c && a != c);
+        // Remove unreferenced vertices.
+        let mut used = vec![false; self.vertices.len()];
+        for tri in &self.indices {
+            for &i in tri {
+                used[i as usize] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; self.vertices.len()];
+        let mut new_vertices = Vec::with_capacity(self.vertices.len());
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = new_vertices.len() as u32;
+                new_vertices.push(self.vertices[i]);
+            }
+        }
+        for tri in &mut self.indices {
+            for i in tri {
+                *i = remap[*i as usize];
+            }
+        }
+        self.vertices = new_vertices;
+        before - self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad() -> TriMesh {
+        TriMesh::from_parts(
+            vec![
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [1.0, 1.0, 0.0],
+                [0.0, 1.0, 0.0],
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let m = quad();
+        assert_eq!(m.triangle_count(), 2);
+        assert_eq!(m.vertex_count(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.byte_size(), 4 * 12 + 2 * 12);
+    }
+
+    #[test]
+    fn invalid_indices_rejected() {
+        assert!(TriMesh::from_parts(vec![[0.0; 3]], vec![[0, 0, 1]]).is_none());
+    }
+
+    #[test]
+    fn aabb_and_area() {
+        let m = quad();
+        let bb = m.aabb();
+        assert_eq!(bb.min, Vec3::ZERO);
+        assert_eq!(bb.max, Vec3::new(1.0, 1.0, 0.0));
+        assert!((m.surface_area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transforms() {
+        let mut m = quad();
+        m.translate(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.aabb().min, Vec3::new(1.0, 2.0, 3.0));
+        m.scale(Vec3::splat(2.0));
+        assert_eq!(m.aabb().max, Vec3::new(4.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn append_offsets_indices() {
+        let mut a = quad();
+        let b = quad();
+        a.append(&b);
+        assert_eq!(a.triangle_count(), 4);
+        assert_eq!(a.vertex_count(), 8);
+        assert_eq!(a.indices[2], [4, 5, 6]);
+    }
+
+    #[test]
+    fn compact_removes_degenerates_and_orphans() {
+        let mut m = TriMesh::from_parts(
+            vec![[0.0; 3], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [9.0, 9.0, 9.0]],
+            vec![[0, 1, 2], [1, 1, 2]],
+        )
+        .unwrap();
+        let removed = m.compact();
+        assert_eq!(removed, 1);
+        assert_eq!(m.triangle_count(), 1);
+        assert_eq!(m.vertex_count(), 3); // orphan [9,9,9] dropped
+        assert_eq!(m.indices[0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn triangles_iterator() {
+        let m = quad();
+        let tris: Vec<_> = m.triangles().collect();
+        assert_eq!(tris.len(), 2);
+        assert!((tris[0].area() - 0.5).abs() < 1e-9);
+    }
+}

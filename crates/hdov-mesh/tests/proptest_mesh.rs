@@ -1,0 +1,74 @@
+//! Property-based tests of meshes, simplification, and LoD chains.
+
+use hdov_geom::Vec3;
+use hdov_mesh::{generate, simplify, LodChain};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simplify_respects_target_and_bounds(
+        seed in 0u64..1000,
+        subdiv in 1u32..3,
+        target_frac in 0.05..0.9f64,
+    ) {
+        let mesh = generate::bunny(1.0, subdiv, seed);
+        let target = ((mesh.triangle_count() as f64) * target_frac) as usize;
+        let s = simplify(&mesh, target);
+        prop_assert!(s.triangle_count() <= target.max(4));
+        prop_assert!(s.triangle_count() >= 1);
+        // Candidate placements interpolate existing vertices, so the result
+        // cannot escape the original bounds.
+        prop_assert!(mesh.aabb().inflate(1e-3).contains(&s.aabb()));
+        // Indices stay valid.
+        let n = s.vertex_count() as u32;
+        prop_assert!(s.indices.iter().flatten().all(|&i| i < n));
+    }
+
+    #[test]
+    fn lod_chain_monotone(seed in 0u64..500, levels in 2usize..5) {
+        let mesh = generate::bunny(1.0, 2, seed);
+        let chain = LodChain::build(mesh, levels, 0.3);
+        for w in chain.levels().windows(2) {
+            prop_assert!(w[0].polygons > w[1].polygons);
+            prop_assert!(w[0].bytes > w[1].bytes);
+        }
+        // select() is monotone non-increasing in k.
+        let mut prev = usize::MAX;
+        for i in 0..=8 {
+            let lvl = chain.select(i as f64 / 8.0);
+            prop_assert!(lvl <= prev);
+            prev = lvl;
+        }
+    }
+
+    #[test]
+    fn weld_never_increases_counts(div in 1usize..6, size in 1.0..50.0f64) {
+        let mut m = generate::tessellated_box(Vec3::ZERO, Vec3::splat(size), div);
+        let (v0, t0) = (m.vertex_count(), m.triangle_count());
+        m.weld(1e-6 * size);
+        prop_assert!(m.vertex_count() <= v0);
+        prop_assert!(m.triangle_count() <= t0);
+        // Surface area is preserved by welding.
+        let expect = 6.0 * size * size;
+        prop_assert!((m.surface_area() - expect).abs() / expect < 1e-3);
+    }
+
+    #[test]
+    fn building_generation_within_footprint(
+        seed in 0u64..2000,
+        w in 4.0..30.0f64,
+        d in 4.0..30.0f64,
+        h in 5.0..100.0f64,
+    ) {
+        let m = generate::building(Vec3::ZERO, Vec3::new(w, d, 0.0), h, 3, seed);
+        prop_assert!(!m.is_empty());
+        let bb = m.aabb();
+        prop_assert!(bb.min.x >= -1e-4 && bb.max.x <= w + 1e-4);
+        prop_assert!(bb.min.y >= -1e-4 && bb.max.y <= d + 1e-4);
+        prop_assert!(bb.min.z >= -1e-4 && bb.max.z <= h + 1e-3);
+        prop_assert!((bb.max.z - h).abs() < 1e-3, "building must reach its height");
+    }
+
+}

@@ -1,0 +1,172 @@
+//! REVIEW's semantic cache: distance-based replacement.
+//!
+//! "\[REVIEW\] supports a semantic-based cache replacement strategy based on
+//! spatial distance between the viewer and the nodes" (paper §2): when the
+//! cache is full, the entry *farthest from the current viewpoint* is evicted
+//! first, on the premise that nearby data will be needed again soonest.
+
+use hdov_geom::Vec3;
+use std::collections::HashMap;
+
+/// A byte-budgeted cache keyed by object id, evicting farthest-first.
+#[derive(Debug)]
+pub struct SemanticCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: HashMap<u64, (Vec3, u64)>, // position, bytes
+    hits: u64,
+    misses: u64,
+}
+
+impl SemanticCache {
+    /// Creates a cache with the given byte budget.
+    ///
+    /// # Panics
+    /// Panics on a zero budget.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "cache budget must be positive");
+        SemanticCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` over all lookups.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// True if `object` is cached (counts towards hit statistics).
+    pub fn lookup(&mut self, object: u64) -> bool {
+        if self.entries.contains_key(&object) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `object` (centred at `position`, `bytes` large), evicting
+    /// farthest-from-`viewer` entries until it fits. Objects larger than the
+    /// whole budget are rejected (returns false).
+    pub fn insert(&mut self, object: u64, position: Vec3, bytes: u64, viewer: Vec3) -> bool {
+        if bytes > self.capacity_bytes {
+            return false;
+        }
+        if let Some((_, old)) = self.entries.remove(&object) {
+            self.used_bytes -= old;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .max_by(|a, b| {
+                    let da = a.1 .0.distance_squared(viewer);
+                    let db = b.1 .0.distance_squared(viewer);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(&k, _)| k)
+                .expect("cache non-empty while over budget");
+            let (_, vb) = self.entries.remove(&victim).unwrap();
+            self.used_bytes -= vb;
+        }
+        self.entries.insert(object, (position, bytes));
+        self.used_bytes += bytes;
+        true
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = SemanticCache::new(100);
+        assert!(!c.lookup(1));
+        assert!(c.insert(1, Vec3::ZERO, 40, Vec3::ZERO));
+        assert!(c.lookup(1));
+        assert_eq!(c.hit_stats(), (1, 1));
+        assert_eq!(c.used_bytes(), 40);
+    }
+
+    #[test]
+    fn evicts_farthest_first() {
+        let mut c = SemanticCache::new(100);
+        let viewer = Vec3::ZERO;
+        c.insert(1, Vec3::new(10.0, 0.0, 0.0), 40, viewer);
+        c.insert(2, Vec3::new(100.0, 0.0, 0.0), 40, viewer); // far
+        c.insert(3, Vec3::new(5.0, 0.0, 0.0), 40, viewer); // needs eviction
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2), "the far entry must be the victim");
+        assert!(c.lookup(3));
+    }
+
+    #[test]
+    fn eviction_depends_on_current_viewer() {
+        let mut c = SemanticCache::new(80);
+        c.insert(1, Vec3::new(0.0, 0.0, 0.0), 40, Vec3::ZERO);
+        c.insert(2, Vec3::new(100.0, 0.0, 0.0), 40, Vec3::ZERO);
+        // Viewer moved next to object 2: object 1 is now farthest.
+        let viewer = Vec3::new(100.0, 0.0, 0.0);
+        c.insert(3, Vec3::new(90.0, 0.0, 0.0), 40, viewer);
+        assert!(!c.lookup(1));
+        assert!(c.lookup(2));
+        assert!(c.lookup(3));
+    }
+
+    #[test]
+    fn reinserting_updates_size() {
+        let mut c = SemanticCache::new(100);
+        c.insert(1, Vec3::ZERO, 40, Vec3::ZERO);
+        c.insert(1, Vec3::ZERO, 60, Vec3::ZERO);
+        assert_eq!(c.used_bytes(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c = SemanticCache::new(50);
+        assert!(!c.insert(1, Vec3::ZERO, 51, Vec3::ZERO));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = SemanticCache::new(100);
+        c.insert(1, Vec3::ZERO, 10, Vec3::ZERO);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,636 @@
+//! The REVIEW system: window queries + complement search.
+
+use hdov_geom::{Aabb, Vec3};
+use hdov_rtree::{bulk, RTree, SplitMethod};
+use hdov_scene::{ModelStore, Scene};
+use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
+use std::collections::HashMap;
+
+/// REVIEW configuration.
+#[derive(Debug, Clone)]
+pub struct ReviewConfig {
+    /// Side length of the spatial query box in metres (the paper evaluates
+    /// 200 m and 400 m).
+    pub box_size: f64,
+    /// R-tree fan-out (match the HDoV-tree's for a fair comparison).
+    pub fanout: usize,
+    /// Split algorithm.
+    pub split: SplitMethod,
+    /// Build the backbone with STR bulk loading.
+    pub bulk_load: bool,
+    /// Bulk fill factor.
+    pub fill: f64,
+    /// Disk cost model.
+    pub disk: DiskModel,
+    /// Optional semantic model cache (bytes). REVIEW's distance-based
+    /// replacement keeps models that *left* the query box for a while —
+    /// complement search alone refetches them when the viewer doubles back.
+    /// `None` matches the paper's cache-less head-to-head.
+    pub cache_bytes: Option<u64>,
+}
+
+impl Default for ReviewConfig {
+    fn default() -> Self {
+        ReviewConfig {
+            box_size: 400.0,
+            fanout: 8,
+            split: SplitMethod::AngTanLinear,
+            bulk_load: false,
+            fill: 0.7,
+            disk: DiskModel::PAPER_ERA,
+            cache_bytes: None,
+        }
+    }
+}
+
+/// One retrieved object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReviewEntry {
+    /// Object id.
+    pub object: u64,
+    /// LoD level fetched (distance-based).
+    pub level: usize,
+    /// Polygons at that level.
+    pub polygons: u64,
+    /// Bytes at that level.
+    pub bytes: u64,
+    /// True when reused from the resident set (complement search).
+    pub cached: bool,
+}
+
+/// Result of one REVIEW query.
+#[derive(Debug, Clone, Default)]
+pub struct ReviewResult {
+    entries: Vec<ReviewEntry>,
+}
+
+impl ReviewResult {
+    /// Builds a result from entries (used by the sibling baselines).
+    pub fn from_entries(entries: Vec<ReviewEntry>) -> Self {
+        ReviewResult { entries }
+    }
+
+    /// Retrieved objects.
+    pub fn entries(&self) -> &[ReviewEntry] {
+        &self.entries
+    }
+
+    /// Total polygons to render.
+    pub fn total_polygons(&self) -> u64 {
+        self.entries.iter().map(|e| e.polygons).sum()
+    }
+
+    /// Total bytes in the answer set.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Bytes fetched this query (complement search skips resident models).
+    pub fn fetched_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.cached)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// The retrieved object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|e| e.object)
+    }
+}
+
+/// Per-query cost breakdown (same shape as the HDoV search stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReviewStats {
+    /// R-tree nodes read.
+    pub nodes_visited: u64,
+    /// R-tree node I/O.
+    pub node_io: IoStats,
+    /// Object model I/O.
+    pub model_io: IoStats,
+    /// Background prefetch I/O (overlapped with rendering in the real
+    /// system; excluded from the foreground search time).
+    pub prefetch_io: IoStats,
+}
+
+impl ReviewStats {
+    /// Light-weight I/O (tree nodes; REVIEW has no V-pages).
+    pub fn light_io(&self) -> IoStats {
+        self.node_io
+    }
+
+    /// Heavy-weight (model) I/O.
+    pub fn heavy_io(&self) -> IoStats {
+        self.model_io
+    }
+
+    /// Everything.
+    pub fn total_io(&self) -> IoStats {
+        self.node_io + self.model_io
+    }
+
+    /// Simulated search time in milliseconds (same CPU model as the
+    /// HDoV-tree search for comparability).
+    pub fn search_time_ms(&self) -> f64 {
+        (self.total_io().elapsed_us + self.nodes_visited as f64 * 15.0) / 1000.0
+    }
+}
+
+/// The REVIEW walkthrough system.
+pub struct ReviewSystem {
+    rtree: RTree<SimulatedDisk<MemPagedFile>>,
+    store: ModelStore,
+    model_disk: SimulatedDisk<MemPagedFile>,
+    cfg: ReviewConfig,
+    /// Complement-search resident set: object → (level, bytes).
+    resident: HashMap<u64, (usize, u64)>,
+    resident_bytes: u64,
+    peak_bytes: u64,
+    /// Optional semantic cache of evicted models: (object, level) hits skip
+    /// model I/O on re-entry.
+    cache: Option<crate::SemanticCache>,
+    /// Level the cache holds per object (the cache itself is keyed by id).
+    cache_levels: HashMap<u64, usize>,
+}
+
+impl ReviewSystem {
+    /// Builds REVIEW over `scene`.
+    pub fn build(scene: &Scene, cfg: ReviewConfig) -> Result<Self> {
+        let items: Vec<_> = scene.objects().iter().map(|o| (o.mbr, o.id)).collect();
+        let node_disk = SimulatedDisk::new(MemPagedFile::new(), cfg.disk);
+        let mut rtree = if cfg.bulk_load {
+            bulk::bulk_load_with_fanout(node_disk, items, cfg.fill, cfg.fanout)?
+        } else {
+            let mut t = RTree::with_fanout(node_disk, cfg.split, cfg.fanout)?;
+            for (mbr, id) in items {
+                t.insert(mbr, id)?;
+            }
+            t
+        };
+        rtree.file_mut().reset_stats();
+
+        let mut model_disk = SimulatedDisk::new(MemPagedFile::new(), cfg.disk);
+        let chains = scene
+            .objects()
+            .iter()
+            .map(|o| scene.prototypes().chain(o.prototype));
+        let store = ModelStore::build(&mut model_disk, chains)?;
+        model_disk.reset_stats();
+
+        let cache = cfg.cache_bytes.map(crate::SemanticCache::new);
+        Ok(ReviewSystem {
+            rtree,
+            store,
+            model_disk,
+            cfg,
+            resident: HashMap::new(),
+            resident_bytes: 0,
+            peak_bytes: 0,
+            cache,
+            cache_levels: HashMap::new(),
+        })
+    }
+
+    /// The spatial query box for `viewpoint`: a `box_size`-sided square
+    /// footprint centred on the viewer, full height (city objects stand on
+    /// the ground, so tall objects inside the footprint are captured).
+    pub fn query_box(&self, viewpoint: Vec3) -> Aabb {
+        let half = self.cfg.box_size / 2.0;
+        Aabb::new(
+            Vec3::new(viewpoint.x - half, viewpoint.y - half, -1e3),
+            Vec3::new(viewpoint.x + half, viewpoint.y + half, 1e4),
+        )
+    }
+
+    /// Distance-based LoD blend factor: full detail at the viewer, coarsest
+    /// at the box boundary.
+    fn lod_k(&self, viewpoint: Vec3, mbr: &Aabb) -> f64 {
+        let d = mbr.distance_to_point(viewpoint);
+        (1.0 - d / (self.cfg.box_size * 0.5)).clamp(0.0, 1.0)
+    }
+
+    /// Runs a window query with complement search: objects already resident
+    /// at the selected LoD level cost no model I/O; objects that left the box
+    /// are evicted.
+    pub fn query(&mut self, viewpoint: Vec3) -> Result<(ReviewResult, ReviewStats)> {
+        let node_io0 = self.rtree.file().stats();
+        let model_io0 = self.model_disk.stats();
+        let qbox = self.query_box(viewpoint);
+        let hits = self.rtree.window_query(&qbox)?;
+
+        let mut result = ReviewResult::default();
+        let mut next_resident = HashMap::with_capacity(hits.len());
+        for (id, mbr) in hits {
+            let k = self.lod_k(viewpoint, &mbr);
+            let level = self.store.select_level(id, k);
+            let mut cached = self.resident.get(&id).is_some_and(|&(l, _)| l == level);
+            // Semantic cache: a model that left the box earlier may still be
+            // held at the right level.
+            if !cached {
+                if let Some(cache) = &mut self.cache {
+                    if cache.lookup(id) && self.cache_levels.get(&id) == Some(&level) {
+                        cached = true;
+                    }
+                }
+            }
+            let h = if cached {
+                self.store.handle(id, level)
+            } else {
+                self.store.fetch(&mut self.model_disk, id, level)?
+            };
+            next_resident.insert(id, (level, h.bytes as u64));
+            if let Some(cache) = &mut self.cache {
+                cache.insert(id, mbr.center(), h.bytes as u64, viewpoint);
+                self.cache_levels.insert(id, level);
+            }
+            result.entries.push(ReviewEntry {
+                object: id,
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                cached,
+            });
+        }
+        self.resident = next_resident;
+        self.resident_bytes = self.resident.values().map(|&(_, b)| b).sum();
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+
+        let node_io = self.rtree.file().stats().since(&node_io0);
+        let model_io = self.model_disk.stats().since(&model_io0);
+        let nodes_visited = node_io.page_reads;
+        Ok((
+            result,
+            ReviewStats {
+                nodes_visited,
+                node_io,
+                model_io,
+                prefetch_io: IoStats::default(),
+            },
+        ))
+    }
+
+    /// [`query`](Self::query) followed by movement-predictive prefetching —
+    /// one of REVIEW's optimisations mentioned in the paper's §2.
+    ///
+    /// After answering the foreground query, the system predicts the viewer
+    /// position `lookahead` steps along `velocity`, window-queries the
+    /// predicted box, and pulls not-yet-resident models into the resident
+    /// set. Prefetch I/O is reported separately in
+    /// [`ReviewStats::prefetch_io`] (in the real system it overlaps
+    /// rendering), and the prefetched models make the *next* complement
+    /// search cheaper.
+    pub fn query_prefetch(
+        &mut self,
+        viewpoint: Vec3,
+        velocity: Vec3,
+        lookahead: f64,
+    ) -> Result<(ReviewResult, ReviewStats)> {
+        let (result, mut stats) = self.query(viewpoint)?;
+        let node_io0 = self.rtree.file().stats();
+        let model_io0 = self.model_disk.stats();
+        let future = viewpoint + velocity * lookahead;
+        let hits = self.rtree.window_query(&self.query_box(future))?;
+        for (id, mbr) in hits {
+            let k = self.lod_k(future, &mbr);
+            let level = self.store.select_level(id, k);
+            if self.resident.get(&id).is_some_and(|&(l, _)| l == level) {
+                continue;
+            }
+            let h = self.store.fetch(&mut self.model_disk, id, level)?;
+            self.resident.insert(id, (level, h.bytes as u64));
+        }
+        self.resident_bytes = self.resident.values().map(|&(_, b)| b).sum();
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+        stats.prefetch_io =
+            self.rtree.file().stats().since(&node_io0) + self.model_disk.stats().since(&model_io0);
+        Ok((result, stats))
+    }
+
+    /// Clears the complement-search resident set and the semantic cache.
+    pub fn clear_resident(&mut self) {
+        self.resident.clear();
+        self.resident_bytes = 0;
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+        self.cache_levels.clear();
+    }
+
+    /// `(hits, misses)` of the semantic cache, if enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.hit_stats())
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Peak resident bytes over the session.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// The configured query box size.
+    pub fn box_size(&self) -> f64 {
+        self.cfg.box_size
+    }
+
+    /// R-tree statistics.
+    pub fn tree_stats(&self) -> hdov_rtree::TreeStats {
+        self.rtree.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdov_scene::CityConfig;
+
+    fn build() -> (hdov_scene::Scene, ReviewSystem) {
+        let scene = CityConfig::tiny().seed(6).generate();
+        let sys = ReviewSystem::build(
+            &scene,
+            ReviewConfig {
+                box_size: 100.0,
+                fanout: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (scene, sys)
+    }
+
+    #[test]
+    fn retrieves_exactly_box_contents() {
+        let (scene, mut sys) = build();
+        let vp = scene.bounds().center();
+        let (r, _) = sys.query(vp).unwrap();
+        let mut got: Vec<u64> = r.object_ids().collect();
+        got.sort_unstable();
+        let mut expect = scene.brute_force_window(&sys.query_box(vp));
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn misses_objects_beyond_box() {
+        // The structural weakness the paper demonstrates in Fig. 11.
+        let (scene, mut sys) = build();
+        let vp = scene.viewpoint_region().min; // corner
+        let (r, _) = sys.query(vp).unwrap();
+        assert!(
+            r.entries().len() < scene.len(),
+            "a 100m box cannot cover the whole city"
+        );
+    }
+
+    #[test]
+    fn nearer_objects_get_finer_lods() {
+        let (scene, mut sys) = build();
+        let vp = scene.bounds().center();
+        let (r, _) = sys.query(vp).unwrap();
+        // Find the nearest and farthest retrieved objects with multi-level
+        // chains; nearest level must be ≤ farthest level.
+        let with_dist: Vec<(f64, usize)> = r
+            .entries()
+            .iter()
+            .map(|e| (scene.object(e.object).mbr.distance_to_point(vp), e.level))
+            .collect();
+        let near = with_dist
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap();
+        let far = with_dist
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap();
+        assert!(near.1 <= far.1, "near {near:?} coarser than far {far:?}");
+    }
+
+    #[test]
+    fn complement_search_skips_resident() {
+        let (scene, mut sys) = build();
+        let vp = scene.bounds().center();
+        let (r1, s1) = sys.query(vp).unwrap();
+        assert!(s1.model_io.page_reads > 0);
+        assert!(r1.entries().iter().all(|e| !e.cached));
+        let (r2, s2) = sys.query(vp).unwrap();
+        assert!(r2.entries().iter().all(|e| e.cached));
+        assert_eq!(s2.model_io.page_reads, 0);
+        assert_eq!(r2.fetched_bytes(), 0);
+        // Tree I/O still happens (no node caching, as in the paper's setup).
+        assert!(s2.node_io.page_reads > 0);
+    }
+
+    #[test]
+    fn eviction_outside_box() {
+        let (scene, mut sys) = build();
+        let a = scene.viewpoint_region().min;
+        let b = scene.viewpoint_region().max;
+        sys.query(a).unwrap();
+        let before = sys.resident_bytes();
+        assert!(before > 0);
+        let (r2, _) = sys.query(b).unwrap();
+        // Opposite corner of a tiny city may share some objects; resident
+        // set must equal the new result exactly.
+        assert_eq!(
+            sys.resident_bytes(),
+            r2.total_bytes(),
+            "resident set must track the active box"
+        );
+        assert!(sys.peak_bytes() >= sys.resident_bytes());
+    }
+
+    #[test]
+    fn clear_resident_forces_refetch() {
+        let (scene, mut sys) = build();
+        let vp = scene.bounds().center();
+        sys.query(vp).unwrap();
+        sys.clear_resident();
+        assert_eq!(sys.resident_bytes(), 0);
+        let (_, s) = sys.query(vp).unwrap();
+        assert!(s.model_io.page_reads > 0);
+    }
+
+    #[test]
+    fn larger_box_costs_more() {
+        let scene = CityConfig::small().seed(6).generate();
+        let mut small = ReviewSystem::build(
+            &scene,
+            ReviewConfig {
+                box_size: 80.0,
+                fanout: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut large = ReviewSystem::build(
+            &scene,
+            ReviewConfig {
+                box_size: 400.0,
+                fanout: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let vp = scene.bounds().center();
+        let (rs, ss) = small.query(vp).unwrap();
+        let (rl, sl) = large.query(vp).unwrap();
+        assert!(rl.entries().len() > rs.entries().len());
+        assert!(sl.total_io().page_reads > ss.total_io().page_reads);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use hdov_scene::CityConfig;
+
+    #[test]
+    fn prefetch_makes_next_query_cheaper() {
+        let scene = CityConfig::small().seed(3).generate();
+        let make = || {
+            ReviewSystem::build(
+                &scene,
+                ReviewConfig {
+                    box_size: 120.0,
+                    fanout: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        // A straight walk: position advances 10 m per query.
+        let start = scene.viewpoint_region().center();
+        let velocity = Vec3::new(10.0, 0.0, 0.0);
+        let steps = 6;
+
+        let mut plain = make();
+        let mut plain_fg = 0u64;
+        for i in 0..steps {
+            let (_, st) = plain.query(start + velocity * i as f64).unwrap();
+            if i > 0 {
+                plain_fg += st.model_io.page_reads;
+            }
+        }
+
+        let mut pf = make();
+        let mut pf_fg = 0u64;
+        let mut pf_bg = 0u64;
+        for i in 0..steps {
+            let (_, st) = pf
+                .query_prefetch(start + velocity * i as f64, velocity, 1.0)
+                .unwrap();
+            if i > 0 {
+                pf_fg += st.model_io.page_reads;
+                pf_bg += st.prefetch_io.page_reads;
+            }
+        }
+        assert!(
+            pf_fg < plain_fg,
+            "prefetching foreground reads {pf_fg} !< plain {plain_fg}"
+        );
+        assert!(pf_bg > 0, "prefetch must have done background work");
+    }
+
+    #[test]
+    fn stationary_prefetch_is_idempotent() {
+        let scene = CityConfig::tiny().seed(3).generate();
+        let mut sys = ReviewSystem::build(
+            &scene,
+            ReviewConfig {
+                box_size: 100.0,
+                fanout: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let vp = scene.viewpoint_region().center();
+        sys.query_prefetch(vp, Vec3::ZERO, 1.0).unwrap();
+        let (_, st) = sys.query_prefetch(vp, Vec3::ZERO, 1.0).unwrap();
+        assert_eq!(st.model_io.page_reads, 0, "everything should be resident");
+        assert_eq!(
+            st.prefetch_io.page_reads,
+            st.prefetch_io.page_reads.min(16),
+            "stationary prefetch should only re-walk the tree"
+        );
+    }
+}
+
+#[cfg(test)]
+mod semantic_cache_integration {
+    use super::*;
+    use hdov_scene::CityConfig;
+
+    fn make(scene: &hdov_scene::Scene, cache_bytes: Option<u64>) -> ReviewSystem {
+        ReviewSystem::build(
+            scene,
+            ReviewConfig {
+                box_size: 80.0,
+                fanout: 8,
+                cache_bytes,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn semantic_cache_saves_refetches_on_double_back() {
+        let scene = CityConfig::small().seed(9).generate();
+        let a = scene
+            .viewpoint_region()
+            .min
+            .lerp(scene.viewpoint_region().max, 0.25);
+        let b = scene
+            .viewpoint_region()
+            .min
+            .lerp(scene.viewpoint_region().max, 0.75);
+
+        // Walk a -> b -> a. Without the cache, returning to `a` refetches
+        // everything that left the box; with it, most models are still held.
+        let run = |cache: Option<u64>| -> u64 {
+            let mut sys = make(&scene, cache);
+            sys.query(a).unwrap();
+            sys.query(b).unwrap();
+            let (_, st) = sys.query(a).unwrap();
+            st.model_io.page_reads
+        };
+        let without = run(None);
+        let with = run(Some(64 * 1024 * 1024)); // generous budget
+        assert!(without > 0, "returning must refetch without a cache");
+        assert_eq!(with, 0, "a big semantic cache must absorb the return");
+    }
+
+    #[test]
+    fn tight_cache_still_correct_and_bounded() {
+        let scene = CityConfig::tiny().seed(9).generate();
+        let vr = scene.viewpoint_region();
+        let mut sys = make(&scene, Some(20_000)); // tight budget
+        let mut baseline = make(&scene, None);
+        for i in 0..8 {
+            let vp = vr.min.lerp(vr.max, (i % 4) as f64 / 4.0);
+            let (r_cached, _) = sys.query(vp).unwrap();
+            let (r_plain, _) = baseline.query(vp).unwrap();
+            // Same answer set regardless of caching.
+            let mut a: Vec<_> = r_cached
+                .entries()
+                .iter()
+                .map(|e| (e.object, e.level))
+                .collect();
+            let mut b: Vec<_> = r_plain
+                .entries()
+                .iter()
+                .map(|e| (e.object, e.level))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "step {i}");
+        }
+        let (hits, misses) = sys.cache_stats().unwrap();
+        assert!(hits + misses > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the semantic cache against a naive model.
+
+use hdov_geom::Vec3;
+use hdov_review::SemanticCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        id: u64,
+        pos: (f64, f64),
+        bytes: u64,
+    },
+    Lookup {
+        id: u64,
+    },
+    MoveViewer {
+        pos: (f64, f64),
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..30, (-100.0..100.0f64, -100.0..100.0f64), 1u64..40)
+            .prop_map(|(id, pos, bytes)| Op::Insert { id, pos, bytes }),
+        (0u64..30).prop_map(|id| Op::Lookup { id }),
+        (-100.0..100.0f64, -100.0..100.0f64).prop_map(|pos| Op::MoveViewer { pos }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_matches_model(ops in prop::collection::vec(op_strategy(), 1..60), cap in 20u64..120) {
+        let mut cache = SemanticCache::new(cap);
+        // Model: id -> (pos, bytes). Eviction: farthest-from-viewer first.
+        let mut model: HashMap<u64, (Vec3, u64)> = HashMap::new();
+        let mut viewer = Vec3::ZERO;
+
+        for op in ops {
+            match op {
+                Op::MoveViewer { pos } => viewer = Vec3::new(pos.0, pos.1, 0.0),
+                Op::Lookup { id } => {
+                    let got = cache.lookup(id);
+                    prop_assert_eq!(got, model.contains_key(&id));
+                }
+                Op::Insert { id, pos, bytes } => {
+                    let p = Vec3::new(pos.0, pos.1, 0.0);
+                    let ok = cache.insert(id, p, bytes, viewer);
+                    if bytes > cap {
+                        prop_assert!(!ok);
+                        continue;
+                    }
+                    prop_assert!(ok);
+                    model.remove(&id);
+                    let used = |m: &HashMap<u64, (Vec3, u64)>| -> u64 {
+                        m.values().map(|&(_, b)| b).sum()
+                    };
+                    while used(&model) + bytes > cap {
+                        let victim = *model
+                            .iter()
+                            .max_by(|a, b| {
+                                a.1 .0
+                                    .distance_squared(viewer)
+                                    .partial_cmp(&b.1 .0.distance_squared(viewer))
+                                    .unwrap()
+                            })
+                            .map(|(k, _)| k)
+                            .unwrap();
+                        model.remove(&victim);
+                    }
+                    model.insert(id, (p, bytes));
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+            let used: u64 = model.values().map(|&(_, b)| b).sum();
+            prop_assert_eq!(cache.used_bytes(), used);
+            prop_assert!(cache.used_bytes() <= cap);
+        }
+    }
+}

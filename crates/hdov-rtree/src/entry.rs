@@ -1,0 +1,141 @@
+//! R-tree entries: an MBR plus a reference to a child node or an object.
+
+use hdov_geom::{Aabb, Vec3};
+use hdov_storage::codec::{ByteReader, ByteWriter};
+use hdov_storage::{PageId, Result};
+
+/// What an entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildRef {
+    /// A child node (internal entries).
+    Node(PageId),
+    /// A stored object id (leaf entries).
+    Object(u64),
+}
+
+impl ChildRef {
+    /// The raw 64-bit payload.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        match self {
+            ChildRef::Node(p) => p.0,
+            ChildRef::Object(o) => o,
+        }
+    }
+
+    /// The child page, if this is a node reference.
+    #[inline]
+    pub fn as_node(self) -> Option<PageId> {
+        match self {
+            ChildRef::Node(p) => Some(p),
+            ChildRef::Object(_) => None,
+        }
+    }
+
+    /// The object id, if this is an object reference.
+    #[inline]
+    pub fn as_object(self) -> Option<u64> {
+        match self {
+            ChildRef::Object(o) => Some(o),
+            ChildRef::Node(_) => None,
+        }
+    }
+}
+
+/// One R-tree entry: `(MBR, Ptr)` in the paper's notation (the view-variant
+/// `VD` lives in V-pages, not in the spatial backbone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Minimum bounding box of everything below this entry.
+    pub mbr: Aabb,
+    /// Child node or object reference.
+    pub child: ChildRef,
+}
+
+/// Serialized size of one entry: 6 × f64 MBR + u64 payload.
+pub const ENTRY_BYTES: usize = 48 + 8;
+
+impl Entry {
+    /// Creates a leaf entry for an object.
+    pub fn object(mbr: Aabb, id: u64) -> Self {
+        Entry {
+            mbr,
+            child: ChildRef::Object(id),
+        }
+    }
+
+    /// Creates an internal entry for a child node.
+    pub fn node(mbr: Aabb, page: PageId) -> Self {
+        Entry {
+            mbr,
+            child: ChildRef::Node(page),
+        }
+    }
+
+    /// Encodes the entry. `is_leaf` of the containing node determines how the
+    /// payload is interpreted at decode time.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        for v in [self.mbr.min, self.mbr.max] {
+            w.put_f64(v.x);
+            w.put_f64(v.y);
+            w.put_f64(v.z);
+        }
+        w.put_u64(self.child.raw());
+    }
+
+    /// Decodes an entry written by [`encode`](Self::encode).
+    pub fn decode(r: &mut ByteReader<'_>, is_leaf: bool) -> Result<Self> {
+        let min = Vec3::new(r.get_f64()?, r.get_f64()?, r.get_f64()?);
+        let max = Vec3::new(r.get_f64()?, r.get_f64()?, r.get_f64()?);
+        let raw = r.get_u64()?;
+        let child = if is_leaf {
+            ChildRef::Object(raw)
+        } else {
+            ChildRef::Node(PageId(raw))
+        };
+        Ok(Entry {
+            mbr: Aabb { min, max },
+            child,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_ref_accessors() {
+        let n = ChildRef::Node(PageId(7));
+        let o = ChildRef::Object(9);
+        assert_eq!(n.as_node(), Some(PageId(7)));
+        assert_eq!(n.as_object(), None);
+        assert_eq!(o.as_object(), Some(9));
+        assert_eq!(o.as_node(), None);
+        assert_eq!(n.raw(), 7);
+        assert_eq!(o.raw(), 9);
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let mbr = Aabb::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        for (e, is_leaf) in [
+            (Entry::object(mbr, 42), true),
+            (Entry::node(mbr, PageId(13)), false),
+        ] {
+            let mut w = ByteWriter::new();
+            e.encode(&mut w);
+            assert_eq!(w.len(), ENTRY_BYTES);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let d = Entry::decode(&mut r, is_leaf).unwrap();
+            assert_eq!(d, e);
+        }
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let mut r = ByteReader::new(&[0u8; 10]);
+        assert!(Entry::decode(&mut r, true).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! A disk-resident R-tree — the spatial backbone of the HDoV-tree.
+//!
+//! The paper builds the HDoV-tree on a Guttman R-tree whose "insertion
+//! algorithm applies a linear node splitting algorithm [Ang–Tan, SSD'97] to
+//! minimize the overlap of the bounding boxes" (§5.1). This crate provides:
+//!
+//! * a paged node layout over any [`PagedFile`](hdov_storage::PagedFile),
+//! * Guttman insertion with a choice of split algorithms
+//!   ([`SplitMethod::AngTanLinear`] — the paper's choice — and
+//!   [`SplitMethod::GuttmanQuadratic`] for comparison),
+//! * STR bulk loading ([`bulk`]),
+//! * window and point queries with exact I/O accounting, and
+//! * a structure walker used by `hdov-core` to lift the topology into an
+//!   HDoV-tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod entry;
+pub mod node;
+pub mod split;
+pub mod tree;
+
+pub use entry::{ChildRef, Entry};
+pub use node::{Node, MAX_ENTRIES, MIN_ENTRIES};
+pub use split::SplitMethod;
+pub use tree::{RTree, TreeStats};

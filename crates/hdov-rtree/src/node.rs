@@ -1,0 +1,165 @@
+//! On-page R-tree node layout.
+
+use crate::entry::{Entry, ENTRY_BYTES};
+use hdov_geom::Aabb;
+use hdov_storage::codec::{ByteReader, ByteWriter};
+use hdov_storage::{Page, Result, StorageError, PAGE_SIZE};
+
+/// Node header: magic (2) + is_leaf (1) + pad (1) + count (2) + pad (2).
+const HEADER_BYTES: usize = 8;
+const MAGIC: u16 = 0x4D52; // "RM"
+
+/// Maximum entries per node (`M`): as many as fit in one page.
+pub const MAX_ENTRIES: usize = (PAGE_SIZE - HEADER_BYTES) / ENTRY_BYTES;
+
+/// Minimum entries per non-root node (`m = 40% of M`, Guttman's default).
+pub const MIN_ENTRIES: usize = (MAX_ENTRIES * 2) / 5;
+
+/// An in-memory R-tree node, (de)serializable to a single page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// True for leaf nodes (entries reference objects).
+    pub is_leaf: bool,
+    /// The node's entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node.
+    pub fn new(is_leaf: bool) -> Self {
+        Node {
+            is_leaf,
+            entries: Vec::new(),
+        }
+    }
+
+    /// MBR covering all entries.
+    pub fn mbr(&self) -> Aabb {
+        self.entries
+            .iter()
+            .fold(Aabb::EMPTY, |acc, e| acc.union(&e.mbr))
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= MAX_ENTRIES
+    }
+
+    /// Serializes into a fresh page.
+    ///
+    /// # Panics
+    /// Panics if the node has more than [`MAX_ENTRIES`] entries (an internal
+    /// invariant violation, not a recoverable condition).
+    pub fn encode(&self) -> Page {
+        assert!(self.entries.len() <= MAX_ENTRIES, "node overflow");
+        let mut w = ByteWriter::with_capacity(PAGE_SIZE);
+        w.put_u16(MAGIC);
+        w.put_u8(self.is_leaf as u8);
+        w.put_u8(0);
+        w.put_u16(self.entries.len() as u16);
+        w.put_u16(0);
+        for e in &self.entries {
+            e.encode(&mut w);
+        }
+        Page::from_bytes(w.bytes())
+    }
+
+    /// Deserializes a node from a page.
+    pub fn decode(page: &Page) -> Result<Self> {
+        let mut r = ByteReader::new(page.bytes());
+        let magic = r.get_u16()?;
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad R-tree node magic {magic:#06x}"
+            )));
+        }
+        let is_leaf = r.get_u8()? != 0;
+        let _ = r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let _ = r.get_u16()?;
+        if count > MAX_ENTRIES {
+            return Err(StorageError::Corrupt(format!(
+                "node entry count {count} exceeds capacity {MAX_ENTRIES}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(Entry::decode(&mut r, is_leaf)?);
+        }
+        Ok(Node { is_leaf, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ChildRef;
+    use hdov_geom::Vec3;
+    use hdov_storage::PageId;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn capacity_constants_sane() {
+        assert!(MAX_ENTRIES >= 50, "fan-out too small: {MAX_ENTRIES}");
+        assert!(MIN_ENTRIES >= 2);
+        assert!(MIN_ENTRIES <= MAX_ENTRIES / 2);
+        assert!(HEADER_BYTES + MAX_ENTRIES * ENTRY_BYTES <= PAGE_SIZE);
+    }
+
+    fn sample_node(is_leaf: bool, n: usize) -> Node {
+        let mut node = Node::new(is_leaf);
+        for i in 0..n {
+            let f = i as f64;
+            let mbr = Aabb::new(Vec3::splat(f), Vec3::splat(f + 1.0));
+            node.entries.push(if is_leaf {
+                Entry::object(mbr, i as u64)
+            } else {
+                Entry::node(mbr, PageId(i as u64 + 100))
+            });
+        }
+        node
+    }
+
+    #[test]
+    fn round_trip_leaf_and_internal() {
+        for is_leaf in [true, false] {
+            let node = sample_node(is_leaf, 17);
+            let page = node.encode();
+            let decoded = Node::decode(&page).unwrap();
+            assert_eq!(decoded, node);
+        }
+    }
+
+    #[test]
+    fn round_trip_full_node() {
+        let node = sample_node(true, MAX_ENTRIES);
+        assert!(node.is_full());
+        let decoded = Node::decode(&node.encode()).unwrap();
+        assert_eq!(decoded.entries.len(), MAX_ENTRIES);
+    }
+
+    #[test]
+    fn mbr_unions_entries() {
+        let node = sample_node(true, 3);
+        let mbr = node.mbr();
+        assert_eq!(mbr.min, Vec3::splat(0.0));
+        assert_eq!(mbr.max, Vec3::splat(3.0));
+        assert!(Node::new(true).mbr().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let page = Page::from_bytes(&[0xFF; 64]);
+        assert!(Node::decode(&page).is_err());
+    }
+
+    #[test]
+    fn child_kind_follows_leaf_flag() {
+        let leaf = sample_node(true, 1);
+        let d = Node::decode(&leaf.encode()).unwrap();
+        assert!(matches!(d.entries[0].child, ChildRef::Object(0)));
+        let internal = sample_node(false, 1);
+        let d = Node::decode(&internal.encode()).unwrap();
+        assert!(matches!(d.entries[0].child, ChildRef::Node(PageId(100))));
+    }
+}

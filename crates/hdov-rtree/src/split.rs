@@ -1,0 +1,288 @@
+//! Node splitting algorithms.
+//!
+//! The paper uses the **Ang–Tan linear split** (SSD'97), chosen to minimize
+//! bounding-box overlap at linear cost; Guttman's quadratic split is provided
+//! as the classical baseline for ablation benches.
+
+use crate::entry::Entry;
+use hdov_geom::Aabb;
+
+/// Which split algorithm an [`RTree`](crate::RTree) uses on node overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitMethod {
+    /// Ang & Tan's linear split (the paper's choice).
+    #[default]
+    AngTanLinear,
+    /// Guttman's quadratic split.
+    GuttmanQuadratic,
+}
+
+impl SplitMethod {
+    /// Splits `entries` (length ≥ 2) into two non-empty groups, each with at
+    /// least `min_fill` entries (when `entries.len() >= 2 * min_fill`).
+    pub fn split(self, entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
+        assert!(entries.len() >= 2, "cannot split fewer than two entries");
+        match self {
+            SplitMethod::AngTanLinear => ang_tan_split(entries, min_fill),
+            SplitMethod::GuttmanQuadratic => quadratic_split(entries, min_fill),
+        }
+    }
+}
+
+fn group_mbr(entries: &[Entry]) -> Aabb {
+    entries.iter().fold(Aabb::EMPTY, |a, e| a.union(&e.mbr))
+}
+
+fn overlap_volume(a: &Aabb, b: &Aabb) -> f64 {
+    let i = a.intersection(b);
+    if i.is_empty() {
+        0.0
+    } else {
+        i.volume()
+    }
+}
+
+/// Ang–Tan linear split.
+///
+/// For each axis, every rectangle is assigned to the group whose side of the
+/// node MBR it is nearer to. The axis with the most balanced distribution
+/// wins; ties break on smaller group-MBR overlap, then on smaller total
+/// coverage. A rebalancing pass enforces `min_fill`.
+fn ang_tan_split(entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
+    let bounds = group_mbr(&entries);
+    let mut best: Option<(usize, f64, f64, Vec<bool>)> = None; // (imbalance, overlap, coverage, assignment)
+
+    for axis in 0..3 {
+        let lo = bounds.min[axis];
+        let hi = bounds.max[axis];
+        // to_left[i] = rectangle i is nearer the low side.
+        let to_left: Vec<bool> = entries
+            .iter()
+            .map(|e| (e.mbr.min[axis] - lo) < (hi - e.mbr.max[axis]))
+            .collect();
+        let left_count = to_left.iter().filter(|&&b| b).count();
+        let right_count = entries.len() - left_count;
+        if left_count == 0 || right_count == 0 {
+            continue;
+        }
+        let imbalance = left_count.abs_diff(right_count);
+        let (l_mbr, r_mbr) = {
+            let mut l = Aabb::EMPTY;
+            let mut r = Aabb::EMPTY;
+            for (e, &left) in entries.iter().zip(&to_left) {
+                if left {
+                    l = l.union(&e.mbr);
+                } else {
+                    r = r.union(&e.mbr);
+                }
+            }
+            (l, r)
+        };
+        let overlap = overlap_volume(&l_mbr, &r_mbr);
+        let coverage = l_mbr.volume() + r_mbr.volume();
+        let better = match &best {
+            None => true,
+            Some((bi, bo, bc, _)) => {
+                imbalance < *bi
+                    || (imbalance == *bi && overlap < *bo)
+                    || (imbalance == *bi && overlap == *bo && coverage < *bc)
+            }
+        };
+        if better {
+            best = Some((imbalance, overlap, coverage, to_left));
+        }
+    }
+
+    let assignment = match best {
+        Some((_, _, _, a)) => a,
+        // Degenerate: all rectangles identical on every axis — alternate.
+        None => (0..entries.len()).map(|i| i % 2 == 0).collect(),
+    };
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (e, keep_left) in entries.into_iter().zip(assignment) {
+        if keep_left {
+            left.push(e);
+        } else {
+            right.push(e);
+        }
+    }
+    rebalance(&mut left, &mut right, min_fill);
+    (left, right)
+}
+
+/// Guttman's quadratic split: seed with the pair wasting the most area, then
+/// greedily assign by preference (enlargement difference).
+fn quadratic_split(mut entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
+    // Pick seeds.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].mbr.union(&entries[j].mbr).volume()
+                - entries[i].mbr.volume()
+                - entries[j].mbr.volume();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Remove the later index first so the earlier stays valid.
+    let (a, b) = (s1.min(s2), s1.max(s2));
+    let seed2 = entries.remove(b);
+    let seed1 = entries.remove(a);
+    let mut left = vec![seed1];
+    let mut right = vec![seed2];
+    let mut l_mbr = left[0].mbr;
+    let mut r_mbr = right[0].mbr;
+
+    while let Some(e) = pick_next(&entries, &l_mbr, &r_mbr) {
+        let e = entries.remove(e);
+        // Force assignment when one side must absorb the remainder to make
+        // min_fill.
+        let remaining = entries.len() + 1;
+        let to_left = if left.len() + remaining <= min_fill {
+            true
+        } else if right.len() + remaining <= min_fill {
+            false
+        } else {
+            let dl = l_mbr.enlargement(&e.mbr);
+            let dr = r_mbr.enlargement(&e.mbr);
+            dl < dr || (dl == dr && l_mbr.volume() < r_mbr.volume())
+        };
+        if to_left {
+            l_mbr = l_mbr.union(&e.mbr);
+            left.push(e);
+        } else {
+            r_mbr = r_mbr.union(&e.mbr);
+            right.push(e);
+        }
+    }
+    rebalance(&mut left, &mut right, min_fill);
+    (left, right)
+}
+
+/// Index of the remaining entry with the strongest group preference.
+fn pick_next(entries: &[Entry], l: &Aabb, r: &Aabb) -> Option<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            let pa = (l.enlargement(&a.mbr) - r.enlargement(&a.mbr)).abs();
+            let pb = (l.enlargement(&b.mbr) - r.enlargement(&b.mbr)).abs();
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+/// Moves entries from the larger group to the smaller until both meet
+/// `min_fill` (movable entries chosen to least enlarge the receiving group).
+fn rebalance(left: &mut Vec<Entry>, right: &mut Vec<Entry>, min_fill: usize) {
+    let total = left.len() + right.len();
+    let min_fill = min_fill.min(total / 2);
+    loop {
+        let (small, big) = if left.len() < right.len() {
+            (&mut *left, &mut *right)
+        } else {
+            (&mut *right, &mut *left)
+        };
+        if small.len() >= min_fill {
+            break;
+        }
+        let small_mbr = group_mbr(small);
+        let (idx, _) = big
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, small_mbr.enlargement(&e.mbr)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("big group cannot be empty while small is under-filled");
+        let e = big.remove(idx);
+        small.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdov_geom::Vec3;
+
+    fn entry_at(x: f64, y: f64, id: u64) -> Entry {
+        Entry::object(
+            Aabb::new(Vec3::new(x, y, 0.0), Vec3::new(x + 1.0, y + 1.0, 1.0)),
+            id,
+        )
+    }
+
+    fn two_clusters() -> Vec<Entry> {
+        let mut v = Vec::new();
+        for i in 0..6 {
+            v.push(entry_at(i as f64 * 0.1, 0.0, i));
+        }
+        for i in 0..6 {
+            v.push(entry_at(100.0 + i as f64 * 0.1, 0.0, 100 + i));
+        }
+        v
+    }
+
+    #[test]
+    fn ang_tan_separates_clusters() {
+        let (l, r) = SplitMethod::AngTanLinear.split(two_clusters(), 3);
+        assert_eq!(l.len() + r.len(), 12);
+        assert!(l.len() >= 3 && r.len() >= 3);
+        // The groups should be the spatial clusters (either order).
+        let lx = group_mbr(&l);
+        let rx = group_mbr(&r);
+        assert_eq!(overlap_volume(&lx, &rx), 0.0);
+    }
+
+    #[test]
+    fn quadratic_separates_clusters() {
+        let (l, r) = SplitMethod::GuttmanQuadratic.split(two_clusters(), 3);
+        assert!(l.len() >= 3 && r.len() >= 3);
+        let lx = group_mbr(&l);
+        let rx = group_mbr(&r);
+        assert_eq!(overlap_volume(&lx, &rx), 0.0);
+    }
+
+    #[test]
+    fn min_fill_enforced_on_skewed_input() {
+        // 11 entries clustered + 1 outlier: naive assignment would give 1.
+        let mut v: Vec<Entry> = (0..11).map(|i| entry_at(i as f64 * 0.01, 0.0, i)).collect();
+        v.push(entry_at(1000.0, 0.0, 99));
+        for method in [SplitMethod::AngTanLinear, SplitMethod::GuttmanQuadratic] {
+            let (l, r) = method.split(v.clone(), 4);
+            assert!(l.len() >= 4, "{method:?}: left {}", l.len());
+            assert!(r.len() >= 4, "{method:?}: right {}", r.len());
+            assert_eq!(l.len() + r.len(), 12);
+        }
+    }
+
+    #[test]
+    fn identical_rectangles_still_split() {
+        let v: Vec<Entry> = (0..10).map(|i| entry_at(5.0, 5.0, i)).collect();
+        for method in [SplitMethod::AngTanLinear, SplitMethod::GuttmanQuadratic] {
+            let (l, r) = method.split(v.clone(), 4);
+            assert!(!l.is_empty() && !r.is_empty());
+            assert_eq!(l.len() + r.len(), 10);
+            assert!(l.len() >= 4 && r.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn two_entries_split_one_each() {
+        let v = vec![entry_at(0.0, 0.0, 1), entry_at(10.0, 0.0, 2)];
+        for method in [SplitMethod::AngTanLinear, SplitMethod::GuttmanQuadratic] {
+            let (l, r) = method.split(v.clone(), 1);
+            assert_eq!(l.len(), 1);
+            assert_eq!(r.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_entry_split_panics() {
+        let _ = SplitMethod::AngTanLinear.split(vec![entry_at(0.0, 0.0, 1)], 1);
+    }
+}

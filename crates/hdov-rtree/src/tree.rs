@@ -1,0 +1,734 @@
+//! The paged R-tree proper: Guttman insertion, window/point queries, and a
+//! structure walker.
+
+use crate::entry::{ChildRef, Entry};
+use crate::node::{Node, MAX_ENTRIES};
+use crate::split::SplitMethod;
+use hdov_geom::{Aabb, Vec3};
+use hdov_storage::{Page, PageId, PagedFile, Result};
+
+/// Summary statistics of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Tree height (1 = the root is a leaf).
+    pub height: u32,
+    /// Total number of nodes (pages).
+    pub node_count: u64,
+    /// Number of stored objects.
+    pub object_count: u64,
+}
+
+/// A disk-resident R-tree over a [`PagedFile`].
+///
+/// Objects are `(Aabb, u64)` pairs; the payload id typically indexes a model
+/// store. All reads go through the paged file, so wrapping the backend in a
+/// [`SimulatedDisk`](hdov_storage::SimulatedDisk) meters the queries.
+///
+/// ```
+/// use hdov_geom::{Aabb, Vec3};
+/// use hdov_rtree::{RTree, SplitMethod};
+/// use hdov_storage::MemPagedFile;
+///
+/// let mut tree = RTree::new(MemPagedFile::new(), SplitMethod::AngTanLinear).unwrap();
+/// for i in 0..100u64 {
+///     let p = Vec3::new(i as f64, 0.0, 0.0);
+///     tree.insert(Aabb::new(p, p + Vec3::splat(0.5)), i).unwrap();
+/// }
+/// let q = Aabb::new(Vec3::new(10.0, 0.0, 0.0), Vec3::new(19.9, 1.0, 1.0));
+/// assert_eq!(tree.window_query(&q).unwrap().len(), 10);
+/// assert!(tree.delete(Aabb::new(Vec3::new(10.0, 0.0, 0.0), Vec3::new(10.5, 0.5, 0.5)), 10).unwrap());
+/// assert_eq!(tree.window_query(&q).unwrap().len(), 9);
+/// ```
+#[derive(Debug)]
+pub struct RTree<F> {
+    file: F,
+    root: PageId,
+    height: u32,
+    split: SplitMethod,
+    node_count: u64,
+    object_count: u64,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+enum InsertOutcome {
+    /// Child absorbed the entry; its MBR is now this.
+    Resized(Aabb),
+    /// Child split into two; replace its entry with these.
+    Split(Entry, Entry),
+}
+
+impl<F: PagedFile> RTree<F> {
+    /// Creates an empty tree in `file` (which should be fresh) with the full
+    /// page fan-out ([`MAX_ENTRIES`]).
+    pub fn new(file: F, split: SplitMethod) -> Result<Self> {
+        Self::with_fanout(file, split, MAX_ENTRIES)
+    }
+
+    /// Creates an empty tree with a capped fan-out `M = max_entries`
+    /// (`4 ≤ M ≤ MAX_ENTRIES`). Smaller fan-outs give deeper trees — useful
+    /// for reproducing hierarchical behaviour on scaled-down datasets, and
+    /// for matching another index's fan-out in comparisons.
+    pub fn with_fanout(mut file: F, split: SplitMethod, max_entries: usize) -> Result<Self> {
+        assert!(
+            (4..=MAX_ENTRIES).contains(&max_entries),
+            "fan-out {max_entries} out of range 4..={MAX_ENTRIES}"
+        );
+        let root = file.allocate_page()?;
+        let node = Node::new(true);
+        file.write_page(root, &node.encode())?;
+        Ok(RTree {
+            file,
+            root,
+            height: 1,
+            split,
+            node_count: 1,
+            object_count: 0,
+            max_entries,
+            min_entries: (max_entries * 2) / 5,
+        })
+    }
+
+    /// Builds a tree around an existing root (used by the bulk loader).
+    pub(crate) fn from_parts(
+        file: F,
+        root: PageId,
+        height: u32,
+        split: SplitMethod,
+        node_count: u64,
+        object_count: u64,
+        max_entries: usize,
+    ) -> Self {
+        RTree {
+            file,
+            root,
+            height,
+            split,
+            node_count,
+            object_count,
+            max_entries,
+            min_entries: (max_entries * 2) / 5,
+        }
+    }
+
+    /// The fan-out cap `M`.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// The root page.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree statistics.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            height: self.height,
+            node_count: self.node_count,
+            object_count: self.object_count,
+        }
+    }
+
+    /// Borrow the underlying paged file (e.g. to read I/O stats).
+    pub fn file(&self) -> &F {
+        &self.file
+    }
+
+    /// Mutably borrow the underlying paged file.
+    pub fn file_mut(&mut self) -> &mut F {
+        &mut self.file
+    }
+
+    /// Reads and decodes the node at `page`.
+    pub fn read_node(&mut self, page: PageId) -> Result<Node> {
+        let mut buf = Page::zeroed();
+        self.file.read_page(page, &mut buf)?;
+        Node::decode(&buf)
+    }
+
+    fn write_node(&mut self, page: PageId, node: &Node) -> Result<()> {
+        self.file.write_page(page, &node.encode())
+    }
+
+    /// Inserts an object with bounding box `mbr`.
+    pub fn insert(&mut self, mbr: Aabb, object_id: u64) -> Result<()> {
+        let entry = Entry::object(mbr, object_id);
+        match self.insert_rec(self.root, entry)? {
+            InsertOutcome::Resized(_) => {}
+            InsertOutcome::Split(a, b) => {
+                // Grow a new root.
+                let new_root = self.file.allocate_page()?;
+                let mut root_node = Node::new(false);
+                root_node.entries.push(a);
+                root_node.entries.push(b);
+                self.write_node(new_root, &root_node)?;
+                self.root = new_root;
+                self.height += 1;
+                self.node_count += 1;
+            }
+        }
+        self.object_count += 1;
+        Ok(())
+    }
+
+    fn insert_rec(&mut self, page: PageId, entry: Entry) -> Result<InsertOutcome> {
+        let mut node = self.read_node(page)?;
+        if node.is_leaf {
+            node.entries.push(entry);
+            return self.finish_insert(page, node);
+        }
+        // ChooseLeaf: minimal enlargement, tie-break on smaller volume.
+        let best = node
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let ea = a.mbr.enlargement(&entry.mbr);
+                let eb = b.mbr.enlargement(&entry.mbr);
+                ea.partial_cmp(&eb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        a.mbr
+                            .volume()
+                            .partial_cmp(&b.mbr.volume())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+            })
+            .map(|(i, _)| i)
+            .expect("internal node has no entries");
+        let child_page = node.entries[best]
+            .child
+            .as_node()
+            .expect("internal entry must reference a node");
+        match self.insert_rec(child_page, entry)? {
+            InsertOutcome::Resized(mbr) => {
+                node.entries[best].mbr = mbr;
+                self.finish_insert(page, node)
+            }
+            InsertOutcome::Split(a, b) => {
+                node.entries[best] = a;
+                node.entries.push(b);
+                self.finish_insert(page, node)
+            }
+        }
+    }
+
+    /// Writes `node` back, splitting if overfull.
+    fn finish_insert(&mut self, page: PageId, node: Node) -> Result<InsertOutcome> {
+        if node.entries.len() <= self.max_entries {
+            let mbr = node.mbr();
+            self.write_node(page, &node)?;
+            return Ok(InsertOutcome::Resized(mbr));
+        }
+        let is_leaf = node.is_leaf;
+        let (left, right) = self.split.split(node.entries, self.min_entries);
+        let left_node = Node {
+            is_leaf,
+            entries: left,
+        };
+        let right_node = Node {
+            is_leaf,
+            entries: right,
+        };
+        let right_page = self.file.allocate_page()?;
+        self.node_count += 1;
+        let (lm, rm) = (left_node.mbr(), right_node.mbr());
+        self.write_node(page, &left_node)?;
+        self.write_node(right_page, &right_node)?;
+        Ok(InsertOutcome::Split(
+            Entry::node(lm, page),
+            Entry::node(rm, right_page),
+        ))
+    }
+
+    /// Deletes the object `(mbr, object_id)` (Guttman's Delete with
+    /// CondenseTree: under-full nodes are dissolved and their entries
+    /// re-inserted). Returns true when the object was found and removed.
+    pub fn delete(&mut self, mbr: Aabb, object_id: u64) -> Result<bool> {
+        let mut orphans: Vec<(Aabb, u64)> = Vec::new();
+        let mut orphan_subtrees: Vec<Entry> = Vec::new();
+        let root = self.root;
+        let found = self.delete_rec(
+            root,
+            &mbr,
+            object_id,
+            true,
+            &mut orphans,
+            &mut orphan_subtrees,
+        )?;
+        if !found {
+            return Ok(false);
+        }
+        self.object_count -= 1;
+
+        // Re-insert orphaned subtrees' objects (simplest CondenseTree
+        // variant: reinsert at leaf level; orphaned subtrees are walked down
+        // to their objects).
+        while let Some(e) = orphan_subtrees.pop() {
+            if let ChildRef::Node(page) = e.child {
+                let node = self.read_node(page)?;
+                self.node_count -= 1;
+                for child in node.entries {
+                    match child.child {
+                        ChildRef::Object(id) => orphans.push((child.mbr, id)),
+                        ChildRef::Node(_) => orphan_subtrees.push(child),
+                    }
+                }
+            }
+        }
+        for (ombr, id) in orphans {
+            self.object_count -= 1; // insert() will add it back
+            self.insert(ombr, id)?;
+        }
+
+        // Shrink the root: an internal root with a single child is replaced
+        // by that child.
+        loop {
+            let node = self.read_node(self.root)?;
+            if !node.is_leaf && node.entries.len() == 1 {
+                if let ChildRef::Node(child) = node.entries[0].child {
+                    self.root = child;
+                    self.height -= 1;
+                    self.node_count -= 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(true)
+    }
+
+    /// Recursive delete; returns true when the entry was removed below
+    /// `page`. Under-full non-root nodes push their remaining entries to the orphan
+    /// lists and report themselves for removal by returning with an empty
+    /// entry set.
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        mbr: &Aabb,
+        object_id: u64,
+        is_root: bool,
+        orphans: &mut Vec<(Aabb, u64)>,
+        orphan_subtrees: &mut Vec<Entry>,
+    ) -> Result<bool> {
+        let mut node = self.read_node(page)?;
+        if node.is_leaf {
+            let before = node.entries.len();
+            node.entries
+                .retain(|e| !(e.child == ChildRef::Object(object_id) && e.mbr == *mbr));
+            if node.entries.len() == before {
+                return Ok(false);
+            }
+            if !is_root && node.entries.len() < self.min_entries {
+                // Dissolve this leaf: orphan the survivors.
+                for e in node.entries.drain(..) {
+                    if let ChildRef::Object(id) = e.child {
+                        orphans.push((e.mbr, id));
+                    }
+                }
+            }
+            self.write_node(page, &node)?;
+            return Ok(true);
+        }
+        for i in 0..node.entries.len() {
+            if !node.entries[i].mbr.contains(mbr) {
+                continue;
+            }
+            let child_page = node.entries[i]
+                .child
+                .as_node()
+                .expect("internal entry must reference a node");
+            if self.delete_rec(child_page, mbr, object_id, false, orphans, orphan_subtrees)? {
+                let child = self.read_node(child_page)?;
+                if child.entries.is_empty()
+                    || (!child.is_leaf && child.entries.len() < self.min_entries)
+                {
+                    // Remove the child entry; orphan any remaining subtrees.
+                    for e in child.entries {
+                        orphan_subtrees.push(e);
+                    }
+                    node.entries.remove(i);
+                    self.node_count -= 1;
+                } else {
+                    node.entries[i].mbr = child.mbr();
+                }
+                if !is_root && node.entries.len() < self.min_entries {
+                    for e in node.entries.drain(..) {
+                        orphan_subtrees.push(e);
+                    }
+                }
+                self.write_node(page, &node)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Returns all `(object_id, mbr)` whose MBR intersects `query`.
+    pub fn window_query(&mut self, query: &Aabb) -> Result<Vec<(u64, Aabb)>> {
+        let mut out = Vec::new();
+        self.window_query_with(query, &mut |id, mbr| out.push((id, mbr)))?;
+        Ok(out)
+    }
+
+    /// Visitor-style window query.
+    pub fn window_query_with(
+        &mut self,
+        query: &Aabb,
+        visit: &mut dyn FnMut(u64, Aabb),
+    ) -> Result<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                if !e.mbr.intersects(query) {
+                    continue;
+                }
+                match e.child {
+                    ChildRef::Object(id) => visit(id, e.mbr),
+                    ChildRef::Node(child) => stack.push(child),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the `k` objects whose MBRs are nearest to `p` (best-first
+    /// distance browsing, Hjaltason–Samet): ties broken by object id for
+    /// determinism. Fewer than `k` results when the tree is smaller.
+    ///
+    /// Distance is the point-to-box distance (0 when `p` is inside).
+    pub fn nearest(&mut self, p: Vec3, k: usize) -> Result<Vec<(u64, f64)>> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        struct Item {
+            dist: f64,
+            tie: u64,
+            node: Option<PageId>, // None = object payload in `tie`
+        }
+        impl PartialEq for Item {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist && self.tie == other.tie
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on (dist, tie).
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.tie.cmp(&self.tie))
+            }
+        }
+
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            dist: 0.0,
+            tie: 0,
+            node: Some(self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(item) = heap.pop() {
+            match item.node {
+                None => {
+                    out.push((item.tie, item.dist));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Some(page) => {
+                    let node = self.read_node(page)?;
+                    for e in &node.entries {
+                        let dist = e.mbr.distance_to_point(p);
+                        match e.child {
+                            ChildRef::Object(id) => heap.push(Item {
+                                dist,
+                                tie: id,
+                                node: None,
+                            }),
+                            ChildRef::Node(child) => heap.push(Item {
+                                dist,
+                                tie: child.0,
+                                node: Some(child),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns all objects whose MBR contains the point `p`.
+    pub fn point_query(&mut self, p: Vec3) -> Result<Vec<u64>> {
+        let q = Aabb::new(p, p);
+        Ok(self
+            .window_query(&q)?
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect())
+    }
+
+    /// Depth-first walk over all nodes: `visit(page, node, level)` with
+    /// level 0 at the root. Children are visited in entry order.
+    pub fn visit_structure(&mut self, visit: &mut dyn FnMut(PageId, &Node, u32)) -> Result<()> {
+        let mut stack = vec![(self.root, 0u32)];
+        while let Some((page, level)) = stack.pop() {
+            let node = self.read_node(page)?;
+            visit(page, &node, level);
+            if !node.is_leaf {
+                for e in node.entries.iter().rev() {
+                    if let ChildRef::Node(child) = e.child {
+                        stack.push((child, level + 1));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies structural invariants (used by tests):
+    /// parent MBR contains child MBRs exactly; fill bounds; uniform leaf
+    /// depth; object count. Panics with a message on violation.
+    pub fn validate(&mut self) -> Result<()> {
+        let root = self.root;
+        let height = self.height;
+        let mut objects = 0u64;
+        let mut nodes = 0u64;
+        self.validate_rec(root, 1, height, true, &mut objects, &mut nodes)?;
+        assert_eq!(objects, self.object_count, "object count mismatch");
+        assert_eq!(nodes, self.node_count, "node count mismatch");
+        Ok(())
+    }
+
+    fn validate_rec(
+        &mut self,
+        page: PageId,
+        depth: u32,
+        height: u32,
+        is_root: bool,
+        objects: &mut u64,
+        nodes: &mut u64,
+    ) -> Result<Aabb> {
+        let node = self.read_node(page)?;
+        *nodes += 1;
+        if node.is_leaf {
+            assert_eq!(
+                depth, height,
+                "leaf at wrong depth {depth} (height {height})"
+            );
+        }
+        if !is_root && self.object_count > 0 {
+            assert!(
+                node.entries.len() >= self.min_entries.min(2),
+                "underfull node: {} entries",
+                node.entries.len()
+            );
+        }
+        assert!(node.entries.len() <= self.max_entries, "overfull node");
+        for e in &node.entries {
+            match e.child {
+                ChildRef::Object(_) => {
+                    assert!(node.is_leaf, "object entry in internal node");
+                    *objects += 1;
+                }
+                ChildRef::Node(child) => {
+                    assert!(!node.is_leaf, "node entry in leaf");
+                    let child_mbr =
+                        self.validate_rec(child, depth + 1, height, false, objects, nodes)?;
+                    assert!(
+                        e.mbr.inflate(1e-9).contains(&child_mbr),
+                        "parent entry MBR does not contain child"
+                    );
+                }
+            }
+        }
+        Ok(node.mbr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdov_storage::MemPagedFile;
+
+    fn boxes(n: usize, seed: u64) -> Vec<(Aabb, u64)> {
+        // Deterministic pseudo-random boxes in [0, 1000)^3.
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64) * 1000.0
+        };
+        (0..n)
+            .map(|i| {
+                let p = Vec3::new(next(), next(), next());
+                (
+                    Aabb::new(p, p + Vec3::splat(1.0 + next() / 100.0)),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn build(n: usize, method: SplitMethod) -> RTree<MemPagedFile> {
+        let mut t = RTree::new(MemPagedFile::new(), method).unwrap();
+        for (mbr, id) in boxes(n, 42) {
+            t.insert(mbr, id).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let mut t = RTree::new(MemPagedFile::new(), SplitMethod::AngTanLinear).unwrap();
+        let everything = Aabb::new(Vec3::splat(-1e9), Vec3::splat(1e9));
+        assert!(t.window_query(&everything).unwrap().is_empty());
+        assert_eq!(t.stats().object_count, 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut t = build(10, SplitMethod::AngTanLinear);
+        let everything = Aabb::new(Vec3::splat(-1e9), Vec3::splat(1e9));
+        assert_eq!(t.window_query(&everything).unwrap().len(), 10);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn grows_beyond_one_node_and_validates() {
+        for method in [SplitMethod::AngTanLinear, SplitMethod::GuttmanQuadratic] {
+            let mut t = build(1000, method);
+            assert!(t.stats().height >= 2, "{method:?} never split");
+            assert!(t.stats().node_count > 1);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let items = boxes(800, 7);
+        let mut t = RTree::new(MemPagedFile::new(), SplitMethod::AngTanLinear).unwrap();
+        for (mbr, id) in &items {
+            t.insert(*mbr, *id).unwrap();
+        }
+        for (qi, q) in [
+            Aabb::new(Vec3::splat(0.0), Vec3::splat(100.0)),
+            Aabb::new(Vec3::new(500.0, 0.0, 0.0), Vec3::new(700.0, 1000.0, 1000.0)),
+            Aabb::new(Vec3::splat(999.0), Vec3::splat(1000.0)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut got: Vec<u64> = t
+                .window_query(q)
+                .unwrap()
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<u64> = items
+                .iter()
+                .filter(|(mbr, _)| mbr.intersects(q))
+                .map(|&(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn point_query_finds_containing_boxes() {
+        let mut t = RTree::new(MemPagedFile::new(), SplitMethod::AngTanLinear).unwrap();
+        t.insert(Aabb::new(Vec3::ZERO, Vec3::splat(10.0)), 1)
+            .unwrap();
+        t.insert(Aabb::new(Vec3::splat(5.0), Vec3::splat(15.0)), 2)
+            .unwrap();
+        let mut hits = t.point_query(Vec3::splat(7.0)).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(t.point_query(Vec3::splat(20.0)).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn visit_structure_covers_all_nodes() {
+        let mut t = build(500, SplitMethod::AngTanLinear);
+        let mut count = 0u64;
+        let mut leaf_objects = 0usize;
+        let mut max_level = 0;
+        t.visit_structure(&mut |_, node, level| {
+            count += 1;
+            max_level = max_level.max(level);
+            if node.is_leaf {
+                leaf_objects += node.entries.len();
+            }
+        })
+        .unwrap();
+        assert_eq!(count, t.stats().node_count);
+        assert_eq!(leaf_objects as u64, t.stats().object_count);
+        assert_eq!(max_level + 1, t.stats().height);
+    }
+
+    #[test]
+    fn capped_fanout_gives_deeper_tree() {
+        let mut small =
+            RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+        let mut big = RTree::new(MemPagedFile::new(), SplitMethod::AngTanLinear).unwrap();
+        for (mbr, id) in boxes(400, 11) {
+            small.insert(mbr, id).unwrap();
+            big.insert(mbr, id).unwrap();
+        }
+        small.validate().unwrap();
+        big.validate().unwrap();
+        assert!(small.stats().height > big.stats().height);
+        assert_eq!(small.max_entries(), 8);
+        // Queries still agree.
+        let q = Aabb::new(Vec3::splat(100.0), Vec3::splat(400.0));
+        let mut a: Vec<u64> = small
+            .window_query(&q)
+            .unwrap()
+            .iter()
+            .map(|x| x.0)
+            .collect();
+        let mut b: Vec<u64> = big.window_query(&q).unwrap().iter().map(|x| x.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_fanout_rejected() {
+        let _ = RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 3);
+    }
+
+    #[test]
+    fn io_is_metered_through_simulated_disk() {
+        use hdov_storage::{DiskModel, SimulatedDisk};
+        let disk = SimulatedDisk::new(MemPagedFile::new(), DiskModel::FREE);
+        let mut t = RTree::new(disk, SplitMethod::AngTanLinear).unwrap();
+        for (mbr, id) in boxes(300, 3) {
+            t.insert(mbr, id).unwrap();
+        }
+        t.file_mut().reset_stats();
+        let q = Aabb::new(Vec3::splat(0.0), Vec3::splat(200.0));
+        let _ = t.window_query(&q).unwrap();
+        let reads = t.file().stats().page_reads;
+        assert!(reads >= 1);
+        assert!(reads <= t.stats().node_count);
+    }
+}

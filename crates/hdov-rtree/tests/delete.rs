@@ -1,0 +1,145 @@
+//! R-tree deletion: Guttman Delete + CondenseTree.
+
+use hdov_geom::{Aabb, Vec3};
+use hdov_rtree::{RTree, SplitMethod};
+use hdov_storage::MemPagedFile;
+
+fn boxes(n: usize, seed: u64) -> Vec<(Aabb, u64)> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 33) as f64) / (u32::MAX as f64) * 800.0
+    };
+    (0..n)
+        .map(|i| {
+            let p = Vec3::new(next(), next(), next());
+            (Aabb::new(p, p + Vec3::splat(1.5)), i as u64)
+        })
+        .collect()
+}
+
+fn build(items: &[(Aabb, u64)], fanout: usize) -> RTree<MemPagedFile> {
+    let mut t = RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, fanout).unwrap();
+    for &(mbr, id) in items {
+        t.insert(mbr, id).unwrap();
+    }
+    t
+}
+
+fn everything() -> Aabb {
+    Aabb::new(Vec3::splat(-1e6), Vec3::splat(1e6))
+}
+
+#[test]
+fn delete_single_object() {
+    let items = boxes(50, 1);
+    let mut t = build(&items, 8);
+    assert!(t.delete(items[7].0, 7).unwrap());
+    assert_eq!(t.stats().object_count, 49);
+    let ids: Vec<u64> = t
+        .window_query(&everything())
+        .unwrap()
+        .iter()
+        .map(|x| x.0)
+        .collect();
+    assert!(!ids.contains(&7));
+    assert_eq!(ids.len(), 49);
+    t.validate().unwrap();
+}
+
+#[test]
+fn delete_missing_returns_false() {
+    let items = boxes(20, 2);
+    let mut t = build(&items, 8);
+    assert!(!t.delete(items[3].0, 999).unwrap());
+    // Right id, wrong box.
+    assert!(!t
+        .delete(Aabb::new(Vec3::splat(-9.0), Vec3::splat(-8.0)), 3)
+        .unwrap());
+    assert_eq!(t.stats().object_count, 20);
+    t.validate().unwrap();
+}
+
+#[test]
+fn delete_everything_in_insertion_order() {
+    let items = boxes(120, 3);
+    let mut t = build(&items, 6);
+    for (i, &(mbr, id)) in items.iter().enumerate() {
+        assert!(t.delete(mbr, id).unwrap(), "object {id} not found");
+        assert_eq!(t.stats().object_count as usize, items.len() - i - 1);
+    }
+    assert!(t.window_query(&everything()).unwrap().is_empty());
+}
+
+#[test]
+fn delete_everything_in_reverse_order_and_reinsert() {
+    let items = boxes(150, 4);
+    let mut t = build(&items, 8);
+    for &(mbr, id) in items.iter().rev() {
+        assert!(t.delete(mbr, id).unwrap());
+    }
+    assert_eq!(t.stats().object_count, 0);
+    // The tree is still usable.
+    for &(mbr, id) in &items {
+        t.insert(mbr, id).unwrap();
+    }
+    t.validate().unwrap();
+    assert_eq!(t.window_query(&everything()).unwrap().len(), 150);
+}
+
+#[test]
+fn interleaved_insert_delete_matches_model() {
+    use std::collections::HashSet;
+    let items = boxes(300, 5);
+    let mut t = RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+    let mut model: HashSet<u64> = HashSet::new();
+    let mut s = 99u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (s >> 33) as usize
+    };
+    for step in 0..600 {
+        let idx = next() % items.len();
+        let (mbr, id) = items[idx];
+        if step % 3 == 2 && model.contains(&id) {
+            assert!(t.delete(mbr, id).unwrap());
+            model.remove(&id);
+        } else if !model.contains(&id) {
+            t.insert(mbr, id).unwrap();
+            model.insert(id);
+        }
+        if step % 100 == 99 {
+            let mut got: Vec<u64> = t
+                .window_query(&everything())
+                .unwrap()
+                .iter()
+                .map(|x| x.0)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = model.iter().copied().collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "diverged at step {step}");
+        }
+    }
+    t.validate().unwrap();
+}
+
+#[test]
+fn duplicate_boxes_delete_only_matching_id() {
+    let mbr = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+    let mut t = RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+    for id in 0..10u64 {
+        t.insert(mbr, id).unwrap();
+    }
+    assert!(t.delete(mbr, 4).unwrap());
+    let mut ids: Vec<u64> = t
+        .window_query(&everything())
+        .unwrap()
+        .iter()
+        .map(|x| x.0)
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3, 5, 6, 7, 8, 9]);
+}

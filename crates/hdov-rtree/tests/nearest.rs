@@ -1,0 +1,104 @@
+//! k-nearest-neighbour queries vs brute force.
+
+use hdov_geom::{Aabb, Vec3};
+use hdov_rtree::{RTree, SplitMethod};
+use hdov_storage::MemPagedFile;
+use proptest::prelude::*;
+
+fn boxes(n: usize, seed: u64) -> Vec<(Aabb, u64)> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 33) as f64) / (u32::MAX as f64) * 600.0
+    };
+    (0..n)
+        .map(|i| {
+            let p = Vec3::new(next(), next(), next());
+            (Aabb::new(p, p + Vec3::splat(3.0)), i as u64)
+        })
+        .collect()
+}
+
+fn build(items: &[(Aabb, u64)]) -> RTree<MemPagedFile> {
+    let mut t = RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+    for &(mbr, id) in items {
+        t.insert(mbr, id).unwrap();
+    }
+    t
+}
+
+fn brute_nearest(items: &[(Aabb, u64)], p: Vec3, k: usize) -> Vec<(u64, f64)> {
+    let mut all: Vec<(u64, f64)> = items
+        .iter()
+        .map(|&(mbr, id)| (id, mbr.distance_to_point(p)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[test]
+fn nearest_matches_brute_force_basics() {
+    let items = boxes(200, 7);
+    let mut t = build(&items);
+    for (k, p) in [
+        (1, Vec3::splat(300.0)),
+        (5, Vec3::ZERO),
+        (25, Vec3::new(600.0, 0.0, 300.0)),
+    ] {
+        let got = t.nearest(p, k).unwrap();
+        let want = brute_nearest(&items, p, k);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g.1 - w.1).abs() < 1e-9,
+                "distance mismatch: {g:?} vs {w:?}"
+            );
+        }
+        // Distances are non-decreasing.
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+    }
+}
+
+#[test]
+fn k_zero_and_k_over_size() {
+    let items = boxes(10, 8);
+    let mut t = build(&items);
+    assert!(t.nearest(Vec3::ZERO, 0).unwrap().is_empty());
+    let all = t.nearest(Vec3::ZERO, 50).unwrap();
+    assert_eq!(all.len(), 10);
+}
+
+#[test]
+fn point_inside_a_box_gets_distance_zero() {
+    let items = vec![(Aabb::new(Vec3::ZERO, Vec3::splat(10.0)), 42)];
+    let mut t = build(&items);
+    let got = t.nearest(Vec3::splat(5.0), 1).unwrap();
+    assert_eq!(got, vec![(42, 0.0)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nearest_distances_match_brute_force(
+        n in 1usize..150,
+        seed in 0u64..1000,
+        k in 1usize..20,
+        px in -100.0..700.0f64,
+        py in -100.0..700.0f64,
+        pz in -100.0..700.0f64,
+    ) {
+        let items = boxes(n, seed);
+        let mut t = build(&items);
+        let p = Vec3::new(px, py, pz);
+        let got = t.nearest(p, k).unwrap();
+        let want = brute_nearest(&items, p, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+}

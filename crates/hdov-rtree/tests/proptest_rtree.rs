@@ -1,0 +1,116 @@
+//! Property-based tests: the R-tree agrees with brute force and preserves
+//! its structural invariants under arbitrary workloads.
+
+use hdov_geom::{Aabb, Vec3};
+use hdov_rtree::{bulk, RTree, SplitMethod};
+use hdov_storage::MemPagedFile;
+use proptest::prelude::*;
+
+fn boxes(max: usize) -> impl Strategy<Value = Vec<(Aabb, u64)>> {
+    prop::collection::vec(
+        (
+            -500.0..500.0f64,
+            -500.0..500.0f64,
+            -500.0..500.0f64,
+            0.1..50.0f64,
+            0.1..50.0f64,
+            0.1..50.0f64,
+        ),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, z, w, h, d))| {
+                let min = Vec3::new(x, y, z);
+                (Aabb::new(min, min + Vec3::new(w, h, d)), i as u64)
+            })
+            .collect()
+    })
+}
+
+fn query() -> impl Strategy<Value = Aabb> {
+    (
+        -600.0..600.0f64,
+        -600.0..600.0f64,
+        -600.0..600.0f64,
+        1.0..400.0f64,
+    )
+        .prop_map(|(x, y, z, s)| {
+            let min = Vec3::new(x, y, z);
+            Aabb::new(min, min + Vec3::splat(s))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_query_matches_brute_force(
+        items in boxes(300),
+        q in query(),
+        fanout in 4usize..24,
+        method in prop_oneof![Just(SplitMethod::AngTanLinear), Just(SplitMethod::GuttmanQuadratic)],
+    ) {
+        let mut tree = RTree::with_fanout(MemPagedFile::new(), method, fanout).unwrap();
+        for (mbr, id) in &items {
+            tree.insert(*mbr, *id).unwrap();
+        }
+        let mut got: Vec<u64> = tree.window_query(&q).unwrap().into_iter().map(|x| x.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(m, _)| m.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insertion_preserves_invariants(items in boxes(400), fanout in 4usize..16) {
+        let mut tree =
+            RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, fanout).unwrap();
+        for (mbr, id) in &items {
+            tree.insert(*mbr, *id).unwrap();
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.stats().object_count, items.len() as u64);
+    }
+
+    #[test]
+    fn bulk_load_equals_insertion_results(items in boxes(250), q in query()) {
+        let mut ins =
+            RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+        for (mbr, id) in &items {
+            ins.insert(*mbr, *id).unwrap();
+        }
+        let mut blk =
+            bulk::bulk_load_with_fanout(MemPagedFile::new(), items.clone(), 0.7, 8).unwrap();
+        blk.validate().unwrap();
+        let mut a: Vec<u64> = ins.window_query(&q).unwrap().into_iter().map(|x| x.0).collect();
+        let mut b: Vec<u64> = blk.window_query(&q).unwrap().into_iter().map(|x| x.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn point_queries_consistent_with_window(items in boxes(150), p in (-600.0..600.0f64, -600.0..600.0f64, -600.0..600.0f64)) {
+        let p = Vec3::new(p.0, p.1, p.2);
+        let mut tree =
+            RTree::with_fanout(MemPagedFile::new(), SplitMethod::AngTanLinear, 8).unwrap();
+        for (mbr, id) in &items {
+            tree.insert(*mbr, *id).unwrap();
+        }
+        let mut got = tree.point_query(p).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(m, _)| m.contains_point(p))
+            .map(|&(_, id)| id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,325 @@
+//! The synthetic city generator.
+//!
+//! A seeded grid of city blocks separated by streets. Each block holds a
+//! sub-grid of slots filled with buildings, with a seeded fraction replaced
+//! by towers (tall occluders) or bunny sculptures (small, easily occluded).
+//! Streets form the walkable viewpoint space, and the height mixture creates
+//! genuine occlusion: near facades hide most of the city from street level,
+//! while towers stay visible from far away — the regime the HDoV-tree is
+//! designed for.
+
+use crate::object::{ObjectKind, SceneObject};
+use crate::prototype::{PrototypeConfig, PrototypeLibrary};
+use crate::scene::Scene;
+use hdov_geom::sampling::SplitMix64;
+use hdov_geom::{Aabb, Vec3};
+
+/// Parameters of the city generator.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Blocks along x.
+    pub blocks_x: usize,
+    /// Blocks along y.
+    pub blocks_y: usize,
+    /// Side length of a square block (metres).
+    pub block_size: f64,
+    /// Street width between blocks (metres).
+    pub street_width: f64,
+    /// Building slots per block edge (slots per block = `slots²`).
+    pub slots: usize,
+    /// Fraction of slots holding a bunny sculpture instead of a building.
+    pub bunny_fraction: f64,
+    /// Fraction of slots holding a tall tower.
+    pub tower_fraction: f64,
+    /// Prototype library parameters.
+    pub prototypes: PrototypeConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// A minimal city for unit tests: a few dozen objects, coarse meshes.
+    pub fn tiny() -> Self {
+        CityConfig {
+            blocks_x: 3,
+            blocks_y: 3,
+            block_size: 60.0,
+            street_width: 15.0,
+            slots: 2,
+            bunny_fraction: 0.15,
+            tower_fraction: 0.1,
+            prototypes: PrototypeConfig {
+                building_variants: 2,
+                tower_variants: 1,
+                bunny_variants: 1,
+                building_detail: 3,
+                bunny_subdivisions: 2,
+                lod_levels: 3,
+                lod_ratio: 0.3,
+                seed: 0,
+            },
+            seed: 0,
+        }
+    }
+
+    /// A small city for examples and integration tests (~300 objects).
+    pub fn small() -> Self {
+        CityConfig {
+            blocks_x: 6,
+            blocks_y: 6,
+            slots: 3,
+            ..CityConfig::tiny()
+        }
+    }
+
+    /// The default evaluation city (≈ the paper's default dataset at 1/40
+    /// byte scale).
+    pub fn default_paper() -> Self {
+        CityConfig {
+            blocks_x: 20,
+            blocks_y: 20,
+            block_size: 60.0,
+            street_width: 15.0,
+            slots: 3,
+            bunny_fraction: 0.12,
+            tower_fraction: 0.02,
+            prototypes: PrototypeConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the master seed (also reseeds the prototype library).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.prototypes.seed = seed;
+        self
+    }
+
+    /// Number of object slots (upper bound on object count).
+    pub fn slot_count(&self) -> usize {
+        self.blocks_x * self.blocks_y * self.slots * self.slots
+    }
+
+    /// Generates the scene.
+    pub fn generate(&self) -> Scene {
+        let lib = PrototypeLibrary::build(&self.prototypes);
+        let mut rng = SplitMix64::new(self.seed ^ 0x63697479); // "city"
+        let pitch = self.block_size + self.street_width;
+        let slot_size = self.block_size / self.slots as f64;
+        let mut objects = Vec::with_capacity(self.slot_count());
+
+        for bx in 0..self.blocks_x {
+            for by in 0..self.blocks_y {
+                let block_origin = Vec3::new(bx as f64 * pitch, by as f64 * pitch, 0.0);
+                for sx in 0..self.slots {
+                    for sy in 0..self.slots {
+                        let slot_origin = block_origin
+                            + Vec3::new(sx as f64 * slot_size, sy as f64 * slot_size, 0.0);
+                        let center = slot_origin + Vec3::new(slot_size / 2.0, slot_size / 2.0, 0.0);
+                        let draw = rng.next_f64();
+                        let (kind, half_xy, height) = if draw < self.bunny_fraction {
+                            // Bunny sculpture: 2–6 m.
+                            let s = 2.0 + 4.0 * rng.next_f64();
+                            (ObjectKind::Bunny, s / 2.0, s)
+                        } else if draw < self.bunny_fraction + self.tower_fraction {
+                            // Tower: 60–150 m tall, slim.
+                            let h = 60.0 + 90.0 * rng.next_f64();
+                            (ObjectKind::Tower, slot_size * 0.3, h)
+                        } else {
+                            // Building: footprint ~70–90 % of the slot,
+                            // height mixture biased low.
+                            let u = rng.next_f64();
+                            let h = if u < 0.75 {
+                                8.0 + 14.0 * rng.next_f64()
+                            } else {
+                                22.0 + 23.0 * rng.next_f64()
+                            };
+                            let fp = slot_size * (0.35 + 0.1 * rng.next_f64());
+                            (ObjectKind::Building, fp, h)
+                        };
+                        let proto = lib.pick(kind, rng.next_u64());
+                        let id = objects.len() as u64;
+                        let mbr = match kind {
+                            ObjectKind::Bunny => {
+                                // Bunnies float just above ground, centred.
+                                Aabb::new(
+                                    center + Vec3::new(-half_xy, -half_xy, 0.0),
+                                    center + Vec3::new(half_xy, half_xy, height),
+                                )
+                            }
+                            _ => Aabb::new(
+                                center + Vec3::new(-half_xy, -half_xy, 0.0),
+                                center + Vec3::new(half_xy, half_xy, height),
+                            ),
+                        };
+                        objects.push(SceneObject::new(id, kind, proto, mbr));
+                    }
+                }
+            }
+        }
+        Scene::new(objects, lib)
+    }
+}
+
+/// The four dataset scales of the paper's Fig. 9 (400 MB → 1.6 GB nominal,
+/// scaled 1/40 in real bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetPreset {
+    /// ~400 MB nominal.
+    Nominal400MB,
+    /// ~800 MB nominal.
+    Nominal800MB,
+    /// ~1.2 GB nominal.
+    Nominal1200MB,
+    /// ~1.6 GB nominal.
+    Nominal1600MB,
+}
+
+impl DatasetPreset {
+    /// All presets, smallest first.
+    pub fn all() -> [DatasetPreset; 4] {
+        [
+            DatasetPreset::Nominal400MB,
+            DatasetPreset::Nominal800MB,
+            DatasetPreset::Nominal1200MB,
+            DatasetPreset::Nominal1600MB,
+        ]
+    }
+
+    /// Nominal raw-dataset size in megabytes (the paper's axis).
+    pub fn nominal_mb(self) -> u64 {
+        match self {
+            DatasetPreset::Nominal400MB => 400,
+            DatasetPreset::Nominal800MB => 800,
+            DatasetPreset::Nominal1200MB => 1200,
+            DatasetPreset::Nominal1600MB => 1600,
+        }
+    }
+
+    /// City configuration for this scale. Object count grows linearly with
+    /// the nominal size (the byte-per-object cost is constant).
+    pub fn config(self) -> CityConfig {
+        let base = CityConfig::default_paper();
+        let (bx, by) = match self {
+            DatasetPreset::Nominal400MB => (10, 10),
+            DatasetPreset::Nominal800MB => (14, 14),
+            DatasetPreset::Nominal1200MB => (18, 17),
+            DatasetPreset::Nominal1600MB => (20, 20),
+        };
+        CityConfig {
+            blocks_x: bx,
+            blocks_y: by,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_city_generates() {
+        let scene = CityConfig::tiny().generate();
+        assert_eq!(scene.len(), CityConfig::tiny().slot_count());
+        assert!(!scene.is_empty());
+        assert!(scene.bounds().volume() > 0.0);
+        assert!(scene.total_polygons() > 0);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = CityConfig::tiny().seed(5).generate();
+        let b = CityConfig::tiny().seed(5).generate();
+        assert_eq!(a.objects(), b.objects());
+        let c = CityConfig::tiny().seed(6).generate();
+        assert_ne!(a.objects(), c.objects());
+    }
+
+    #[test]
+    fn objects_sit_on_ground() {
+        let scene = CityConfig::tiny().generate();
+        for o in scene.objects() {
+            assert!(o.mbr.min.z.abs() < 1e-9, "object {} floats", o.id);
+            assert!(o.mbr.max.z > 0.0);
+        }
+    }
+
+    #[test]
+    fn kind_mixture_present() {
+        let scene = CityConfig::small().seed(1).generate();
+        let mut kinds = std::collections::HashSet::new();
+        for o in scene.objects() {
+            kinds.insert(o.kind);
+        }
+        assert!(kinds.contains(&ObjectKind::Building));
+        assert!(kinds.len() >= 2, "only {kinds:?}");
+    }
+
+    #[test]
+    fn objects_do_not_overlap_streets() {
+        let cfg = CityConfig::tiny();
+        let scene = cfg.generate();
+        let pitch = cfg.block_size + cfg.street_width;
+        for o in scene.objects() {
+            // Each object fits inside its block (no street overlap).
+            let bx = (o.mbr.center().x / pitch).floor();
+            let block_max_x = bx * pitch + cfg.block_size;
+            assert!(
+                o.mbr.max.x <= block_max_x + 1e-6,
+                "object {} spills into street",
+                o.id
+            );
+        }
+    }
+
+    #[test]
+    fn viewpoint_region_is_at_eye_height() {
+        let scene = CityConfig::tiny().generate();
+        let vr = scene.viewpoint_region();
+        assert!(vr.min.z >= 1.0 && vr.max.z <= 2.5);
+        assert!(vr.extent().x > 0.0);
+    }
+
+    #[test]
+    fn presets_scale_object_counts() {
+        let counts: Vec<usize> = DatasetPreset::all()
+            .iter()
+            .map(|p| p.config().slot_count())
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] > w[0], "presets must grow: {counts:?}");
+        }
+        // Largest ≈ 4× smallest, matching 400 MB → 1.6 GB.
+        let ratio = counts[3] as f64 / counts[0] as f64;
+        assert!((3.2..=4.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn world_mesh_fills_object_mbr() {
+        let scene = CityConfig::tiny().generate();
+        for id in [0u64, 5, 10] {
+            let mesh = scene.world_mesh(id, 0);
+            let bb = mesh.aabb();
+            let want = scene.object(id).mbr;
+            assert!(
+                want.inflate(1e-3).contains(&bb),
+                "object {id}: {bb:?} vs {want:?}"
+            );
+            // The mesh should roughly span the box, not collapse.
+            assert!(bb.extent().x > 0.2 * want.extent().x);
+        }
+        // Clamping coarse levels works.
+        let coarse = scene.world_mesh(0, 99);
+        assert!(!coarse.is_empty());
+    }
+
+    #[test]
+    fn brute_force_window_oracle() {
+        let scene = CityConfig::tiny().generate();
+        let all = scene.brute_force_window(&scene.bounds());
+        assert_eq!(all.len(), scene.len());
+        let none = scene.brute_force_window(&Aabb::new(Vec3::splat(-500.0), Vec3::splat(-400.0)));
+        assert!(none.is_empty());
+    }
+}

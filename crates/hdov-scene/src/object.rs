@@ -1,0 +1,50 @@
+//! Scene objects: positioned instances of prototype models.
+
+use hdov_geom::Aabb;
+
+/// Identifier of an object within a scene (dense, `0..scene.len()`).
+pub type ObjectId = u64;
+
+/// What kind of model an object instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// A multi-tier building with tessellated facades.
+    Building,
+    /// A tall prismatic tower.
+    Tower,
+    /// A displaced-icosphere "bunny".
+    Bunny,
+    /// A user-supplied model (see
+    /// [`Scene::from_meshes`](crate::Scene::from_meshes)).
+    Custom,
+}
+
+/// One object of the virtual environment.
+///
+/// The heavy geometry lives in the [`PrototypeLibrary`](crate::PrototypeLibrary)
+/// (indexed by `prototype`); the object carries its world placement and the
+/// world-space bounding box used by the spatial index and the visibility
+/// sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneObject {
+    /// Dense object id.
+    pub id: ObjectId,
+    /// Model kind.
+    pub kind: ObjectKind,
+    /// Index into the scene's prototype library.
+    pub prototype: usize,
+    /// World-space bounding box.
+    pub mbr: Aabb,
+}
+
+impl SceneObject {
+    /// Creates an object record.
+    pub fn new(id: ObjectId, kind: ObjectKind, prototype: usize, mbr: Aabb) -> Self {
+        SceneObject {
+            id,
+            kind,
+            prototype,
+            mbr,
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The prototype model library.
+//!
+//! Generating and QEM-simplifying a unique mesh per object would dominate
+//! build time without changing any measured behaviour (the index and the
+//! visibility sampler work on bounding boxes, polygon counts, and byte
+//! sizes). So the generator creates a seeded library of distinct prototypes
+//! per kind and instances them. Every object still *stores* its own copy of
+//! the model bytes in the [`ModelStore`](crate::ModelStore), exactly like the
+//! paper's per-object model files.
+
+use crate::object::ObjectKind;
+use hdov_geom::sampling::SplitMix64;
+use hdov_geom::Vec3;
+use hdov_mesh::{generate, LodChain};
+
+/// A library of prototype LoD chains, grouped by object kind.
+#[derive(Debug, Clone)]
+pub struct PrototypeLibrary {
+    chains: Vec<LodChain>,
+    buildings: Vec<usize>,
+    towers: Vec<usize>,
+    bunnies: Vec<usize>,
+}
+
+/// Parameters for library construction.
+#[derive(Debug, Clone, Copy)]
+pub struct PrototypeConfig {
+    /// Distinct building prototypes.
+    pub building_variants: usize,
+    /// Distinct tower prototypes.
+    pub tower_variants: usize,
+    /// Distinct bunny prototypes.
+    pub bunny_variants: usize,
+    /// Facade tessellation of buildings (triangles grow with `detail²`).
+    pub building_detail: usize,
+    /// Icosphere subdivisions for bunnies.
+    pub bunny_subdivisions: u32,
+    /// Number of LoD levels per chain.
+    pub lod_levels: usize,
+    /// Polygon ratio between consecutive LoD levels.
+    pub lod_ratio: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        PrototypeConfig {
+            building_variants: 8,
+            tower_variants: 3,
+            bunny_variants: 4,
+            building_detail: 8,
+            bunny_subdivisions: 3,
+            lod_levels: 4,
+            lod_ratio: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl PrototypeLibrary {
+    /// Builds the library (the expensive step: generation + simplification).
+    pub fn build(cfg: &PrototypeConfig) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed ^ 0x70726F746F); // "proto"
+        let mut chains = Vec::new();
+        let mut buildings = Vec::new();
+        let mut towers = Vec::new();
+        let mut bunnies = Vec::new();
+
+        for i in 0..cfg.building_variants.max(1) {
+            // Unit-footprint building, scaled per-instance later.
+            let w = 0.7 + 0.3 * rng.next_f64();
+            let d = 0.7 + 0.3 * rng.next_f64();
+            let mesh = generate::building(
+                Vec3::new(-w / 2.0, -d / 2.0, 0.0),
+                Vec3::new(w / 2.0, d / 2.0, 0.0),
+                1.0,
+                cfg.building_detail,
+                cfg.seed.wrapping_add(i as u64 * 131),
+            );
+            buildings.push(chains.len());
+            chains.push(LodChain::build(mesh, cfg.lod_levels, cfg.lod_ratio));
+        }
+        for i in 0..cfg.tower_variants.max(1) {
+            let segments = 24 + (rng.next_u64() % 24) as usize;
+            let mesh = generate::tower(Vec3::ZERO, 0.4, 1.0, segments);
+            let _ = i;
+            towers.push(chains.len());
+            chains.push(LodChain::build(mesh, cfg.lod_levels, cfg.lod_ratio));
+        }
+        for i in 0..cfg.bunny_variants.max(1) {
+            let mesh = generate::bunny(
+                0.5,
+                cfg.bunny_subdivisions,
+                cfg.seed.wrapping_add(0xB0B0 + i as u64 * 977),
+            );
+            bunnies.push(chains.len());
+            chains.push(LodChain::build(mesh, cfg.lod_levels, cfg.lod_ratio));
+        }
+
+        PrototypeLibrary {
+            chains,
+            buildings,
+            towers,
+            bunnies,
+        }
+    }
+
+    /// Builds a library directly from pre-made chains (one prototype per
+    /// chain) — the entry point for user-supplied models. The kind pools are
+    /// empty, so [`pick`](Self::pick) must not be used on such a library.
+    pub fn from_chains(chains: Vec<LodChain>) -> Self {
+        PrototypeLibrary {
+            chains,
+            buildings: Vec::new(),
+            towers: Vec::new(),
+            bunnies: Vec::new(),
+        }
+    }
+
+    /// All chains (index = prototype id).
+    pub fn chains(&self) -> &[LodChain] {
+        &self.chains
+    }
+
+    /// The chain of prototype `idx`.
+    pub fn chain(&self, idx: usize) -> &LodChain {
+        &self.chains[idx]
+    }
+
+    /// Number of prototypes.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True if the library is empty (never, after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Picks a prototype of `kind` using `draw` (any u64 entropy).
+    ///
+    /// # Panics
+    /// Panics for [`ObjectKind::Custom`] or when the library was built with
+    /// [`from_chains`](Self::from_chains) (no kind pools).
+    pub fn pick(&self, kind: ObjectKind, draw: u64) -> usize {
+        let pool = match kind {
+            ObjectKind::Building => &self.buildings,
+            ObjectKind::Tower => &self.towers,
+            ObjectKind::Bunny => &self.bunnies,
+            ObjectKind::Custom => panic!("custom prototypes are addressed directly"),
+        };
+        pool[(draw % pool.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PrototypeConfig {
+        PrototypeConfig {
+            building_variants: 2,
+            tower_variants: 1,
+            bunny_variants: 1,
+            building_detail: 3,
+            bunny_subdivisions: 2,
+            lod_levels: 3,
+            lod_ratio: 0.3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn builds_all_kinds() {
+        let lib = PrototypeLibrary::build(&tiny_cfg());
+        assert_eq!(lib.len(), 4);
+        assert!(!lib.is_empty());
+        for kind in [ObjectKind::Building, ObjectKind::Tower, ObjectKind::Bunny] {
+            let idx = lib.pick(kind, 123);
+            assert!(idx < lib.len());
+            assert!(lib.chain(idx).highest().polygons > 0);
+        }
+    }
+
+    #[test]
+    fn chains_have_multiple_levels() {
+        let lib = PrototypeLibrary::build(&tiny_cfg());
+        for chain in lib.chains() {
+            assert!(chain.len() >= 2, "chain has {} levels", chain.len());
+            assert!(chain.highest().polygons > chain.lowest().polygons);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PrototypeLibrary::build(&tiny_cfg());
+        let b = PrototypeLibrary::build(&tiny_cfg());
+        assert_eq!(a.chains().len(), b.chains().len());
+        for (ca, cb) in a.chains().iter().zip(b.chains()) {
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn pick_cycles_through_variants() {
+        let lib = PrototypeLibrary::build(&tiny_cfg());
+        let a = lib.pick(ObjectKind::Building, 0);
+        let b = lib.pick(ObjectKind::Building, 1);
+        assert_ne!(a, b);
+    }
+}

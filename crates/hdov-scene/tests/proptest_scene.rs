@@ -1,0 +1,94 @@
+//! Property-based tests of the scene generator and the model store.
+
+use hdov_mesh::generate;
+use hdov_scene::store::{decode_mesh, encode_mesh};
+use hdov_scene::{CityConfig, ModelStore};
+use hdov_storage::{MemPagedFile, PagedFile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mesh_codec_identity(seed in 0u64..500, subdiv in 0u32..3) {
+        let m = generate::bunny(2.0, subdiv, seed);
+        let bytes = encode_mesh(&m);
+        let d = decode_mesh(&bytes).unwrap();
+        prop_assert_eq!(d, m);
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_is_detected_or_consistent(
+        seed in 0u64..100,
+        flip in 0usize..8,
+    ) {
+        // Corrupt a count byte: decode must error or produce a mesh whose
+        // counts match the (corrupted) header — never panic.
+        let m = generate::icosphere(1.0, 1);
+        let mut bytes = encode_mesh(&m);
+        bytes[flip] = bytes[flip].wrapping_add(seed as u8 | 1);
+        let _ = decode_mesh(&bytes); // must not panic
+    }
+
+    #[test]
+    fn city_objects_disjoint_from_streets(seed in 0u64..50) {
+        let cfg = CityConfig::tiny().seed(seed);
+        let scene = cfg.generate();
+        prop_assert_eq!(scene.len(), cfg.slot_count());
+        let pitch = cfg.block_size + cfg.street_width;
+        for o in scene.objects() {
+            // Inside exactly one block.
+            let bx = (o.mbr.center().x / pitch).floor();
+            let by = (o.mbr.center().y / pitch).floor();
+            prop_assert!(o.mbr.min.x >= bx * pitch - 1e-6);
+            prop_assert!(o.mbr.max.x <= bx * pitch + cfg.block_size + 1e-6);
+            prop_assert!(o.mbr.min.y >= by * pitch - 1e-6);
+            prop_assert!(o.mbr.max.y <= by * pitch + cfg.block_size + 1e-6);
+            prop_assert!(o.mbr.volume() > 0.0);
+        }
+    }
+
+    #[test]
+    fn model_store_round_trips_every_level(seed in 0u64..30) {
+        let scene = CityConfig::tiny().seed(seed).generate();
+        let mut file = MemPagedFile::new();
+        let chains: Vec<_> = scene
+            .objects()
+            .iter()
+            .map(|o| scene.prototypes().chain(o.prototype))
+            .collect();
+        let store = ModelStore::build(&mut file, chains.iter().copied()).unwrap();
+        prop_assert_eq!(store.len(), scene.len());
+        // Spot-check three objects end to end.
+        for id in [0u64, (scene.len() / 2) as u64, scene.len() as u64 - 1] {
+            for level in 0..store.levels(id) {
+                let mesh = store.fetch_mesh(&mut file, id, level).unwrap();
+                prop_assert_eq!(&mesh, &chains[id as usize].level(level).mesh);
+                let h = store.handle(id, level);
+                prop_assert_eq!(h.polygons as usize, mesh.triangle_count());
+            }
+        }
+        prop_assert_eq!(store.total_pages(), file.page_count());
+    }
+
+    #[test]
+    fn select_level_monotone_for_all_objects(seed in 0u64..20) {
+        let scene = CityConfig::tiny().seed(seed).generate();
+        let mut file = MemPagedFile::new();
+        let store = ModelStore::build(
+            &mut file,
+            scene.objects().iter().map(|o| scene.prototypes().chain(o.prototype)),
+        )
+        .unwrap();
+        for id in 0..store.len() as u64 {
+            let mut prev = usize::MAX;
+            for i in 0..=10 {
+                let lvl = store.select_level(id, i as f64 / 10.0);
+                prop_assert!(lvl <= prev, "object {id}: level jumped up");
+                prev = lvl;
+            }
+            prop_assert_eq!(store.select_level(id, 1.0), 0);
+            prop_assert_eq!(store.select_level(id, 0.0), store.levels(id) - 1);
+        }
+    }
+}

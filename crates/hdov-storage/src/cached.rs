@@ -1,0 +1,189 @@
+//! A generic write-through buffer pool over any [`PagedFile`].
+//!
+//! [`CachedFile`] keeps the most recently used pages in an [`LruCache`]:
+//! reads served from the pool touch no underlying device (and hence, when
+//! the backend is a [`SimulatedDisk`](crate::SimulatedDisk), cost nothing);
+//! writes go through to the backend and refresh the pooled copy, so the pool
+//! is never stale.
+//!
+//! ```
+//! use hdov_storage::{CachedFile, DiskModel, MemPagedFile, Page, PagedFile, SimulatedDisk};
+//! let disk = SimulatedDisk::new(MemPagedFile::new(), DiskModel::PAPER_ERA);
+//! let mut file = CachedFile::new(disk, 8);
+//! let id = file.append_page(&Page::from_bytes(b"hot page")).unwrap();
+//! // The write-through insert already pooled the page, so both reads hit.
+//! let mut out = Page::zeroed();
+//! file.read_page(id, &mut out).unwrap();
+//! file.read_page(id, &mut out).unwrap();
+//! assert_eq!(file.pool_stats(), (2, 0));
+//! assert_eq!(file.inner().stats().page_reads, 0);
+//! ```
+
+use crate::{LruCache, Page, PageId, PagedFile, Result};
+
+/// A write-through page cache wrapping another [`PagedFile`].
+pub struct CachedFile<F> {
+    inner: F,
+    pool: LruCache<u64, Page>,
+}
+
+impl<F: PagedFile> CachedFile<F> {
+    /// Wraps `inner` with a pool of `capacity_pages` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity_pages == 0`.
+    pub fn new(inner: F, capacity_pages: usize) -> Self {
+        CachedFile {
+            inner,
+            pool: LruCache::new(capacity_pages),
+        }
+    }
+
+    /// `(hits, misses)` counters of the pool.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.hit_stats()
+    }
+
+    /// Pool hit rate in `[0, 1]` (0 when no reads happened).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.pool.hit_stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drops every pooled page (counters retained).
+    pub fn invalidate(&mut self) {
+        self.pool.clear();
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend.
+    ///
+    /// Writing to the backend directly bypasses the pool; call
+    /// [`invalidate`](Self::invalidate) afterwards if you do.
+    pub fn inner_mut(&mut self) -> &mut F {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning the backend.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+}
+
+impl<F: PagedFile> PagedFile for CachedFile<F> {
+    fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
+        if let Some(page) = self.pool.get(&id.0) {
+            out.bytes_mut().copy_from_slice(page.bytes());
+            return Ok(());
+        }
+        self.inner.read_page(id, out)?;
+        self.pool.insert(id.0, out.clone());
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
+        self.inner.write_page(id, page)?;
+        self.pool.insert(id.0, page.clone());
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        self.inner.allocate_page()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskModel, MemPagedFile, SimulatedDisk};
+
+    fn cached(capacity: usize) -> CachedFile<SimulatedDisk<MemPagedFile>> {
+        let mut disk = SimulatedDisk::new(MemPagedFile::new(), DiskModel::PAPER_ERA);
+        for i in 0..16u8 {
+            let id = disk.allocate_page().unwrap();
+            disk.write_page(id, &Page::from_bytes(&[i; 8])).unwrap();
+        }
+        disk.reset_stats();
+        CachedFile::new(disk, capacity)
+    }
+
+    #[test]
+    fn repeat_reads_hit_the_pool() {
+        let mut f = cached(4);
+        let mut out = Page::zeroed();
+        for _ in 0..5 {
+            f.read_page(PageId(3), &mut out).unwrap();
+        }
+        assert_eq!(out.bytes()[0], 3);
+        assert_eq!(f.pool_stats(), (4, 1));
+        assert_eq!(f.inner().stats().page_reads, 1, "only the first read pays");
+        assert!((f.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_through_keeps_pool_fresh() {
+        let mut f = cached(4);
+        let mut out = Page::zeroed();
+        f.read_page(PageId(2), &mut out).unwrap();
+        f.write_page(PageId(2), &Page::from_bytes(b"fresh"))
+            .unwrap();
+        f.read_page(PageId(2), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..5], b"fresh");
+        // The post-write read was a pool hit.
+        assert_eq!(f.inner().stats().page_reads, 1);
+        // And the backend holds the same bytes.
+        let mut direct = Page::zeroed();
+        f.inner_mut().read_page(PageId(2), &mut direct).unwrap();
+        assert_eq!(&direct.bytes()[..5], b"fresh");
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut f = cached(2);
+        let mut out = Page::zeroed();
+        for i in [0u64, 1, 2, 0] {
+            f.read_page(PageId(i), &mut out).unwrap();
+        }
+        // Page 0 was evicted by 2, so the second read of 0 missed.
+        assert_eq!(f.pool_stats(), (0, 4));
+        assert_eq!(f.inner().stats().page_reads, 4);
+    }
+
+    #[test]
+    fn invalidate_forces_reread() {
+        let mut f = cached(4);
+        let mut out = Page::zeroed();
+        f.read_page(PageId(1), &mut out).unwrap();
+        f.invalidate();
+        f.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(f.inner().stats().page_reads, 2);
+    }
+
+    #[test]
+    fn errors_do_not_poison_the_pool() {
+        let mut f = cached(4);
+        let mut out = Page::zeroed();
+        assert!(f.read_page(PageId(99), &mut out).is_err());
+        assert_eq!(f.pool_stats().0, 0);
+        assert!(f.read_page(PageId(0), &mut out).is_ok());
+    }
+
+    #[test]
+    fn into_inner_round_trip() {
+        let f = cached(2);
+        let disk = f.into_inner();
+        assert_eq!(disk.page_count(), 16);
+    }
+}

@@ -1,0 +1,213 @@
+//! Little-endian encode/decode helpers for on-page records.
+//!
+//! Thin cursors over `bytes::{Buf, BufMut}` with bounds-checked reads that
+//! surface [`StorageError::Corrupt`] instead of panicking, so a damaged page
+//! cannot crash a query.
+
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut};
+
+/// Sequential writer into a byte vector.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u16` (LE).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `f32` (LE).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Appends an `f64` (LE).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+}
+
+/// Sequential bounds-checked reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.len() < n {
+            Err(StorageError::Corrupt(format!(
+                "truncated record: need {n} bytes for {what}, have {}",
+                self.buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1, "u8")?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a `u16` (LE).
+    pub fn get_u16(&mut self) -> Result<u16> {
+        self.need(2, "u16")?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Reads a `u32` (LE).
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4, "u32")?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a `u64` (LE).
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8, "u64")?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an `f32` (LE).
+    pub fn get_f32(&mut self) -> Result<f32> {
+        self.need(4, "f32")?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    /// Reads an `f64` (LE).
+    pub fn get_f64(&mut self) -> Result<f64> {
+        self.need(8, "f64")?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n, "slice")?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_slice(b"hdov");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1 + 2 + 4 + 8 + 4 + 8 + 4);
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert_eq!(r.get_slice(4).unwrap(), b"hdov");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_read_is_error_not_panic() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u32().is_err());
+        // Error preserves the buffer? By contract the reader may not be used
+        // after an error; just check the error message.
+        let err = ByteReader::new(&bytes).get_u64().unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn get_slice_bounds() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_slice(4).is_err());
+        assert_eq!(r.get_slice(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn writer_reports_len() {
+        let mut w = ByteWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u32(5);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.bytes(), &[5, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the storage layer and its users.
+
+use crate::PageId;
+use std::fmt;
+
+/// Result alias over [`StorageError`].
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A page id beyond the end of the file was accessed.
+    PageOutOfBounds {
+        /// The requested page.
+        page: PageId,
+        /// Number of pages in the file.
+        page_count: u64,
+    },
+    /// On-disk bytes failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageOutOfBounds { page, page_count } => {
+                write!(f, "{page} out of bounds (file has {page_count} pages)")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::PageOutOfBounds {
+            page: PageId(9),
+            page_count: 4,
+        };
+        assert!(e.to_string().contains("page#9"));
+        assert!(e.to_string().contains("4 pages"));
+        let c = StorageError::Corrupt("bad magic".into());
+        assert!(c.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fault injection for robustness testing.
+//!
+//! [`FaultyFile`] wraps any [`PagedFile`] and injects failures according to
+//! a [`FaultPlan`]: I/O errors on chosen pages or at a failure rate, and
+//! deterministic bit corruption. Index structures built on the storage layer
+//! must surface these as [`StorageError`]s — never panic — which the
+//! integration suites assert by driving full queries over faulty disks.
+
+use crate::{Page, PageId, PagedFile, Result, StorageError};
+
+/// What to inject.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Reads of these pages fail with an I/O error.
+    pub fail_read_pages: Vec<u64>,
+    /// Every `n`-th read fails (0 = disabled). Counted across all pages.
+    pub fail_every_nth_read: u64,
+    /// Reads of these pages succeed but return bit-flipped data.
+    pub corrupt_pages: Vec<u64>,
+    /// XOR mask applied to every byte of a corrupted page.
+    pub corruption_mask: u8,
+}
+
+impl FaultPlan {
+    /// A plan that corrupts exactly one page.
+    pub fn corrupt_one(page: u64) -> Self {
+        FaultPlan {
+            corrupt_pages: vec![page],
+            corruption_mask: 0xA5,
+            ..Default::default()
+        }
+    }
+
+    /// A plan that fails reads of exactly one page.
+    pub fn fail_one(page: u64) -> Self {
+        FaultPlan {
+            fail_read_pages: vec![page],
+            ..Default::default()
+        }
+    }
+}
+
+/// A [`PagedFile`] wrapper that injects faults per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyFile<F> {
+    inner: F,
+    plan: FaultPlan,
+    reads: u64,
+    injected: u64,
+}
+
+impl<F: PagedFile> FaultyFile<F> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: F, plan: FaultPlan) -> Self {
+        FaultyFile {
+            inner,
+            plan,
+            reads: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Disables all further injection (passthrough mode).
+    pub fn disarm(&mut self) {
+        self.plan = FaultPlan::default();
+    }
+
+    /// The wrapped file.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+}
+
+impl<F: PagedFile> PagedFile for FaultyFile<F> {
+    fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
+        self.reads += 1;
+        if self.plan.fail_read_pages.contains(&id.0)
+            || (self.plan.fail_every_nth_read > 0
+                && self.reads.is_multiple_of(self.plan.fail_every_nth_read))
+        {
+            self.injected += 1;
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "injected read fault at {id}"
+            ))));
+        }
+        self.inner.read_page(id, out)?;
+        if self.plan.corrupt_pages.contains(&id.0) {
+            self.injected += 1;
+            for b in out.bytes_mut() {
+                *b ^= self.plan.corruption_mask;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
+        self.inner.write_page(id, page)
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        self.inner.allocate_page()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemPagedFile;
+
+    fn file_with(n: u64) -> MemPagedFile {
+        let mut f = MemPagedFile::new();
+        for i in 0..n {
+            let id = f.allocate_page().unwrap();
+            f.write_page(id, &Page::from_bytes(&[i as u8; 16])).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn fail_specific_page() {
+        let mut f = FaultyFile::new(file_with(3), FaultPlan::fail_one(1));
+        let mut p = Page::zeroed();
+        assert!(f.read_page(PageId(0), &mut p).is_ok());
+        assert!(f.read_page(PageId(1), &mut p).is_err());
+        assert!(f.read_page(PageId(2), &mut p).is_ok());
+        assert_eq!(f.injected(), 1);
+    }
+
+    #[test]
+    fn fail_every_nth() {
+        let plan = FaultPlan {
+            fail_every_nth_read: 3,
+            ..Default::default()
+        };
+        let mut f = FaultyFile::new(file_with(1), plan);
+        let mut p = Page::zeroed();
+        let results: Vec<bool> = (0..9)
+            .map(|_| f.read_page(PageId(0), &mut p).is_ok())
+            .collect();
+        assert_eq!(
+            results,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(f.injected(), 3);
+    }
+
+    #[test]
+    fn corruption_flips_bits() {
+        let mut f = FaultyFile::new(file_with(2), FaultPlan::corrupt_one(0));
+        let mut p = Page::zeroed();
+        f.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(p.bytes()[0], 0xA5); // 0 ^ 0xA5
+        f.read_page(PageId(1), &mut p).unwrap();
+        assert_eq!(p.bytes()[0], 1); // untouched
+        assert_eq!(f.injected(), 1);
+    }
+
+    #[test]
+    fn disarm_restores_normal_operation() {
+        let mut f = FaultyFile::new(file_with(1), FaultPlan::fail_one(0));
+        let mut p = Page::zeroed();
+        assert!(f.read_page(PageId(0), &mut p).is_err());
+        f.disarm();
+        assert!(f.read_page(PageId(0), &mut p).is_ok());
+    }
+
+    #[test]
+    fn writes_pass_through() {
+        let mut f = FaultyFile::new(file_with(1), FaultPlan::fail_one(0));
+        assert!(f.write_page(PageId(0), &Page::from_bytes(b"x")).is_ok());
+        assert_eq!(f.page_count(), 1);
+        let inner = f.into_inner();
+        assert_eq!(inner.page_count(), 1);
+    }
+}

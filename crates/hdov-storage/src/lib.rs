@@ -1,0 +1,37 @@
+//! Paged storage substrate for the HDoV-tree reproduction.
+//!
+//! The paper evaluates everything in terms of *page I/Os* against a disk, so
+//! this crate provides:
+//!
+//! * fixed-size [`page`]s and little-endian [`codec`] helpers,
+//! * the [`PagedFile`] abstraction with in-memory and real-file backends,
+//! * a [`SimulatedDisk`] wrapper that charges a seek + transfer cost model and
+//!   keeps exact [`IoStats`] (page reads/writes, sequential vs. random,
+//!   simulated elapsed time), and
+//! * an [`LruCache`] used for buffer pools.
+//!
+//! All experiment "search time" numbers in the benchmark harness come from
+//! the simulated clock, which makes the reproduction deterministic and
+//! hardware-independent (see `DESIGN.md` §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cached;
+pub mod codec;
+pub mod disk;
+pub mod error;
+pub mod fault;
+pub mod file;
+pub mod lru;
+pub mod page;
+pub mod stats;
+
+pub use cached::CachedFile;
+pub use disk::{DiskModel, SimulatedDisk};
+pub use error::{Result, StorageError};
+pub use fault::{FaultPlan, FaultyFile};
+pub use file::{FilePagedFile, MemPagedFile, PagedFile};
+pub use lru::LruCache;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use stats::IoStats;

@@ -1,0 +1,102 @@
+//! I/O accounting.
+
+use std::ops::{Add, AddAssign};
+
+/// Exact I/O counters plus the simulated elapsed time.
+///
+/// `sequential_reads + random_reads == page_reads`; a read is *sequential*
+/// when it targets the page immediately after the previously accessed page of
+/// the same file, which is what lets the vertical scheme's depth-first V-page
+/// clustering pay off (paper §4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Pages read.
+    pub page_reads: u64,
+    /// Pages written.
+    pub page_writes: u64,
+    /// Reads that continued a sequential run.
+    pub sequential_reads: u64,
+    /// Reads that required a seek.
+    pub random_reads: u64,
+    /// Simulated elapsed time in microseconds (reads + writes).
+    pub elapsed_us: f64,
+}
+
+impl IoStats {
+    /// All-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total page accesses (reads + writes).
+    pub fn total_ios(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+
+    /// Simulated elapsed time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_us / 1000.0
+    }
+
+    /// Counter delta since an earlier snapshot of the same monotonically
+    /// growing stats (`self` must be the later snapshot).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            sequential_reads: self.sequential_reads - earlier.sequential_reads,
+            random_reads: self.random_reads - earlier.random_reads,
+            elapsed_us: self.elapsed_us - earlier.elapsed_us,
+        }
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            page_reads: self.page_reads + rhs.page_reads,
+            page_writes: self.page_writes + rhs.page_writes,
+            sequential_reads: self.sequential_reads + rhs.sequential_reads,
+            random_reads: self.random_reads + rhs.random_reads,
+            elapsed_us: self.elapsed_us + rhs.elapsed_us,
+        }
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sum() {
+        let a = IoStats {
+            page_reads: 3,
+            page_writes: 1,
+            sequential_reads: 2,
+            random_reads: 1,
+            elapsed_us: 100.0,
+        };
+        let b = IoStats {
+            page_reads: 2,
+            page_writes: 0,
+            sequential_reads: 0,
+            random_reads: 2,
+            elapsed_us: 50.0,
+        };
+        let c = a + b;
+        assert_eq!(c.page_reads, 5);
+        assert_eq!(c.total_ios(), 6);
+        assert_eq!(c.sequential_reads + c.random_reads, c.page_reads);
+        assert_eq!(c.elapsed_ms(), 0.15);
+        let mut d = IoStats::new();
+        d += c;
+        assert_eq!(d, c);
+    }
+}

@@ -1,0 +1,513 @@
+//! A first-hit ray caster over object bounding boxes.
+//!
+//! An in-memory BVH (median split on the longest centroid axis) answers
+//! "which object does this ray see first?" in `O(log n)` — the core
+//! primitive of the DoV estimator. A ground plane at `z = 0` terminates
+//! downward rays so they cannot pass underneath the city.
+
+use hdov_geom::{Aabb, Ray};
+
+#[derive(Debug)]
+enum BvhNode {
+    Leaf {
+        bounds: Aabb,
+        /// Range into `order`.
+        start: usize,
+        end: usize,
+    },
+    Inner {
+        bounds: Aabb,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A static bounding-volume hierarchy over axis-aligned boxes.
+#[derive(Debug)]
+pub struct Bvh {
+    nodes: Vec<BvhNode>,
+    /// Primitive indices in tree order.
+    order: Vec<u32>,
+    boxes: Vec<Aabb>,
+    root: usize,
+    ground_z: Option<f64>,
+}
+
+/// A first-hit result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Hit {
+    /// The ray first hits the primitive with this index, at parameter `t`.
+    Object {
+        /// Index into the box array passed at construction.
+        index: u32,
+        /// Hit distance along the (unit) ray.
+        t: f64,
+    },
+    /// The ray hits the ground plane first.
+    Ground {
+        /// Hit distance.
+        t: f64,
+    },
+    /// The ray escapes to the sky.
+    Miss,
+}
+
+const LEAF_SIZE: usize = 4;
+
+impl Bvh {
+    /// Builds a BVH over `boxes`. Pass `ground_z = Some(0.0)` to model the
+    /// city ground plane.
+    pub fn build(boxes: Vec<Aabb>, ground_z: Option<f64>) -> Self {
+        let mut order: Vec<u32> = (0..boxes.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(boxes.len().max(1) * 2);
+        let root = if boxes.is_empty() {
+            nodes.push(BvhNode::Leaf {
+                bounds: Aabb::EMPTY,
+                start: 0,
+                end: 0,
+            });
+            0
+        } else {
+            build_rec(&boxes, &mut order, 0, boxes.len(), &mut nodes)
+        };
+        Bvh {
+            nodes,
+            order,
+            boxes,
+            root,
+            ground_z,
+        }
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True if the BVH indexes no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The configured ground plane height, if any.
+    pub(crate) fn ground_z(&self) -> Option<f64> {
+        self.ground_z
+    }
+
+    /// Visits every primitive whose leaf box the ray can reach, passing the
+    /// primitive index and its box-entry parameter. The callback may use a
+    /// shrinking upper bound of its own; traversal prunes only against box
+    /// entry distances.
+    pub(crate) fn for_each_candidate(&self, ray: &Ray, visit: &mut dyn FnMut(u32, f64)) {
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            match &self.nodes[ni] {
+                BvhNode::Leaf { bounds, start, end } => {
+                    if bounds.is_empty() || bounds.ray_hit(ray).is_none() {
+                        continue;
+                    }
+                    for &prim in &self.order[*start..*end] {
+                        if let Some(t) = self.boxes[prim as usize].ray_hit(ray) {
+                            visit(prim, t);
+                        }
+                    }
+                }
+                BvhNode::Inner {
+                    bounds,
+                    left,
+                    right,
+                } => {
+                    if bounds.ray_hit(ray).is_some() {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Casts `ray` (unit direction) and returns the first thing hit.
+    ///
+    /// A primitive hit at `t = 0` (ray origin inside a box) is reported like
+    /// any other hit.
+    pub fn first_hit(&self, ray: &Ray) -> Hit {
+        let mut best_t = f64::INFINITY;
+        let mut best: Option<u32> = None;
+
+        // Ground first: it bounds the search distance.
+        let mut ground_t = None;
+        if let Some(gz) = self.ground_z {
+            if ray.dir.z < -1e-12 && ray.origin.z > gz {
+                let t = (gz - ray.origin.z) / ray.dir.z;
+                ground_t = Some(t);
+                best_t = t;
+            }
+        }
+
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            match &self.nodes[ni] {
+                BvhNode::Leaf { bounds, start, end } => {
+                    if bounds.is_empty() || bounds.ray_hit(ray).is_none_or(|t| t >= best_t) {
+                        continue;
+                    }
+                    for &prim in &self.order[*start..*end] {
+                        if let Some(t) = self.boxes[prim as usize].ray_hit(ray) {
+                            if t < best_t {
+                                best_t = t;
+                                best = Some(prim);
+                            }
+                        }
+                    }
+                }
+                BvhNode::Inner {
+                    bounds,
+                    left,
+                    right,
+                } => match bounds.ray_hit(ray) {
+                    Some(t) if t < best_t => {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                    _ => {}
+                },
+            }
+        }
+
+        match best {
+            Some(index) => Hit::Object { index, t: best_t },
+            None => match ground_t {
+                Some(t) => Hit::Ground { t },
+                None => Hit::Miss,
+            },
+        }
+    }
+}
+
+fn build_rec(
+    boxes: &[Aabb],
+    order: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<BvhNode>,
+) -> usize {
+    let bounds = order[start..end]
+        .iter()
+        .fold(Aabb::EMPTY, |a, &i| a.union(&boxes[i as usize]));
+    if end - start <= LEAF_SIZE {
+        nodes.push(BvhNode::Leaf { bounds, start, end });
+        return nodes.len() - 1;
+    }
+    // Longest axis of the centroid bounds.
+    let cbounds = order[start..end].iter().fold(Aabb::EMPTY, |a, &i| {
+        a.union_point(boxes[i as usize].center())
+    });
+    let e = cbounds.extent();
+    let axis = if e.x >= e.y && e.x >= e.z {
+        0
+    } else if e.y >= e.z {
+        1
+    } else {
+        2
+    };
+    let mid = (start + end) / 2;
+    order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+        boxes[a as usize].center()[axis]
+            .partial_cmp(&boxes[b as usize].center()[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let left = build_rec(boxes, order, start, mid, nodes);
+    let right = build_rec(boxes, order, mid, end, nodes);
+    nodes.push(BvhNode::Inner {
+        bounds,
+        left,
+        right,
+    });
+    nodes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdov_geom::Vec3;
+
+    fn row_of_boxes(n: usize) -> Vec<Aabb> {
+        (0..n)
+            .map(|i| {
+                let x = 10.0 + i as f64 * 10.0;
+                Aabb::new(Vec3::new(x, -1.0, 0.0), Vec3::new(x + 2.0, 1.0, 5.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hits_nearest_in_row() {
+        let bvh = Bvh::build(row_of_boxes(10), None);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::X);
+        match bvh.first_hit(&ray) {
+            Hit::Object { index, t } => {
+                assert_eq!(index, 0);
+                assert!((t - 10.0).abs() < 1e-9);
+            }
+            other => panic!("expected object hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occluded_boxes_not_reported() {
+        let bvh = Bvh::build(row_of_boxes(10), None);
+        // From between box 4 and 5, looking forward: must see box 5, not 6+.
+        let ray = Ray::new(Vec3::new(55.0, 0.0, 1.0), Vec3::X);
+        match bvh.first_hit(&ray) {
+            Hit::Object { index, .. } => assert_eq!(index, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_and_ground() {
+        let bvh = Bvh::build(row_of_boxes(3), Some(0.0));
+        // Upward ray misses everything.
+        assert_eq!(
+            bvh.first_hit(&Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::Z)),
+            Hit::Miss
+        );
+        // Downward ray hits the ground.
+        match bvh.first_hit(&Ray::new(Vec3::new(0.0, 50.0, 2.0), -Vec3::Z)) {
+            Hit::Ground { t } => assert!((t - 2.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_occludes_distant_box() {
+        // A shallow downward ray towards a distant box must stop at ground.
+        let bvh = Bvh::build(row_of_boxes(10), Some(0.0));
+        let dir = Vec3::new(1.0, 0.0, -0.05).normalize_or_zero();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.2), dir);
+        // Ground hit at x = 4 (before the first box at x = 10).
+        assert!(matches!(bvh.first_hit(&ray), Hit::Ground { .. }));
+    }
+
+    #[test]
+    fn without_ground_the_same_ray_hits_box() {
+        let bvh = Bvh::build(row_of_boxes(10), None);
+        let dir = Vec3::new(1.0, 0.0, -0.05).normalize_or_zero();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.2), dir);
+        // No ground: the ray dips below z=0 but boxes start at z=0; it
+        // misses all of them and escapes.
+        assert_eq!(bvh.first_hit(&ray), Hit::Miss);
+    }
+
+    #[test]
+    fn origin_inside_box_reports_that_box() {
+        let bvh = Bvh::build(row_of_boxes(10), Some(0.0));
+        let ray = Ray::new(Vec3::new(11.0, 0.0, 1.0), Vec3::X);
+        match bvh.first_hit(&ray) {
+            Hit::Object { index, t } => {
+                assert_eq!(index, 0);
+                assert_eq!(t, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_bvh_misses() {
+        let bvh = Bvh::build(vec![], Some(0.0));
+        assert!(bvh.is_empty());
+        assert_eq!(
+            bvh.first_hit(&Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::X)),
+            Hit::Miss
+        );
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        // Pseudo-random boxes, pseudo-random rays: BVH vs linear scan.
+        let mut s = 1234u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        };
+        let boxes: Vec<Aabb> = (0..200)
+            .map(|_| {
+                let p = Vec3::new(next() * 100.0, next() * 100.0, next() * 20.0);
+                Aabb::new(
+                    p,
+                    p + Vec3::new(1.0 + next() * 5.0, 1.0 + next() * 5.0, 1.0 + next() * 5.0),
+                )
+            })
+            .collect();
+        let bvh = Bvh::build(boxes.clone(), None);
+        for _ in 0..500 {
+            let origin = Vec3::new(next() * 100.0, next() * 100.0, next() * 20.0);
+            let dir = Vec3::new(next() - 0.5, next() - 0.5, next() - 0.5);
+            let Some(dir) = dir.try_normalize() else {
+                continue;
+            };
+            let ray = Ray::new(origin, dir);
+            let brute = boxes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.ray_hit(&ray).map(|t| (i as u32, t)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            match (bvh.first_hit(&ray), brute) {
+                (Hit::Object { index, t }, Some((bi, bt))) => {
+                    assert!((t - bt).abs() < 1e-9, "t mismatch");
+                    // Equal-t ties may pick either box; accept if distances match.
+                    if index != bi {
+                        assert!((t - bt).abs() < 1e-9);
+                    }
+                }
+                (Hit::Miss, None) => {}
+                (got, want) => panic!("bvh {got:?} vs brute {want:?}"),
+            }
+        }
+    }
+}
+
+/// A triangle-level BVH for mesh-accurate visibility: each primitive is a
+/// triangle tagged with its owning object.
+///
+/// Bounding boxes overestimate occlusion (a box blocks rays its mesh lets
+/// through) *and* overestimate visibility (a box face is hit where the mesh
+/// has a gap); [`TriBvh`] resolves both at higher build and query cost.
+#[derive(Debug)]
+pub struct TriBvh {
+    bvh: Bvh,
+    triangles: Vec<hdov_geom::Triangle>,
+    owners: Vec<u32>,
+}
+
+impl TriBvh {
+    /// Builds a triangle BVH from `(triangle, owner)` pairs. Pass
+    /// `ground_z = Some(0.0)` to model the city ground plane.
+    pub fn build(prims: Vec<(hdov_geom::Triangle, u32)>, ground_z: Option<f64>) -> Self {
+        let boxes: Vec<Aabb> = prims.iter().map(|(t, _)| t.aabb()).collect();
+        let (triangles, owners): (Vec<_>, Vec<_>) = prims.into_iter().unzip();
+        TriBvh {
+            bvh: Bvh::build(boxes, ground_z),
+            triangles,
+            owners,
+        }
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// True if no triangles are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Casts `ray`, returning the owner of the first triangle hit.
+    pub fn first_hit(&self, ray: &Ray) -> Hit {
+        // Reuse the box BVH as a broad phase, but the nearest box hit is not
+        // necessarily the nearest triangle hit, so walk candidates by exact
+        // triangle intersection with a shrinking bound.
+        let mut best_t = f64::INFINITY;
+        let mut best: Option<u32> = None;
+        let mut ground_t = None;
+        if let Some(gz) = self.bvh.ground_z() {
+            if ray.dir.z < -1e-12 && ray.origin.z > gz {
+                let t = (gz - ray.origin.z) / ray.dir.z;
+                ground_t = Some(t);
+                best_t = t;
+            }
+        }
+        self.bvh.for_each_candidate(ray, &mut |prim, box_t| {
+            if box_t >= best_t {
+                return;
+            }
+            if let Some(t) = self.triangles[prim as usize].ray_hit(ray) {
+                if t < best_t {
+                    best_t = t;
+                    best = Some(self.owners[prim as usize]);
+                }
+            }
+        });
+        match best {
+            Some(index) => Hit::Object { index, t: best_t },
+            None => match ground_t {
+                Some(t) => Hit::Ground { t },
+                None => Hit::Miss,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tribvh_tests {
+    use super::*;
+    use hdov_geom::{Triangle, Vec3};
+
+    fn wall(x: f64, owner: u32) -> Vec<(Triangle, u32)> {
+        // A 10x10 wall in the yz-plane at the given x, two triangles.
+        let a = Vec3::new(x, -5.0, 0.0);
+        let b = Vec3::new(x, 5.0, 0.0);
+        let c = Vec3::new(x, 5.0, 10.0);
+        let d = Vec3::new(x, -5.0, 10.0);
+        vec![
+            (Triangle::new(a, b, c), owner),
+            (Triangle::new(a, c, d), owner),
+        ]
+    }
+
+    #[test]
+    fn nearest_wall_occludes_farther() {
+        let mut prims = wall(10.0, 0);
+        prims.extend(wall(20.0, 1));
+        let bvh = TriBvh::build(prims, None);
+        assert_eq!(bvh.len(), 4);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::X);
+        match bvh.first_hit(&ray) {
+            Hit::Object { index, t } => {
+                assert_eq!(index, 0);
+                assert!((t - 10.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ray_through_gap_hits_far_wall() {
+        // Near wall with a gap: only the lower half is present.
+        let a = Vec3::new(10.0, -5.0, 0.0);
+        let b = Vec3::new(10.0, 5.0, 0.0);
+        let c = Vec3::new(10.0, 5.0, 4.0);
+        let d = Vec3::new(10.0, -5.0, 4.0);
+        let mut prims = vec![(Triangle::new(a, b, c), 0), (Triangle::new(a, c, d), 0)];
+        prims.extend(wall(20.0, 1));
+        let bvh = TriBvh::build(prims, None);
+        // A ray above the half wall passes the gap and hits wall 1 — a box
+        // caster would have credited wall 0.
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 8.0), Vec3::X);
+        match bvh.first_hit(&ray) {
+            Hit::Object { index, .. } => assert_eq!(index, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_and_miss() {
+        let bvh = TriBvh::build(wall(10.0, 0), Some(0.0));
+        assert!(matches!(
+            bvh.first_hit(&Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::Z)),
+            Hit::Miss
+        ));
+        assert!(matches!(
+            bvh.first_hit(&Ray::new(Vec3::new(0.0, 50.0, 5.0), -Vec3::Z)),
+            Hit::Ground { .. }
+        ));
+        assert!(!bvh.is_empty());
+        let empty = TriBvh::build(vec![], None);
+        assert!(empty.is_empty());
+        assert!(matches!(
+            empty.first_hit(&Ray::new(Vec3::ZERO, Vec3::X)),
+            Hit::Miss
+        ));
+    }
+}

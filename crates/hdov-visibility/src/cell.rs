@@ -1,0 +1,245 @@
+//! The viewing-cell grid.
+
+use hdov_geom::sampling::SplitMix64;
+use hdov_geom::{Aabb, Vec3};
+use hdov_scene::Scene;
+
+/// Identifier of a viewing cell, `0 .. grid.cell_count()`.
+pub type CellId = u32;
+
+/// Configuration of a [`CellGrid`].
+#[derive(Debug, Clone)]
+pub struct CellGridConfig {
+    /// The region viewpoints may occupy (cells tile its x–y footprint).
+    pub region: Aabb,
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+}
+
+impl CellGridConfig {
+    /// A grid covering the scene's walkable region, default 16 × 16 cells.
+    pub fn for_scene(scene: &Scene) -> Self {
+        CellGridConfig {
+            region: scene.viewpoint_region(),
+            nx: 16,
+            ny: 16,
+        }
+    }
+
+    /// Overrides the resolution.
+    pub fn with_resolution(mut self, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0);
+        self.nx = nx;
+        self.ny = ny;
+        self
+    }
+
+    /// Builds the grid.
+    pub fn build(&self) -> CellGrid {
+        CellGrid::new(self.clone())
+    }
+}
+
+/// A uniform grid of viewing cells over a region.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    region: Aabb,
+    nx: usize,
+    ny: usize,
+}
+
+impl CellGrid {
+    /// Creates a grid from its configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty region or zero resolution.
+    pub fn new(cfg: CellGridConfig) -> Self {
+        assert!(!cfg.region.is_empty(), "empty viewpoint region");
+        assert!(cfg.nx > 0 && cfg.ny > 0);
+        CellGrid {
+            region: cfg.region,
+            nx: cfg.nx,
+            ny: cfg.ny,
+        }
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Aabb {
+        self.region
+    }
+
+    /// The cell containing `p`, or `None` when `p` is outside the region's
+    /// x–y footprint (z is ignored: viewpoints live at eye height).
+    pub fn cell_of(&self, p: Vec3) -> Option<CellId> {
+        let e = self.region.extent();
+        let fx = (p.x - self.region.min.x) / e.x;
+        let fy = (p.y - self.region.min.y) / e.y;
+        if !(0.0..=1.0).contains(&fx) || !(0.0..=1.0).contains(&fy) {
+            return None;
+        }
+        let ix = ((fx * self.nx as f64) as usize).min(self.nx - 1);
+        let iy = ((fy * self.ny as f64) as usize).min(self.ny - 1);
+        Some((iy * self.nx + ix) as CellId)
+    }
+
+    /// The cell nearest to `p` (clamping to the region).
+    pub fn clamped_cell_of(&self, p: Vec3) -> CellId {
+        let q = self.region.closest_point(p);
+        self.cell_of(q).expect("clamped point must be inside")
+    }
+
+    /// Bounds of cell `id` (full eye-height slab in z).
+    pub fn cell_bounds(&self, id: CellId) -> Aabb {
+        assert!((id as usize) < self.cell_count(), "cell out of range");
+        let ix = id as usize % self.nx;
+        let iy = id as usize / self.nx;
+        let e = self.region.extent();
+        let (cw, ch) = (e.x / self.nx as f64, e.y / self.ny as f64);
+        Aabb::new(
+            Vec3::new(
+                self.region.min.x + ix as f64 * cw,
+                self.region.min.y + iy as f64 * ch,
+                self.region.min.z,
+            ),
+            Vec3::new(
+                self.region.min.x + (ix + 1) as f64 * cw,
+                self.region.min.y + (iy + 1) as f64 * ch,
+                self.region.max.z,
+            ),
+        )
+    }
+
+    /// Deterministic sample viewpoints inside cell `id`: the centre, then
+    /// inward-shrunk corners, then seeded jitter points, `count` in total.
+    ///
+    /// Region-DoV is the max over these samples (paper Eq. 2).
+    pub fn sample_viewpoints(&self, id: CellId, count: usize, seed: u64) -> Vec<Vec3> {
+        assert!(count > 0);
+        let b = self.cell_bounds(id);
+        let z = (b.min.z + b.max.z) * 0.5;
+        let c = b.center();
+        let mut pts = vec![Vec3::new(c.x, c.y, z)];
+        let inset = 0.1;
+        for (fx, fy) in [
+            (inset, inset),
+            (1.0 - inset, inset),
+            (inset, 1.0 - inset),
+            (1.0 - inset, 1.0 - inset),
+        ] {
+            if pts.len() >= count {
+                break;
+            }
+            pts.push(Vec3::new(
+                b.min.x + fx * (b.max.x - b.min.x),
+                b.min.y + fy * (b.max.y - b.min.y),
+                z,
+            ));
+        }
+        let mut rng = SplitMix64::new(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        while pts.len() < count {
+            pts.push(Vec3::new(
+                b.min.x + rng.next_f64() * (b.max.x - b.min.x),
+                b.min.y + rng.next_f64() * (b.max.y - b.min.y),
+                z,
+            ));
+        }
+        pts.truncate(count);
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CellGrid {
+        CellGrid::new(CellGridConfig {
+            region: Aabb::new(Vec3::new(0.0, 0.0, 1.5), Vec3::new(100.0, 50.0, 2.0)),
+            nx: 10,
+            ny: 5,
+        })
+    }
+
+    #[test]
+    fn cell_count_and_resolution() {
+        let g = grid();
+        assert_eq!(g.cell_count(), 50);
+        assert_eq!(g.resolution(), (10, 5));
+    }
+
+    #[test]
+    fn cell_of_maps_points() {
+        let g = grid();
+        assert_eq!(g.cell_of(Vec3::new(0.5, 0.5, 1.7)), Some(0));
+        assert_eq!(g.cell_of(Vec3::new(99.9, 49.9, 1.7)), Some(49));
+        assert_eq!(g.cell_of(Vec3::new(15.0, 0.0, 1.7)), Some(1));
+        assert_eq!(g.cell_of(Vec3::new(-1.0, 0.0, 1.7)), None);
+        assert_eq!(g.cell_of(Vec3::new(0.0, 51.0, 1.7)), None);
+        // Boundary maxima are clamped into the last cell.
+        assert_eq!(g.cell_of(Vec3::new(100.0, 50.0, 1.7)), Some(49));
+    }
+
+    #[test]
+    fn clamped_cell_never_fails() {
+        let g = grid();
+        assert_eq!(g.clamped_cell_of(Vec3::new(-100.0, -100.0, 0.0)), 0);
+        assert_eq!(g.clamped_cell_of(Vec3::new(1000.0, 1000.0, 0.0)), 49);
+    }
+
+    #[test]
+    fn cell_bounds_tile_region() {
+        let g = grid();
+        let mut area = 0.0;
+        for id in 0..g.cell_count() as CellId {
+            let b = g.cell_bounds(id);
+            let e = b.extent();
+            area += e.x * e.y;
+            assert!(g.region().contains(&b));
+            // Every point in the cell maps back to the cell.
+            assert_eq!(g.cell_of(b.center()), Some(id));
+        }
+        let re = g.region().extent();
+        assert!((area - re.x * re.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_viewpoints_inside_cell() {
+        let g = grid();
+        for count in [1, 3, 5, 9] {
+            let pts = g.sample_viewpoints(17, count, 7);
+            assert_eq!(pts.len(), count);
+            let b = g.cell_bounds(17);
+            for p in &pts {
+                assert!(b.contains_point(*p), "{p} outside {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_viewpoints_deterministic() {
+        let g = grid();
+        assert_eq!(g.sample_viewpoints(3, 9, 42), g.sample_viewpoints(3, 9, 42));
+        assert_ne!(
+            g.sample_viewpoints(3, 9, 42)[8],
+            g.sample_viewpoints(3, 9, 43)[8]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_cell_panics() {
+        grid().cell_bounds(50);
+    }
+}

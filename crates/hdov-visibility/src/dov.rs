@@ -1,0 +1,619 @@
+//! Per-cell degree-of-visibility tables.
+//!
+//! For every cell, the estimator takes a few sample viewpoints, casts a fixed
+//! bundle of uniformly distributed rays from each, and credits each ray to
+//! the first object it hits. `DoV(p, X)` is then the fraction of rays whose
+//! first hit is `X` — exactly the paper's "solid angle of the visible part"
+//! (§3.1) evaluated by Monte Carlo — and the region DoV of a cell is the
+//! maximum over its sample viewpoints (Eq. 2).
+
+use crate::bvh::{Bvh, Hit, TriBvh};
+use crate::cell::{CellGrid, CellId};
+use hdov_geom::sampling;
+use hdov_geom::Ray;
+use hdov_scene::Scene;
+
+/// What geometry the visibility rays are cast against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DovGeometry {
+    /// Object bounding boxes (fast, the default — conservative in the same
+    /// way the paper's object-level visibility is).
+    #[default]
+    BoundingBoxes,
+    /// The objects' actual triangles at the given LoD level (clamped to the
+    /// coarsest available). Slower and finer: rays pass through gaps that a
+    /// box would block, and graze past silhouettes a box would catch.
+    Meshes {
+        /// LoD level to instantiate each object at (0 = full detail).
+        lod_level: usize,
+    },
+}
+
+/// Estimator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DovConfig {
+    /// Rays cast per sample viewpoint (DoV resolution is `1 / rays`).
+    pub rays_per_viewpoint: usize,
+    /// Sample viewpoints per cell (centre, corners, then jitter).
+    pub viewpoints_per_cell: usize,
+    /// Seed for jittered viewpoints and ray-set rotation.
+    pub seed: u64,
+    /// Ray-cast target geometry.
+    pub geometry: DovGeometry,
+}
+
+impl Default for DovConfig {
+    fn default() -> Self {
+        DovConfig {
+            rays_per_viewpoint: 4096,
+            viewpoints_per_cell: 5,
+            seed: 0,
+            geometry: DovGeometry::BoundingBoxes,
+        }
+    }
+}
+
+impl DovConfig {
+    /// A cheap configuration for unit tests.
+    pub fn fast_test() -> Self {
+        DovConfig {
+            rays_per_viewpoint: 512,
+            viewpoints_per_cell: 3,
+            seed: 0,
+            geometry: DovGeometry::BoundingBoxes,
+        }
+    }
+}
+
+/// The ray-cast backend chosen by [`DovGeometry`].
+enum Caster {
+    Boxes(Bvh),
+    Tris(TriBvh),
+}
+
+impl Caster {
+    fn build(scene: &Scene, geometry: DovGeometry) -> Caster {
+        match geometry {
+            DovGeometry::BoundingBoxes => {
+                let boxes = scene.objects().iter().map(|o| o.mbr).collect::<Vec<_>>();
+                Caster::Boxes(Bvh::build(boxes, Some(0.0)))
+            }
+            DovGeometry::Meshes { lod_level } => {
+                let mut prims = Vec::new();
+                for o in scene.objects() {
+                    let mesh = scene.world_mesh(o.id, lod_level);
+                    for tri in mesh.triangles() {
+                        prims.push((tri, o.id as u32));
+                    }
+                }
+                Caster::Tris(TriBvh::build(prims, Some(0.0)))
+            }
+        }
+    }
+
+    fn first_hit(&self, ray: &Ray) -> Hit {
+        match self {
+            Caster::Boxes(b) => b.first_hit(ray),
+            Caster::Tris(t) => t.first_hit(ray),
+        }
+    }
+}
+
+/// Sparse per-cell DoV data: for each cell, the visible objects and their
+/// DoV values, sorted by object id.
+#[derive(Debug, Clone)]
+pub struct DovTable {
+    cells: Vec<Vec<(u32, f32)>>,
+    rays_per_viewpoint: usize,
+}
+
+impl DovTable {
+    /// Computes the table for `scene` over `grid`.
+    ///
+    /// Work is distributed over `threads` scoped worker threads (pass 0 to
+    /// use the available parallelism).
+    pub fn compute(scene: &Scene, grid: &CellGrid, cfg: &DovConfig, threads: usize) -> DovTable {
+        let bvh = Caster::build(scene, cfg.geometry);
+        let n_cells = grid.cell_count();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        let mut cells: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_cells];
+
+        // Static round-robin partition of cells over workers.
+        type CellSlot = Vec<(u32, f32)>;
+        let chunks: Vec<(usize, &mut [CellSlot])> = {
+            let per = n_cells.div_ceil(threads.max(1));
+            cells
+                .chunks_mut(per.max(1))
+                .enumerate()
+                .map(|(i, c)| (i * per.max(1), c))
+                .collect()
+        };
+        crossbeam::thread::scope(|s| {
+            for (offset, chunk) in chunks {
+                let bvh = &bvh;
+                let grid = &grid;
+                s.spawn(move |_| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let cell = (offset + k) as CellId;
+                        *slot = compute_cell(bvh, grid, cell, cfg);
+                    }
+                });
+            }
+        })
+        .expect("DoV worker panicked");
+
+        DovTable {
+            cells,
+            rays_per_viewpoint: cfg.rays_per_viewpoint,
+        }
+    }
+
+    /// The `(object, DoV)` list of `cell`, sorted by object id. Only objects
+    /// with `DoV > 0` appear.
+    pub fn cell(&self, cell: CellId) -> &[(u32, f32)] {
+        &self.cells[cell as usize]
+    }
+
+    /// DoV of `object` in `cell` (0 when hidden).
+    pub fn dov(&self, cell: CellId, object: u32) -> f32 {
+        let list = self.cell(cell);
+        match list.binary_search_by_key(&object, |&(o, _)| o) {
+            Ok(i) => list[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of visible objects in `cell` (the paper's `N_vobj`).
+    pub fn visible_count(&self, cell: CellId) -> usize {
+        self.cells[cell as usize].len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mean `N_vobj` over all cells.
+    pub fn avg_visible(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().map(|c| c.len() as f64).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// The smallest non-zero DoV the estimator can resolve.
+    pub fn resolution(&self) -> f64 {
+        1.0 / self.rays_per_viewpoint as f64
+    }
+
+    /// Total DoV mass of a cell (≤ 1 by construction: first-hit rays
+    /// partition the sphere).
+    pub fn total_dov(&self, cell: CellId) -> f64 {
+        self.cell(cell).iter().map(|&(_, d)| d as f64).sum()
+    }
+
+    /// Cells whose visibility data can be affected by adding, removing, or
+    /// moving objects (conservative): a cell is affected when any changed
+    /// object was visible from it, or when a changed region's *unoccluded*
+    /// solid-angle bound from the cell reaches the estimator's resolution.
+    ///
+    /// Occlusion only shrinks DoV, so cells outside this set can neither see
+    /// a changed object nor have anything revealed/hidden behind one —
+    /// revealed geometry appears only along rays that pass through a changed
+    /// region.
+    ///
+    /// * `changed_objects` — ids whose previous visibility forces a
+    ///   recompute wherever they appeared,
+    /// * `changed_regions` — old *and* new bounding boxes of every edit.
+    pub fn affected_cells(
+        &self,
+        grid: &CellGrid,
+        changed_objects: &[u32],
+        changed_regions: &[hdov_geom::Aabb],
+    ) -> Vec<CellId> {
+        use hdov_geom::solid_angle;
+        let resolution = self.resolution();
+        let mut out = Vec::new();
+        'cells: for cell in 0..self.cells.len() as CellId {
+            for &obj in changed_objects {
+                if self.dov(cell, obj) > 0.0 {
+                    out.push(cell);
+                    continue 'cells;
+                }
+            }
+            let cb = grid.cell_bounds(cell);
+            for region in changed_regions {
+                if region.is_empty() {
+                    continue;
+                }
+                // Nearest possible viewpoint in the cell to the region.
+                let vp = cb.closest_point(region.center());
+                let bound = solid_angle::aabb_dov_upper_bound(region, vp);
+                if bound >= resolution {
+                    out.push(cell);
+                    continue 'cells;
+                }
+            }
+        }
+        out
+    }
+
+    /// Recomputes the listed cells in place against the (edited) `scene` —
+    /// the incremental companion to [`compute`](Self::compute). Cells not
+    /// listed keep their existing data.
+    ///
+    /// Typical flow after a scene edit:
+    /// `let dirty = table.affected_cells(...); table.recompute_cells(&new_scene, &grid, &cfg, &dirty);`
+    pub fn recompute_cells(
+        &mut self,
+        scene: &Scene,
+        grid: &CellGrid,
+        cfg: &DovConfig,
+        cells: &[CellId],
+    ) {
+        assert_eq!(
+            self.rays_per_viewpoint, cfg.rays_per_viewpoint,
+            "recompute must use the table's original ray count"
+        );
+        let caster = Caster::build(scene, cfg.geometry);
+        for &cell in cells {
+            self.cells[cell as usize] = compute_cell(&caster, grid, cell, cfg);
+        }
+    }
+
+    /// Serializes the table (little-endian, versioned). DoV precomputation
+    /// is the expensive offline step — the paper reports ~1 s per cell — so
+    /// persisting the result makes environment rebuilds instant.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.cells.len() * 8);
+        out.extend_from_slice(b"DOVT");
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&(self.rays_per_viewpoint as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cells.len() as u64).to_le_bytes());
+        for cell in &self.cells {
+            out.extend_from_slice(&(cell.len() as u32).to_le_bytes());
+            for &(obj, dov) in cell {
+                out.extend_from_slice(&obj.to_le_bytes());
+                out.extend_from_slice(&dov.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a table written by [`encode`](Self::encode).
+    ///
+    /// Returns `None` on any structural mismatch (bad magic/version,
+    /// truncation, unsorted cells).
+    pub fn decode(bytes: &[u8]) -> Option<DovTable> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, 4)? != b"DOVT" {
+            return None;
+        }
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        if version != 1 {
+            return None;
+        }
+        let rays = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        let n_cells = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        // Never allocate from an unvalidated count: each cell costs at
+        // least 4 bytes, each entry 8.
+        if n_cells.checked_mul(4)? > bytes.len() - pos {
+            return None;
+        }
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            if n.checked_mul(8)? > bytes.len() - pos {
+                return None;
+            }
+            let mut cell = Vec::with_capacity(n);
+            for _ in 0..n {
+                let obj = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                let dov = f32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                if !(0.0..=1.0).contains(&dov) {
+                    return None;
+                }
+                cell.push((obj, dov));
+            }
+            if cell.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return None; // must be strictly sorted by object id
+            }
+            cells.push(cell);
+        }
+        if pos != bytes.len() || rays == 0 {
+            return None;
+        }
+        Some(DovTable {
+            cells,
+            rays_per_viewpoint: rays,
+        })
+    }
+}
+
+fn compute_cell(bvh: &Caster, grid: &CellGrid, cell: CellId, cfg: &DovConfig) -> Vec<(u32, f32)> {
+    let viewpoints = grid.sample_viewpoints(cell, cfg.viewpoints_per_cell, cfg.seed);
+    let mut max_dov: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+    let mut hits: Vec<u32> = Vec::new();
+    for (vi, vp) in viewpoints.iter().enumerate() {
+        // A distinct ray set per viewpoint decorrelates the MC error.
+        let dirs = sampling::random_sphere(
+            cfg.rays_per_viewpoint,
+            cfg.seed ^ ((cell as u64) << 20) ^ vi as u64,
+        );
+        hits.clear();
+        for d in &dirs {
+            if let Hit::Object { index, .. } = bvh.first_hit(&Ray::new(*vp, *d)) {
+                hits.push(index);
+            }
+        }
+        hits.sort_unstable();
+        let mut i = 0;
+        while i < hits.len() {
+            let obj = hits[i];
+            let mut j = i;
+            while j < hits.len() && hits[j] == obj {
+                j += 1;
+            }
+            let dov = (j - i) as f32 / cfg.rays_per_viewpoint as f32;
+            let e = max_dov.entry(obj).or_insert(0.0);
+            if dov > *e {
+                *e = dov;
+            }
+            i = j;
+        }
+    }
+    let mut out: Vec<(u32, f32)> = max_dov.into_iter().collect();
+    out.sort_unstable_by_key(|&(o, _)| o);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellGridConfig;
+    use hdov_scene::CityConfig;
+
+    fn tiny_table() -> (hdov_scene::Scene, CellGrid, DovTable) {
+        let scene = CityConfig::tiny().seed(3).generate();
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(4, 4)
+            .build();
+        let table = DovTable::compute(&scene, &grid, &DovConfig::fast_test(), 2);
+        (scene, grid, table)
+    }
+
+    #[test]
+    fn table_covers_all_cells() {
+        let (_, grid, table) = tiny_table();
+        assert_eq!(table.cell_count(), grid.cell_count());
+    }
+
+    #[test]
+    fn dov_values_in_range_and_sum_bounded() {
+        let (_, _, table) = tiny_table();
+        let mut any_visible = false;
+        for cell in 0..table.cell_count() as CellId {
+            let total = table.total_dov(cell);
+            // Max over viewpoints can push the sum slightly over the
+            // single-viewpoint bound of 1; it stays ≤ #viewpoints.
+            assert!(total <= 3.0 + 1e-6, "cell {cell} total {total}");
+            for &(_, d) in table.cell(cell) {
+                assert!(d > 0.0 && d <= 1.0);
+                any_visible = true;
+            }
+        }
+        assert!(any_visible, "no object visible from any cell");
+    }
+
+    #[test]
+    fn lists_sorted_and_lookup_consistent() {
+        let (_, _, table) = tiny_table();
+        for cell in 0..table.cell_count() as CellId {
+            let list = table.cell(cell);
+            assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(obj, d) in list {
+                assert_eq!(table.dov(cell, obj), d);
+            }
+        }
+        assert_eq!(table.dov(0, 9999), 0.0);
+    }
+
+    #[test]
+    fn near_objects_have_higher_dov_than_far() {
+        let (scene, grid, table) = tiny_table();
+        // For each cell, the max-DoV object should be nearer than the
+        // median visible object, on average.
+        let mut checked = 0;
+        for cell in 0..table.cell_count() as CellId {
+            let list = table.cell(cell);
+            if list.len() < 4 {
+                continue;
+            }
+            let center = grid.cell_bounds(cell).center();
+            let best = list
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            let best_dist = scene.object(best.0 as u64).mbr.distance_to_point(center);
+            let mean_dist: f64 = list
+                .iter()
+                .map(|&(o, _)| scene.object(o as u64).mbr.distance_to_point(center))
+                .sum::<f64>()
+                / list.len() as f64;
+            if best_dist < mean_dist {
+                checked += 1;
+            }
+        }
+        assert!(
+            checked >= table.cell_count() / 2,
+            "only {checked} cells sane"
+        );
+    }
+
+    #[test]
+    fn visible_fraction_is_partial() {
+        // Occlusion must hide a decent share of the city from street level.
+        let (scene, _, table) = tiny_table();
+        let avg = table.avg_visible();
+        assert!(avg > 1.0, "avg visible {avg}");
+        assert!(
+            avg < scene.len() as f64,
+            "every object visible from every cell — no occlusion?"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let scene = CityConfig::tiny().seed(5).generate();
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(3, 3)
+            .build();
+        let a = DovTable::compute(&scene, &grid, &DovConfig::fast_test(), 1);
+        let b = DovTable::compute(&scene, &grid, &DovConfig::fast_test(), 4);
+        for c in 0..a.cell_count() as CellId {
+            assert_eq!(a.cell(c), b.cell(c), "cell {c} differs");
+        }
+    }
+
+    #[test]
+    fn resolution_reported() {
+        let (_, _, table) = tiny_table();
+        assert!((table.resolution() - 1.0 / 512.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::cell::CellGridConfig;
+    use hdov_scene::CityConfig;
+
+    fn table() -> DovTable {
+        let scene = CityConfig::tiny().seed(13).generate();
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(3, 3)
+            .build();
+        DovTable::compute(&scene, &grid, &DovConfig::fast_test(), 2)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = table();
+        let bytes = t.encode();
+        let d = DovTable::decode(&bytes).expect("decode");
+        assert_eq!(d.cell_count(), t.cell_count());
+        assert!((d.resolution() - t.resolution()).abs() < 1e-12);
+        for c in 0..t.cell_count() as CellId {
+            assert_eq!(d.cell(c), t.cell(c));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = table();
+        let bytes = t.encode();
+        assert!(
+            DovTable::decode(&bytes[..bytes.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(DovTable::decode(&bad_magic).is_none(), "magic");
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert!(DovTable::decode(&bad_version).is_none(), "version");
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(DovTable::decode(&extra).is_none(), "trailing bytes");
+        assert!(DovTable::decode(&[]).is_none(), "empty");
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_dov() {
+        let t = table();
+        let mut bytes = t.encode();
+        // Find the first DoV float (after header + first cell count) and
+        // poke it to 2.0.
+        let first_dov_at = 4 + 4 + 8 + 8 + 4 + 4;
+        bytes[first_dov_at..first_dov_at + 4].copy_from_slice(&2.0f32.to_le_bytes());
+        assert!(DovTable::decode(&bytes).is_none());
+    }
+}
+
+#[cfg(test)]
+mod geometry_tests {
+    use super::*;
+    use crate::cell::CellGridConfig;
+    use hdov_geom::Vec3;
+    use hdov_mesh::generate;
+    use hdov_scene::Scene;
+
+    /// One sphere in an otherwise empty world: the mesh subtends a smaller
+    /// solid angle than its bounding box.
+    #[test]
+    fn mesh_dov_below_box_dov_for_isolated_sphere() {
+        let mesh = {
+            let mut m = generate::icosphere(5.0, 3);
+            m.translate(Vec3::new(30.0, 0.0, 10.0));
+            m
+        };
+        let scene = Scene::from_meshes(vec![mesh], 1, 0.5).unwrap();
+        // One cell centred at the origin (the viewpoint region sits over the
+        // scene bounds; use a custom grid around the origin instead).
+        let grid = crate::cell::CellGrid::new(CellGridConfig {
+            region: hdov_geom::Aabb::new(Vec3::new(-1.0, -1.0, 9.5), Vec3::new(1.0, 1.0, 10.5)),
+            nx: 1,
+            ny: 1,
+        });
+        let mk = |geometry| DovConfig {
+            rays_per_viewpoint: 8192,
+            viewpoints_per_cell: 1,
+            seed: 3,
+            geometry,
+        };
+        let boxes = DovTable::compute(&scene, &grid, &mk(DovGeometry::BoundingBoxes), 1);
+        let tris = DovTable::compute(&scene, &grid, &mk(DovGeometry::Meshes { lod_level: 0 }), 1);
+        let (b, t) = (boxes.dov(0, 0), tris.dov(0, 0));
+        assert!(b > 0.0 && t > 0.0, "box {b}, tri {t}");
+        assert!(t < b, "mesh DoV {t} must be below box DoV {b}");
+        // Sanity: analytic solid angle of the sphere brackets the MC value.
+        let d = Vec3::new(30.0, 0.0, 10.0).distance(Vec3::new(0.0, 0.0, 10.0));
+        let exact = hdov_geom::solid_angle::sphere_solid_angle(5.0, d)
+            / hdov_geom::solid_angle::FULL_SPHERE;
+        assert!((t as f64 - exact).abs() < 0.01, "tri {t} vs exact {exact}");
+    }
+
+    #[test]
+    fn mesh_mode_is_deterministic_and_well_formed() {
+        let scene = hdov_scene::CityConfig::tiny().seed(4).generate();
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(2, 2)
+            .build();
+        let cfg = DovConfig {
+            rays_per_viewpoint: 512,
+            viewpoints_per_cell: 2,
+            seed: 5,
+            geometry: DovGeometry::Meshes { lod_level: 1 },
+        };
+        let a = DovTable::compute(&scene, &grid, &cfg, 1);
+        let b = DovTable::compute(&scene, &grid, &cfg, 3);
+        for c in 0..a.cell_count() as CellId {
+            assert_eq!(a.cell(c), b.cell(c));
+            for &(_, d) in a.cell(c) {
+                assert!(d > 0.0 && d <= 1.0);
+            }
+        }
+        assert!(a.avg_visible() > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Viewing cells and degree-of-visibility (DoV) computation.
+//!
+//! The paper partitions the viewpoint space into disjoint cells and, offline,
+//! computes for every cell the DoV of every object: the fraction of the view
+//! sphere covered by the object's *visible* (unoccluded) part, maximized over
+//! viewpoints in the cell (Eq. 2). The original system used a
+//! hardware-accelerated algorithm from the first author's thesis; this crate
+//! substitutes a deterministic Monte-Carlo estimator with identical
+//! semantics:
+//!
+//! * [`CellGrid`] — the cell partition of the walkable space,
+//! * [`Bvh`] — a first-hit ray caster over object bounding boxes (with a
+//!   ground plane, so rays cannot sneak under the city), and
+//! * [`DovTable`] — per-cell sparse `(object, DoV)` tables, computed in
+//!   parallel with `crossbeam` scoped threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bvh;
+pub mod cell;
+pub mod dov;
+
+pub use bvh::{Bvh, TriBvh};
+pub use cell::{CellGrid, CellGridConfig, CellId};
+pub use dov::{DovConfig, DovGeometry, DovTable};

@@ -1,0 +1,186 @@
+//! Recorded walkthrough sessions.
+//!
+//! "We recorded a few walkthrough sessions with different motion patterns.
+//! Session 1 is a normal walkthrough; session 2 turns left and right; and
+//! session 3 moves back and forward frequently" (§5.4). Sessions here are
+//! seeded camera paths over the scene's walkable region, serializable with
+//! serde so a recorded session can be replayed bit-for-bit.
+
+use hdov_geom::sampling::SplitMix64;
+use hdov_geom::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The three motion patterns of the paper's Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// Session 1: a normal walk with slowly drifting heading.
+    Normal,
+    /// Session 2: advances slowly while swinging the heading left and right.
+    Turning,
+    /// Session 3: repeatedly walks forward then doubles back.
+    BackForth,
+}
+
+impl SessionKind {
+    /// All kinds, in paper order.
+    pub fn all() -> [SessionKind; 3] {
+        [
+            SessionKind::Normal,
+            SessionKind::Turning,
+            SessionKind::BackForth,
+        ]
+    }
+
+    /// Paper-style label ("session 1" …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionKind::Normal => "session 1 (normal)",
+            SessionKind::Turning => "session 2 (turning)",
+            SessionKind::BackForth => "session 3 (back-forth)",
+        }
+    }
+}
+
+/// A recorded session: a sequence of per-frame viewpoints (eye height).
+///
+/// ```
+/// use hdov_geom::{Aabb, Vec3};
+/// use hdov_walkthrough::{Session, SessionKind};
+/// let region = Aabb::new(Vec3::new(0.0, 0.0, 1.5), Vec3::new(100.0, 100.0, 2.0));
+/// let session = Session::record(region, SessionKind::Turning, 50, 7);
+/// assert_eq!(session.len(), 50);
+/// assert!(session.viewpoints.iter().all(|p| region.contains_point(*p)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Motion pattern.
+    pub kind: SessionKind,
+    /// Per-frame camera positions.
+    pub viewpoints: Vec<Vec3>,
+}
+
+impl Session {
+    /// Records a session of `frames` steps inside `region` (an eye-height
+    /// slab, e.g. [`Scene::viewpoint_region`](hdov_scene::Scene::viewpoint_region)).
+    ///
+    /// Deterministic in `(kind, frames, seed)`.
+    pub fn record(region: Aabb, kind: SessionKind, frames: usize, seed: u64) -> Session {
+        assert!(frames > 0, "a session needs at least one frame");
+        assert!(!region.is_empty(), "empty region");
+        let mut rng = SplitMix64::new(seed ^ 0x5E55_1014);
+        let z = (region.min.z + region.max.z) * 0.5;
+        let mut pos = Vec3::new(
+            region.min.x + (0.25 + 0.5 * rng.next_f64()) * (region.max.x - region.min.x),
+            region.min.y + (0.25 + 0.5 * rng.next_f64()) * (region.max.y - region.min.y),
+            z,
+        );
+        let mut heading = rng.next_f64() * std::f64::consts::TAU;
+        let speed = 1.2; // metres per frame (~brisk walk at 25 fps)
+
+        let mut viewpoints = Vec::with_capacity(frames);
+        let mut forward = 1.0f64;
+        for frame in 0..frames {
+            viewpoints.push(pos);
+            match kind {
+                SessionKind::Normal => {
+                    heading += (rng.next_f64() - 0.5) * 0.15;
+                }
+                SessionKind::Turning => {
+                    // Strong sinusoidal swings plus noise.
+                    heading += 0.25 * (frame as f64 * 0.2).sin() + (rng.next_f64() - 0.5) * 0.1;
+                }
+                SessionKind::BackForth => {
+                    if frame % 40 == 39 {
+                        forward = -forward;
+                    }
+                    heading += (rng.next_f64() - 0.5) * 0.05;
+                }
+            }
+            let step = Vec3::new(heading.cos(), heading.sin(), 0.0)
+                * (speed
+                    * if kind == SessionKind::BackForth {
+                        forward
+                    } else {
+                        1.0
+                    });
+            let mut next = pos + step;
+            // Reflect off the region boundary.
+            if next.x < region.min.x || next.x > region.max.x {
+                heading = std::f64::consts::PI - heading;
+                next.x = next.x.clamp(region.min.x, region.max.x);
+            }
+            if next.y < region.min.y || next.y > region.max.y {
+                heading = -heading;
+                next.y = next.y.clamp(region.min.y, region.max.y);
+            }
+            pos = Vec3::new(next.x, next.y, z);
+        }
+        Session { kind, viewpoints }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.viewpoints.len()
+    }
+
+    /// True if the session has no frames (never, after `record`).
+    pub fn is_empty(&self) -> bool {
+        self.viewpoints.is_empty()
+    }
+
+    /// Total path length in metres.
+    pub fn path_length(&self) -> f64 {
+        self.viewpoints
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Aabb {
+        Aabb::new(Vec3::new(0.0, 0.0, 1.5), Vec3::new(200.0, 200.0, 2.0))
+    }
+
+    #[test]
+    fn records_requested_frames_inside_region() {
+        for kind in SessionKind::all() {
+            let s = Session::record(region(), kind, 100, 7);
+            assert_eq!(s.len(), 100);
+            for p in &s.viewpoints {
+                assert!(region().contains_point(*p), "{kind:?}: {p} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Session::record(region(), SessionKind::Normal, 50, 1);
+        let b = Session::record(region(), SessionKind::Normal, 50, 1);
+        let c = Session::record(region(), SessionKind::Normal, 50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn back_forth_revisits_ground() {
+        // Back-and-forth covers less net distance per path length than a
+        // normal walk.
+        let n = Session::record(region(), SessionKind::Normal, 200, 3);
+        let b = Session::record(region(), SessionKind::BackForth, 200, 3);
+        let net = |s: &Session| s.viewpoints[0].distance(*s.viewpoints.last().unwrap());
+        assert!(
+            net(&b) / b.path_length() < net(&n) / n.path_length(),
+            "back-forth should fold onto itself"
+        );
+    }
+
+    #[test]
+    fn path_length_positive() {
+        let s = Session::record(region(), SessionKind::Normal, 50, 4);
+        assert!(s.path_length() > 10.0);
+    }
+}

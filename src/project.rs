@@ -1,0 +1,188 @@
+//! Project persistence: save the expensive offline precomputation (scene
+//! recipe + DoV table) and rebuild queryable environments instantly.
+//!
+//! The paper's pipeline precomputes visibility "for more than 4000 viewing
+//! cells \[at\] about 1.02 seconds for each cell" (§5.1) — clearly something
+//! to do once. A [`Project`] bundles the deterministic scene recipe (the
+//! [`CityConfig`]), the cell-grid resolution, and the computed
+//! [`DovTable`] into a single versioned file; loading it skips the
+//! ray-casting entirely and rebuilds environments in milliseconds.
+
+use hdov_core::{HdovBuildConfig, HdovEnvironment, StorageScheme};
+use hdov_scene::prototype::PrototypeConfig;
+use hdov_scene::{CityConfig, Scene};
+use hdov_visibility::{CellGridConfig, DovConfig, DovTable};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HDVP";
+const VERSION: u32 = 1;
+
+/// A saved HDoV project: everything needed to rebuild environments without
+/// re-running the visibility precomputation.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// The deterministic scene recipe.
+    pub city: CityConfig,
+    /// Cell-grid resolution (x, y).
+    pub grid: (usize, usize),
+    /// The precomputed per-cell DoV table.
+    pub table: DovTable,
+}
+
+impl Project {
+    /// Generates the scene, computes the DoV table, and bundles a project.
+    pub fn create(
+        city: CityConfig,
+        grid: (usize, usize),
+        dov: &DovConfig,
+        threads: usize,
+    ) -> Project {
+        let scene = city.generate();
+        let grid_cfg = CellGridConfig::for_scene(&scene).with_resolution(grid.0, grid.1);
+        let table = DovTable::compute(&scene, &grid_cfg.build(), dov, threads);
+        Project { city, grid, table }
+    }
+
+    /// Regenerates the scene from the recipe (deterministic).
+    pub fn scene(&self) -> Scene {
+        self.city.generate()
+    }
+
+    /// Builds a queryable environment from the saved precomputation.
+    pub fn environment(
+        &self,
+        cfg: HdovBuildConfig,
+        scheme: StorageScheme,
+    ) -> Result<HdovEnvironment, hdov_storage::StorageError> {
+        let scene = self.scene();
+        let grid = CellGridConfig::for_scene(&scene)
+            .with_resolution(self.grid.0, self.grid.1)
+            .build();
+        HdovEnvironment::build_with_table(&scene, grid, cfg, scheme, self.table.clone())
+    }
+
+    /// Writes the project to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads a project from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Project> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Project::decode(&bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt project file"))
+    }
+
+    /// Serializes the project.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let c = &self.city;
+        let p = &c.prototypes;
+        for v in [
+            c.blocks_x as u64,
+            c.blocks_y as u64,
+            c.slots as u64,
+            c.seed,
+            p.building_variants as u64,
+            p.tower_variants as u64,
+            p.bunny_variants as u64,
+            p.building_detail as u64,
+            p.bunny_subdivisions as u64,
+            p.lod_levels as u64,
+            p.seed,
+            self.grid.0 as u64,
+            self.grid.1 as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [
+            c.block_size,
+            c.street_width,
+            c.bunny_fraction,
+            c.tower_fraction,
+            p.lod_ratio,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let table = self.table.encode();
+        out.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        out.extend_from_slice(&table);
+        out
+    }
+
+    /// Deserializes a project written by [`encode`](Self::encode).
+    pub fn decode(bytes: &[u8]) -> Option<Project> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) != VERSION {
+            return None;
+        }
+        let u = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let blocks_x = u(&mut pos)? as usize;
+        let blocks_y = u(&mut pos)? as usize;
+        let slots = u(&mut pos)? as usize;
+        let seed = u(&mut pos)?;
+        let building_variants = u(&mut pos)? as usize;
+        let tower_variants = u(&mut pos)? as usize;
+        let bunny_variants = u(&mut pos)? as usize;
+        let building_detail = u(&mut pos)? as usize;
+        let bunny_subdivisions = u(&mut pos)? as u32;
+        let lod_levels = u(&mut pos)? as usize;
+        let proto_seed = u(&mut pos)?;
+        let grid_x = u(&mut pos)? as usize;
+        let grid_y = u(&mut pos)? as usize;
+        let fl = |pos: &mut usize| -> Option<f64> {
+            Some(f64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let block_size = fl(&mut pos)?;
+        let street_width = fl(&mut pos)?;
+        let bunny_fraction = fl(&mut pos)?;
+        let tower_fraction = fl(&mut pos)?;
+        let lod_ratio = fl(&mut pos)?;
+        let table_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+        let table_bytes = take(&mut pos, table_len)?;
+        let table = DovTable::decode(table_bytes)?;
+        if pos != bytes.len() || grid_x == 0 || grid_y == 0 {
+            return None;
+        }
+        Some(Project {
+            city: CityConfig {
+                blocks_x,
+                blocks_y,
+                block_size,
+                street_width,
+                slots,
+                bunny_fraction,
+                tower_fraction,
+                prototypes: PrototypeConfig {
+                    building_variants,
+                    tower_variants,
+                    bunny_variants,
+                    building_detail,
+                    bunny_subdivisions,
+                    lod_levels,
+                    lod_ratio,
+                    seed: proto_seed,
+                },
+                seed,
+            },
+            grid: (grid_x, grid_y),
+            table,
+        })
+    }
+}
