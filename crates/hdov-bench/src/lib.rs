@@ -14,6 +14,7 @@ use hdov_scene::{CityConfig, Scene};
 use hdov_visibility::{CellGrid, CellGridConfig, DovConfig, DovTable};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Paper η sweep of Figs. 7–8 (the text: "η values in [0, 0.008]"), plus
 /// two extended points showing where our scaled scene's light-I/O crossover
@@ -62,10 +63,11 @@ impl RunOptions {
 pub struct EvalScene {
     /// The generated city.
     pub scene: Scene,
-    /// The viewing-cell grid.
-    pub grid: CellGrid,
-    /// Ground-truth DoV table (shared by all systems under test).
-    pub table: DovTable,
+    /// The viewing-cell grid, shared (`Arc`) by every system under test.
+    pub grid: Arc<CellGrid>,
+    /// Ground-truth DoV table, shared (`Arc`) by every system under test —
+    /// cloning the handle is a pointer bump, not a copy of the table.
+    pub table: Arc<DovTable>,
     /// The build configuration used for HDoV environments.
     pub build_cfg: HdovBuildConfig,
 }
@@ -102,8 +104,8 @@ impl EvalScene {
         let table = DovTable::compute(&scene, &grid, &dov, 0);
         EvalScene {
             scene,
-            grid,
-            table,
+            grid: Arc::new(grid),
+            table: Arc::new(table),
             build_cfg,
         }
     }

@@ -9,6 +9,7 @@ use hdov_geom::Vec3;
 use hdov_scene::Scene;
 use hdov_storage::Result;
 use hdov_visibility::{CellGrid, CellGridConfig, CellId, DovTable};
+use std::sync::Arc;
 
 /// A complete, queryable HDoV-tree deployment.
 ///
@@ -19,8 +20,8 @@ pub struct HdovEnvironment {
     tree: HdovTree,
     vstore: Box<dyn VisibilityStore>,
     objects: ObjectModels,
-    grid: CellGrid,
-    table: DovTable,
+    grid: Arc<CellGrid>,
+    table: Arc<DovTable>,
     scheme: StorageScheme,
 }
 
@@ -34,17 +35,18 @@ impl HdovEnvironment {
     ) -> Result<Self> {
         let grid = grid_cfg.build();
         let table = DovTable::compute(scene, &grid, &cfg.dov, cfg.threads);
-        Self::build_with_table(scene, grid, cfg, scheme, table)
+        Self::build_with_table(scene, Arc::new(grid), cfg, scheme, Arc::new(table))
     }
 
     /// Builds the environment reusing a precomputed [`DovTable`] (avoids
-    /// re-sampling when several systems share one scene).
+    /// re-sampling when several systems share one scene). The grid and table
+    /// are taken as [`Arc`]s so many systems can share one copy.
     pub fn build_with_table(
         scene: &Scene,
-        grid: CellGrid,
+        grid: Arc<CellGrid>,
         cfg: HdovBuildConfig,
         scheme: StorageScheme,
-        table: DovTable,
+        table: Arc<DovTable>,
     ) -> Result<Self> {
         let (tree, cells) = HdovTree::build_with_table(scene, &cfg, &table)?;
         let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk)?;
@@ -209,7 +211,7 @@ impl HdovEnvironment {
     ) -> Result<()> {
         let cells = self.tree.aggregate_from_table(&table)?;
         self.vstore = self.scheme.build(self.tree.entry_counts(), &cells, disk)?;
-        self.table = table;
+        self.table = Arc::new(table);
         Ok(())
     }
 
@@ -262,9 +264,20 @@ impl HdovEnvironment {
         &self.table
     }
 
+    /// A shared handle to the DoV table — systems needing their own copy of
+    /// the ground truth clone the `Arc`, not the table.
+    pub fn dov_table_shared(&self) -> Arc<DovTable> {
+        Arc::clone(&self.table)
+    }
+
     /// The cell grid.
     pub fn grid(&self) -> &CellGrid {
         &self.grid
+    }
+
+    /// A shared handle to the cell grid.
+    pub fn grid_shared(&self) -> Arc<CellGrid> {
+        Arc::clone(&self.grid)
     }
 
     /// The view-invariant tree.
@@ -290,5 +303,21 @@ impl HdovEnvironment {
     /// The visibility store (for storage-size accounting).
     pub fn vstore(&self) -> &dyn VisibilityStore {
         self.vstore.as_ref()
+    }
+
+    /// Freezes the environment into its immutable, `&`-shareable
+    /// counterpart for concurrent multi-session querying — see
+    /// [`crate::shared`]. The on-disk layout of every file is preserved
+    /// (pages are moved, not rewritten).
+    pub fn into_shared(self, pool: crate::shared::PoolConfig) -> crate::shared::SharedEnvironment {
+        crate::shared::SharedEnvironment::from_parts(
+            self.tree,
+            self.vstore,
+            self.objects,
+            self.grid,
+            self.table,
+            self.scheme,
+            pool,
+        )
     }
 }

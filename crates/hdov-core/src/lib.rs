@@ -32,6 +32,7 @@ pub mod env;
 pub mod node;
 pub mod priority;
 pub mod search;
+pub mod shared;
 pub mod storage;
 pub mod vpage;
 
@@ -41,5 +42,8 @@ pub use env::HdovEnvironment;
 pub use node::{HdovEntry, HdovNode};
 pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
 pub use search::{naive_query, search, QueryResult, ResultEntry, ResultKey, SearchStats};
+pub use shared::{
+    search_shared, CursorFile, PoolConfig, SessionCtx, SharedEnvironment, SharedVStore,
+};
 pub use storage::{StorageScheme, VisibilityStore};
 pub use vpage::{VEntry, VPage, VPAGE_SIZE};

@@ -107,10 +107,14 @@ impl QueryResult {
         self.entries.len() - self.object_count()
     }
 
+    pub(crate) fn push(&mut self, e: ResultEntry) {
+        self.entries.push(e);
+    }
+
     /// Test-only constructor hook.
     #[doc(hidden)]
     pub fn push_for_test(&mut self, e: ResultEntry) {
-        self.entries.push(e);
+        self.push(e);
     }
 }
 
@@ -322,12 +326,30 @@ fn recurse(
 /// The second condition of Fig. 3 line 7, per the configured heuristic.
 /// (Shared with the prioritized traversal in [`crate::priority`].)
 pub(crate) fn terminates_entry(tree: &HdovTree, entry: &HdovEntry, ve: &VEntry) -> bool {
-    match tree.heuristic() {
+    terminates_with(
+        tree.heuristic(),
+        tree.fanout(),
+        tree.internal_store(),
+        entry,
+        ve,
+    )
+}
+
+/// [`terminates_entry`] decomposed to its actual inputs, so the shared
+/// (concurrent) traversal can evaluate it without an `HdovTree`.
+pub(crate) fn terminates_with(
+    heuristic: TerminationHeuristic,
+    fanout: usize,
+    internal_store: &ModelStore,
+    entry: &HdovEntry,
+    ve: &VEntry,
+) -> bool {
+    match heuristic {
         TerminationHeuristic::Always => true,
         TerminationHeuristic::Eq4 => {
             // h (1 + log_M s) < log_M NVO, with h = subtree height above the
             // leaf level and M the fan-out.
-            let m = tree.fanout() as f64;
+            let m = fanout as f64;
             let log_m = |x: f64| x.ln() / m.ln();
             let h = entry.child_height.saturating_sub(1) as f64;
             let s = (entry.child_s as f64).max(1e-9);
@@ -335,8 +357,7 @@ pub(crate) fn terminates_entry(tree: &HdovTree, entry: &HdovEntry, ve: &VEntry) 
         }
         TerminationHeuristic::Exact => {
             // Eq. 3: internal LoD polygons < visible descendant polygons.
-            let internal = tree
-                .internal_store()
+            let internal = internal_store
                 .handle(entry.child_ordinal as u64, 0)
                 .polygons as f64;
             internal < ve.nvo as f64 * entry.child_f as f64

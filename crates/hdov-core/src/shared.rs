@@ -1,0 +1,859 @@
+//! The concurrent read path: query a built HDoV-tree from many sessions at
+//! once.
+//!
+//! The single-session engine ([`HdovEnvironment`](crate::HdovEnvironment))
+//! threads `&mut` from the query down to the simulated disks, so one tree
+//! serves one walkthrough at a time. This module freezes a built environment
+//! into a [`SharedEnvironment`]: every file becomes an immutable
+//! [`SharedCachedFile`] (lock-striped LRU pool + atomic counters), and all
+//! per-session mutability — disk-head positions, I/O counters, the flipped-in
+//! V-page-index segment — moves into a per-session [`SessionCtx`]. Queries
+//! then take `&SharedEnvironment` and any number of threads can search
+//! concurrently, sharing pool contents.
+//!
+//! Two read-path changes relative to the sequential engine:
+//!
+//! * **Batched V-page reads** — after the segment flip, the distinct V-page
+//!   disk pages of the cell are read once, in ascending order (one
+//!   sequential run), instead of being pointer-chased mid-recursion
+//!   ([`SharedEnvironment::prefetch_cell`]). The horizontal scheme cannot
+//!   batch (its layout is node-major, the paper's §4.1 weakness) and skips
+//!   this.
+//! * **Pool sharing** — V-pages, nodes, and models warmed by one session are
+//!   hits for every other session in the same cell neighbourhood.
+//!
+//! The traversal itself ([`search_shared`]) mirrors
+//! [`search`](crate::search::search) decision-for-decision, so a
+//! single-session run returns bit-identical result entries.
+
+use crate::build::{HdovTree, TerminationHeuristic};
+use crate::delta::{DeltaSearch, DeltaSummary};
+use crate::search::{
+    select_level, terminates_with, ObjectModels, QueryResult, ResultEntry, ResultKey, SearchStats,
+};
+use crate::storage::{StorageScheme, VisibilityStore};
+use crate::vpage::VPage;
+use hdov_geom::solid_angle::MAX_DOV;
+use hdov_geom::Vec3;
+use hdov_scene::{ModelHandle, ModelStore};
+use hdov_storage::codec::ByteReader;
+use hdov_storage::{
+    IoCursor, Page, PageId, PagedFile, Result, SharedCachedFile, StorageError, PAGE_SIZE,
+};
+use hdov_visibility::{CellGrid, CellId, DovTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Nil pointer in a dense V-page-index segment (matches the vertical
+/// scheme's on-disk encoding).
+const NIL: u64 = u64::MAX;
+
+/// Buffer-pool geometry for a frozen environment.
+///
+/// Each of the five files (nodes, internal LoDs, object models, V-page
+/// index, V-pages) gets its own pool of `capacity_pages` pages striped over
+/// `shards` locks, so total pool memory is `5 · capacity_pages · 4 KiB`.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Pages per pool.
+    pub capacity_pages: usize,
+    /// Lock stripes per pool.
+    pub shards: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            capacity_pages: 128,
+            shards: 8,
+        }
+    }
+}
+
+/// Adapts a `(pool, cursor)` pair to [`PagedFile`] so read-only consumers
+/// written against the sequential API — [`ModelStore::fetch`] in particular —
+/// work on the shared path unchanged.
+pub struct CursorFile<'a> {
+    pool: &'a SharedCachedFile,
+    cursor: &'a mut IoCursor,
+}
+
+impl<'a> CursorFile<'a> {
+    /// Wraps `pool` with per-session state `cursor`.
+    pub fn new(pool: &'a SharedCachedFile, cursor: &'a mut IoCursor) -> Self {
+        CursorFile { pool, cursor }
+    }
+}
+
+impl PagedFile for CursorFile<'_> {
+    fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
+        self.pool.read_page(self.cursor, id, out)
+    }
+
+    fn write_page(&mut self, _id: PageId, _page: &Page) -> Result<()> {
+        Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "shared environments are immutable",
+        )))
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "shared environments are immutable",
+        )))
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pool.page_count()
+    }
+}
+
+/// Frozen V-page records behind a shared pool (the `&`-shareable counterpart
+/// of the schemes' internal `VPageFile`).
+pub struct SharedVPageFile {
+    pool: SharedCachedFile,
+    records: u64,
+    record_bytes: usize,
+    records_per_page: u64,
+}
+
+impl SharedVPageFile {
+    pub(crate) fn new(
+        pool: SharedCachedFile,
+        records: u64,
+        record_bytes: usize,
+        records_per_page: u64,
+    ) -> Self {
+        SharedVPageFile {
+            pool,
+            records,
+            record_bytes,
+            records_per_page,
+        }
+    }
+
+    /// The disk page holding record `idx` (for batched prefetch).
+    pub fn disk_page_of(&self, idx: u64) -> u64 {
+        idx / self.records_per_page
+    }
+
+    /// Reads record `idx`, charging any pool miss to `cursor`.
+    pub fn read(&self, cursor: &mut IoCursor, idx: u64) -> Result<VPage> {
+        let slot = (idx % self.records_per_page) as usize * self.record_bytes;
+        let mut page = Page::zeroed();
+        self.pool
+            .read_page(cursor, PageId(self.disk_page_of(idx)), &mut page)?;
+        VPage::decode(&page.bytes()[slot..slot + self.record_bytes])
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The backing pool.
+    pub fn pool(&self) -> &SharedCachedFile {
+        &self.pool
+    }
+
+    fn fork(&self) -> Self {
+        SharedVPageFile {
+            pool: self.pool.fork(),
+            records: self.records,
+            record_bytes: self.record_bytes,
+            records_per_page: self.records_per_page,
+        }
+    }
+}
+
+/// Per-session query state: disk-head cursors for every file plus the
+/// flipped-in V-page-index segment. Cheap to create; one per walkthrough
+/// session (or per thread).
+#[derive(Debug, Clone, Default)]
+pub struct SessionCtx {
+    /// Node-file head.
+    pub node_cur: IoCursor,
+    /// Internal-LoD-file head.
+    pub internal_cur: IoCursor,
+    /// Object-model-file head.
+    pub model_cur: IoCursor,
+    /// V-page-index-file head.
+    pub index_cur: IoCursor,
+    /// V-page-file head.
+    pub vpage_cur: IoCursor,
+    current_cell: Option<CellId>,
+    /// Dense segment (vertical): pointer per node, [`NIL`] = hidden.
+    seg_dense: Vec<u64>,
+    /// Sparse segment (indexed-vertical): `(ordinal, pointer)` ascending.
+    seg_sparse: Vec<(u32, u64)>,
+}
+
+impl SessionCtx {
+    /// A fresh session: no head-position memory, no flipped segment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cell last entered.
+    pub fn current_cell(&self) -> Option<CellId> {
+        self.current_cell
+    }
+}
+
+/// A frozen [`VisibilityStore`]: same on-disk layout, all per-session state
+/// externalized into [`SessionCtx`].
+pub enum SharedVStore {
+    /// §4.1 node-major layout.
+    Horizontal(SharedHorizontal),
+    /// §4.2 dense per-cell segments + clustered V-pages.
+    Vertical(SharedVertical),
+    /// §4.3 sparse per-cell segments.
+    IndexedVertical(SharedIndexedVertical),
+}
+
+/// Frozen horizontal store.
+pub struct SharedHorizontal {
+    pub(crate) vpages: SharedVPageFile,
+    pub(crate) cells: u32,
+    pub(crate) n_nodes: u32,
+}
+
+/// Frozen vertical store.
+pub struct SharedVertical {
+    pub(crate) index: SharedCachedFile,
+    pub(crate) vpages: SharedVPageFile,
+    pub(crate) cells: u32,
+    pub(crate) n_nodes: u32,
+    pub(crate) seg_pages: u64,
+}
+
+/// Frozen indexed-vertical store.
+pub struct SharedIndexedVertical {
+    pub(crate) index: SharedCachedFile,
+    pub(crate) vpages: SharedVPageFile,
+    pub(crate) cells: u32,
+    pub(crate) n_nodes: u32,
+    /// Per-cell `(start_byte, record_count)` directory.
+    pub(crate) dir: Arc<Vec<(u64, u32)>>,
+}
+
+impl SharedVStore {
+    /// The scheme this store implements.
+    pub fn scheme(&self) -> StorageScheme {
+        match self {
+            SharedVStore::Horizontal(_) => StorageScheme::Horizontal,
+            SharedVStore::Vertical(_) => StorageScheme::Vertical,
+            SharedVStore::IndexedVertical(_) => StorageScheme::IndexedVertical,
+        }
+    }
+
+    /// Number of cells the store was built for.
+    pub fn cell_count(&self) -> u32 {
+        match self {
+            SharedVStore::Horizontal(s) => s.cells,
+            SharedVStore::Vertical(s) => s.cells,
+            SharedVStore::IndexedVertical(s) => s.cells,
+        }
+    }
+
+    /// Segment flip for `ctx` into `cell` — charged to the session's index
+    /// cursor; a no-op when the session is already in `cell`.
+    pub fn enter_cell(&self, ctx: &mut SessionCtx, cell: CellId) -> Result<()> {
+        assert!(cell < self.cell_count(), "cell {cell} out of range");
+        if ctx.current_cell == Some(cell) {
+            return Ok(());
+        }
+        match self {
+            SharedVStore::Horizontal(_) => {}
+            SharedVStore::Vertical(s) => {
+                let mut segment = Vec::with_capacity(s.n_nodes as usize);
+                let first = cell as u64 * s.seg_pages;
+                let mut page = Page::zeroed();
+                for i in 0..s.seg_pages {
+                    s.index
+                        .read_page(&mut ctx.index_cur, PageId(first + i), &mut page)?;
+                    let mut r = ByteReader::new(page.bytes());
+                    for _ in 0..PAGE_SIZE / 8 {
+                        if segment.len() == s.n_nodes as usize {
+                            break;
+                        }
+                        segment.push(r.get_u64()?);
+                    }
+                }
+                ctx.seg_dense = segment;
+            }
+            SharedVStore::IndexedVertical(s) => {
+                const REC_BYTES: usize = 12;
+                let (start_byte, count) = s.dir[cell as usize];
+                let seg_bytes = count as usize * REC_BYTES;
+                let mut segment = Vec::with_capacity(count as usize);
+                if seg_bytes > 0 {
+                    let first_page = start_byte / PAGE_SIZE as u64;
+                    let last_page = (start_byte + seg_bytes as u64 - 1) / PAGE_SIZE as u64;
+                    let mut bytes =
+                        Vec::with_capacity(((last_page - first_page + 1) as usize) * PAGE_SIZE);
+                    let mut page = Page::zeroed();
+                    for p in first_page..=last_page {
+                        s.index
+                            .read_page(&mut ctx.index_cur, PageId(p), &mut page)?;
+                        bytes.extend_from_slice(page.bytes());
+                    }
+                    let off = (start_byte - first_page * PAGE_SIZE as u64) as usize;
+                    let mut r = ByteReader::new(&bytes[off..off + seg_bytes]);
+                    for _ in 0..count {
+                        let ordinal = r.get_u32()?;
+                        let ptr = r.get_u64()?;
+                        segment.push((ordinal, ptr));
+                    }
+                }
+                ctx.seg_sparse = segment;
+            }
+        }
+        ctx.current_cell = Some(cell);
+        Ok(())
+    }
+
+    /// Fetches the V-page of `ordinal` in the session's current cell (same
+    /// `Ok(None)` semantics as [`VisibilityStore::fetch`]).
+    pub fn fetch(&self, ctx: &mut SessionCtx, ordinal: u32) -> Result<Option<VPage>> {
+        let cell = ctx.current_cell.expect("enter_cell before fetch");
+        match self {
+            SharedVStore::Horizontal(s) => {
+                assert!(ordinal < s.n_nodes, "node ordinal out of range");
+                let record = ordinal as u64 * s.cells as u64 + cell as u64;
+                Ok(Some(s.vpages.read(&mut ctx.vpage_cur, record)?))
+            }
+            SharedVStore::Vertical(s) => {
+                assert!(ordinal < s.n_nodes, "node ordinal out of range");
+                match ctx.seg_dense[ordinal as usize] {
+                    NIL => Ok(None),
+                    ptr => Ok(Some(s.vpages.read(&mut ctx.vpage_cur, ptr)?)),
+                }
+            }
+            SharedVStore::IndexedVertical(s) => {
+                assert!(ordinal < s.n_nodes, "node ordinal out of range");
+                match ctx.seg_sparse.binary_search_by_key(&ordinal, |&(o, _)| o) {
+                    Err(_) => Ok(None),
+                    Ok(i) => {
+                        let ptr = ctx.seg_sparse[i].1;
+                        Ok(Some(s.vpages.read(&mut ctx.vpage_cur, ptr)?))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch-reads the current cell's V-pages: the distinct disk pages
+    /// holding them, ascending (one sequential run), so subsequent fetches
+    /// are pool hits. Charged to the session's V-page cursor. Returns the
+    /// number of disk pages touched.
+    ///
+    /// The horizontal scheme interleaves every cell's V-pages node-major, so
+    /// there is no per-cell run to batch: this is a no-op returning 0 (the
+    /// paper's §4.1 scatter penalty, unchanged).
+    pub fn prefetch_cell(&self, ctx: &mut SessionCtx) -> Result<u64> {
+        let vpages = match self {
+            SharedVStore::Horizontal(_) => return Ok(0),
+            SharedVStore::Vertical(s) => &s.vpages,
+            SharedVStore::IndexedVertical(s) => &s.vpages,
+        };
+        assert!(
+            ctx.current_cell.is_some(),
+            "enter_cell before prefetch_cell"
+        );
+        let mut pages: Vec<u64> = match self {
+            SharedVStore::Horizontal(_) => unreachable!(),
+            SharedVStore::Vertical(_) => ctx
+                .seg_dense
+                .iter()
+                .filter(|&&p| p != NIL)
+                .map(|&p| vpages.disk_page_of(p))
+                .collect(),
+            SharedVStore::IndexedVertical(_) => ctx
+                .seg_sparse
+                .iter()
+                .map(|&(_, p)| vpages.disk_page_of(p))
+                .collect(),
+        };
+        pages.sort_unstable();
+        pages.dedup();
+        let mut scratch = Page::zeroed();
+        for &p in &pages {
+            vpages
+                .pool
+                .read_page(&mut ctx.vpage_cur, PageId(p), &mut scratch)?;
+        }
+        Ok(pages.len() as u64)
+    }
+
+    /// `(hits, misses)` summed over the store's pools.
+    pub fn pool_hit_stats(&self) -> (u64, u64) {
+        let (mut h, mut m) = (0, 0);
+        let mut add = |(a, b): (u64, u64)| {
+            h += a;
+            m += b;
+        };
+        match self {
+            SharedVStore::Horizontal(s) => add(s.vpages.pool.hit_stats()),
+            SharedVStore::Vertical(s) => {
+                add(s.index.hit_stats());
+                add(s.vpages.pool.hit_stats());
+            }
+            SharedVStore::IndexedVertical(s) => {
+                add(s.index.hit_stats());
+                add(s.vpages.pool.hit_stats());
+            }
+        }
+        (h, m)
+    }
+
+    fn fork(&self) -> Self {
+        match self {
+            SharedVStore::Horizontal(s) => SharedVStore::Horizontal(SharedHorizontal {
+                vpages: s.vpages.fork(),
+                cells: s.cells,
+                n_nodes: s.n_nodes,
+            }),
+            SharedVStore::Vertical(s) => SharedVStore::Vertical(SharedVertical {
+                index: s.index.fork(),
+                vpages: s.vpages.fork(),
+                cells: s.cells,
+                n_nodes: s.n_nodes,
+                seg_pages: s.seg_pages,
+            }),
+            SharedVStore::IndexedVertical(s) => {
+                SharedVStore::IndexedVertical(SharedIndexedVertical {
+                    index: s.index.fork(),
+                    vpages: s.vpages.fork(),
+                    cells: s.cells,
+                    n_nodes: s.n_nodes,
+                    dir: Arc::clone(&s.dir),
+                })
+            }
+        }
+    }
+}
+
+/// The view-invariant tree, frozen: node pages and internal-LoD models
+/// behind shared pools.
+pub struct SharedTree {
+    nodes: SharedCachedFile,
+    internal_pool: SharedCachedFile,
+    internal_store: Arc<ModelStore>,
+    n_nodes: u32,
+    fanout: usize,
+    heuristic: TerminationHeuristic,
+    entry_counts: Arc<Vec<u16>>,
+    leaf_ordinals: Arc<Vec<u32>>,
+    leaf_objects: Arc<Vec<Vec<u64>>>,
+}
+
+impl SharedTree {
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Fan-out cap `M`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The configured termination heuristic.
+    pub fn heuristic(&self) -> TerminationHeuristic {
+        self.heuristic
+    }
+
+    /// The root ordinal (0: DFS preorder).
+    pub fn root_ordinal(&self) -> u32 {
+        0
+    }
+
+    /// Entry count per node, by ordinal.
+    pub fn entry_counts(&self) -> &[u16] {
+        &self.entry_counts
+    }
+
+    /// Ordinals of all leaf nodes.
+    pub fn leaf_ordinals(&self) -> &[u32] {
+        &self.leaf_ordinals
+    }
+
+    /// Object ids of the `i`-th leaf.
+    pub fn leaf_objects(&self, i: usize) -> &[u64] {
+        &self.leaf_objects[i]
+    }
+
+    /// The internal-LoD store (key = node ordinal).
+    pub fn internal_store(&self) -> &ModelStore {
+        &self.internal_store
+    }
+
+    /// Reads node `ordinal`, charging any pool miss to `cursor`.
+    pub fn read_node(&self, cursor: &mut IoCursor, ordinal: u32) -> Result<crate::node::HdovNode> {
+        let mut page = Page::zeroed();
+        self.nodes
+            .read_page(cursor, PageId(ordinal as u64), &mut page)?;
+        crate::node::HdovNode::decode(&page)
+    }
+
+    /// Fetches node `ordinal`'s internal LoD at `level`, charging `cursor`.
+    pub fn fetch_internal_lod(
+        &self,
+        cursor: &mut IoCursor,
+        ordinal: u32,
+        level: usize,
+    ) -> Result<ModelHandle> {
+        self.internal_store.fetch(
+            &mut CursorFile::new(&self.internal_pool, cursor),
+            ordinal as u64,
+            level,
+        )
+    }
+
+    fn fork(&self) -> Self {
+        SharedTree {
+            nodes: self.nodes.fork(),
+            internal_pool: self.internal_pool.fork(),
+            internal_store: Arc::clone(&self.internal_store),
+            n_nodes: self.n_nodes,
+            fanout: self.fanout,
+            heuristic: self.heuristic,
+            entry_counts: Arc::clone(&self.entry_counts),
+            leaf_ordinals: Arc::clone(&self.leaf_ordinals),
+            leaf_objects: Arc::clone(&self.leaf_objects),
+        }
+    }
+}
+
+/// The object-model bank, frozen.
+pub struct SharedModels {
+    store: Arc<ModelStore>,
+    pool: SharedCachedFile,
+}
+
+impl SharedModels {
+    /// The model directory.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The model-file pool.
+    pub fn pool(&self) -> &SharedCachedFile {
+        &self.pool
+    }
+}
+
+/// A complete frozen deployment: one immutable HDoV-tree that any number of
+/// concurrent sessions can query through their own [`SessionCtx`].
+pub struct SharedEnvironment {
+    tree: SharedTree,
+    vstore: SharedVStore,
+    models: SharedModels,
+    grid: Arc<CellGrid>,
+    table: Arc<DovTable>,
+    scheme: StorageScheme,
+}
+
+impl SharedEnvironment {
+    pub(crate) fn from_parts(
+        tree: HdovTree,
+        vstore: Box<dyn VisibilityStore>,
+        objects: ObjectModels,
+        grid: Arc<CellGrid>,
+        table: Arc<DovTable>,
+        scheme: StorageScheme,
+        pool: PoolConfig,
+    ) -> Self {
+        let parts = tree.into_parts();
+        let node_model = parts.node_disk.model();
+        let internal_model = parts.internal_disk.model();
+        let tree = SharedTree {
+            nodes: SharedCachedFile::from_mem(
+                parts.node_disk.into_inner(),
+                node_model,
+                pool.capacity_pages,
+                pool.shards,
+            ),
+            internal_pool: SharedCachedFile::from_mem(
+                parts.internal_disk.into_inner(),
+                internal_model,
+                pool.capacity_pages,
+                pool.shards,
+            ),
+            internal_store: Arc::new(parts.internal_store),
+            n_nodes: parts.n_nodes,
+            fanout: parts.fanout,
+            heuristic: parts.heuristic,
+            entry_counts: Arc::new(parts.entry_counts),
+            leaf_ordinals: Arc::new(parts.leaf_ordinals),
+            leaf_objects: Arc::new(parts.leaf_objects),
+        };
+        let model_model = objects.disk.model();
+        let models = SharedModels {
+            store: Arc::new(objects.store),
+            pool: SharedCachedFile::from_mem(
+                objects.disk.into_inner(),
+                model_model,
+                pool.capacity_pages,
+                pool.shards,
+            ),
+        };
+        SharedEnvironment {
+            tree,
+            vstore: vstore.into_shared(pool.capacity_pages, pool.shards),
+            models,
+            grid,
+            table,
+            scheme,
+        }
+    }
+
+    /// A new environment with the same frozen data but cold, private pools —
+    /// the per-session-pool baseline of the concurrency benchmark.
+    pub fn fork_with_private_pools(&self) -> Self {
+        SharedEnvironment {
+            tree: self.tree.fork(),
+            vstore: self.vstore.fork(),
+            models: SharedModels {
+                store: Arc::clone(&self.models.store),
+                pool: self.models.pool.fork(),
+            },
+            grid: Arc::clone(&self.grid),
+            table: Arc::clone(&self.table),
+            scheme: self.scheme,
+        }
+    }
+
+    /// A fresh per-session query context.
+    pub fn session(&self) -> SessionCtx {
+        SessionCtx::new()
+    }
+
+    /// The viewing cell containing (or nearest to) `viewpoint`.
+    pub fn cell_of(&self, viewpoint: Vec3) -> CellId {
+        self.grid.clamped_cell_of(viewpoint)
+    }
+
+    /// Visibility query by cell, with batched V-page prefetch.
+    pub fn query_cell(
+        &self,
+        ctx: &mut SessionCtx,
+        cell: CellId,
+        eta: f64,
+    ) -> Result<(QueryResult, SearchStats)> {
+        search_shared(self, ctx, cell, eta, None, true)
+    }
+
+    /// Delta query for walkthroughs (shared-path counterpart of
+    /// [`HdovEnvironment::query_delta`](crate::HdovEnvironment::query_delta)).
+    pub fn query_delta(
+        &self,
+        ctx: &mut SessionCtx,
+        viewpoint: Vec3,
+        eta: f64,
+        delta: &mut DeltaSearch,
+    ) -> Result<(QueryResult, SearchStats, DeltaSummary)> {
+        let cell = self.cell_of(viewpoint);
+        let skip = delta.skip_map();
+        let (result, stats) = search_shared(self, ctx, cell, eta, Some(&skip), true)?;
+        let summary = delta.apply(&result);
+        Ok((result, stats, summary))
+    }
+
+    /// Warms the pools for `cell`: segment flip plus batched V-page read,
+    /// charged to `ctx`'s cursors (use a scratch context to keep prefetch
+    /// cost out of a session's search time). Returns disk pages touched.
+    pub fn prefetch_cell(&self, ctx: &mut SessionCtx, cell: CellId) -> Result<u64> {
+        self.vstore.enter_cell(ctx, cell)?;
+        self.vstore.prefetch_cell(ctx)
+    }
+
+    /// The frozen tree.
+    pub fn tree(&self) -> &SharedTree {
+        &self.tree
+    }
+
+    /// The frozen visibility store.
+    pub fn vstore(&self) -> &SharedVStore {
+        &self.vstore
+    }
+
+    /// The frozen model bank.
+    pub fn models(&self) -> &SharedModels {
+        &self.models
+    }
+
+    /// The cell grid.
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// The ground-truth DoV table.
+    pub fn dov_table(&self) -> &DovTable {
+        &self.table
+    }
+
+    /// The active storage scheme.
+    pub fn scheme(&self) -> StorageScheme {
+        self.scheme
+    }
+
+    /// `(hits, misses)` summed over every pool of the environment.
+    pub fn pool_hit_stats(&self) -> (u64, u64) {
+        let (mut h, mut m) = self.vstore.pool_hit_stats();
+        for pool in [
+            &self.tree.nodes,
+            &self.tree.internal_pool,
+            &self.models.pool,
+        ] {
+            let (a, b) = pool.hit_stats();
+            h += a;
+            m += b;
+        }
+        (h, m)
+    }
+
+    /// Aggregate pool hit rate in `[0, 1]`.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let (h, m) = self.pool_hit_stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// The threshold visibility query of Fig. 3 against a frozen environment —
+/// the `&`-shareable counterpart of [`search`](crate::search::search), with
+/// optional batched V-page prefetch (`prefetch`).
+///
+/// All simulated I/O is charged to `ctx`'s cursors; the returned
+/// [`SearchStats`] cover this query only.
+pub fn search_shared(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    prefetch: bool,
+) -> Result<(QueryResult, SearchStats)> {
+    assert!(eta >= 0.0, "eta must be non-negative");
+    let node0 = ctx.node_cur.stats();
+    let internal0 = ctx.internal_cur.stats();
+    let model0 = ctx.model_cur.stats();
+    let index0 = ctx.index_cur.stats();
+    let vpage0 = ctx.vpage_cur.stats();
+
+    env.vstore.enter_cell(ctx, cell)?;
+    if prefetch {
+        env.vstore.prefetch_cell(ctx)?;
+    }
+
+    let mut out = QueryResult::default();
+    let mut stats = SearchStats::default();
+    recurse_shared(
+        env,
+        ctx,
+        env.tree.root_ordinal(),
+        eta,
+        skip,
+        &mut out,
+        &mut stats,
+    )?;
+
+    stats.node_io = ctx.node_cur.stats().since(&node0);
+    stats.internal_io = ctx.internal_cur.stats().since(&internal0);
+    stats.model_io = ctx.model_cur.stats().since(&model0);
+    stats.vstore_io = ctx.index_cur.stats().since(&index0) + ctx.vpage_cur.stats().since(&vpage0);
+    Ok((out, stats))
+}
+
+fn recurse_shared(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    ordinal: u32,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    out: &mut QueryResult,
+    stats: &mut SearchStats,
+) -> Result<()> {
+    let Some(vpage) = env.vstore.fetch(ctx, ordinal)? else {
+        return Ok(()); // invisible (vertical/indexed prove it for free)
+    };
+    stats.vpages_fetched += 1;
+    if !vpage.any_visible() {
+        return Ok(()); // horizontal placeholder for a hidden node
+    }
+    let node = env.tree.read_node(&mut ctx.node_cur, ordinal)?;
+    stats.nodes_visited += 1;
+
+    for (entry, ve) in node.entries.iter().zip(&vpage.entries) {
+        if ve.dov <= 0.0 {
+            continue; // line 3: completely hidden branch
+        }
+        if entry.is_object() {
+            // Lines 4–5: leaf entry, Eq. 6.
+            let k = (ve.dov as f64 / MAX_DOV).min(1.0);
+            let level = select_level(&env.models.store, entry.child, k);
+            let key = ResultKey::Object(entry.child);
+            let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+            let h = if cached {
+                env.models.store.handle(entry.child, level)
+            } else {
+                env.models.store.fetch(
+                    &mut CursorFile::new(&env.models.pool, &mut ctx.model_cur),
+                    entry.child,
+                    level,
+                )?
+            };
+            out.push(ResultEntry {
+                key,
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                dov: ve.dov,
+                cached,
+            });
+        } else if (ve.dov as f64) <= eta
+            && terminates_with(
+                env.tree.heuristic,
+                env.tree.fanout,
+                &env.tree.internal_store,
+                entry,
+                ve,
+            )
+        {
+            // Lines 7–8: barely visible subtree, Eq. 5.
+            let k = if eta > 0.0 {
+                (ve.dov as f64 / eta).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let child = entry.child_ordinal;
+            let level = select_level(env.tree.internal_store(), child as u64, k);
+            let key = ResultKey::Internal(child);
+            let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+            let h = if cached {
+                env.tree.internal_store().handle(child as u64, level)
+            } else {
+                env.tree
+                    .fetch_internal_lod(&mut ctx.internal_cur, child, level)?
+            };
+            out.push(ResultEntry {
+                key,
+                level,
+                polygons: h.polygons as u64,
+                bytes: h.bytes as u64,
+                dov: ve.dov,
+                cached,
+            });
+        } else {
+            // Line 10: descend.
+            recurse_shared(env, ctx, entry.child_ordinal, eta, skip, out, stats)?;
+        }
+    }
+    Ok(())
+}

@@ -93,6 +93,18 @@ impl VisibilityStore for HorizontalStore {
         // size_vpage · c · N_node (paper §4.1).
         self.vpages.record_bytes() as u64 * self.cells as u64 * self.n_nodes as u64
     }
+
+    fn into_shared(
+        self: Box<Self>,
+        capacity_pages: usize,
+        shards: usize,
+    ) -> crate::shared::SharedVStore {
+        crate::shared::SharedVStore::Horizontal(crate::shared::SharedHorizontal {
+            vpages: self.vpages.into_shared(capacity_pages, shards),
+            cells: self.cells,
+            n_nodes: self.n_nodes,
+        })
+    }
 }
 
 #[cfg(test)]

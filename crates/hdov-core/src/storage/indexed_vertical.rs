@@ -153,6 +153,31 @@ impl VisibilityStore for IndexedVerticalStore {
         // (size_ptr + size_int) · Σ N_vnode + size_vpage · Σ N_vnode (§4.3).
         (REC_BYTES as u64 + self.vpages.record_bytes() as u64) * self.vpages.records()
     }
+
+    fn into_shared(
+        self: Box<Self>,
+        capacity_pages: usize,
+        shards: usize,
+    ) -> crate::shared::SharedVStore {
+        let model = self.index.model();
+        crate::shared::SharedVStore::IndexedVertical(crate::shared::SharedIndexedVertical {
+            index: hdov_storage::SharedCachedFile::from_mem(
+                self.index.into_inner(),
+                model,
+                capacity_pages,
+                shards,
+            ),
+            vpages: self.vpages.into_shared(capacity_pages, shards),
+            cells: self.cells,
+            n_nodes: self.n_nodes,
+            dir: std::sync::Arc::new(
+                self.dir
+                    .iter()
+                    .map(|d| (d.start_byte, d.count))
+                    .collect::<Vec<_>>(),
+            ),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,17 @@ pub trait VisibilityStore: Send {
     /// Exact storage footprint in bytes, per the paper's §4 formulas
     /// (excluding the tree structure, as in Table 2).
     fn storage_bytes(&self) -> u64;
+
+    /// Freezes this store into its `&`-shareable counterpart for the
+    /// concurrent engine: the same on-disk layout behind lock-striped
+    /// buffer pools, with all per-session state (current cell, flipped
+    /// segment, disk heads) moved into
+    /// [`SessionCtx`](crate::shared::SessionCtx).
+    fn into_shared(
+        self: Box<Self>,
+        capacity_pages: usize,
+        shards: usize,
+    ) -> crate::shared::SharedVStore;
 }
 
 /// V-page records packed into disk pages (several per page, never
@@ -196,6 +207,27 @@ impl VPageFile {
 
     pub fn reset_stats(&mut self) {
         self.disk.reset_stats();
+    }
+
+    /// Freezes the file behind a lock-striped shared pool (identical record
+    /// layout — the backing pages are moved, not rewritten).
+    pub fn into_shared(
+        self,
+        capacity_pages: usize,
+        shards: usize,
+    ) -> crate::shared::SharedVPageFile {
+        let model = self.disk.model();
+        crate::shared::SharedVPageFile::new(
+            hdov_storage::SharedCachedFile::from_mem(
+                self.disk.into_inner(),
+                model,
+                capacity_pages,
+                shards,
+            ),
+            self.records,
+            self.record_bytes,
+            self.records_per_page,
+        )
     }
 }
 

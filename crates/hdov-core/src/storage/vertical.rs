@@ -136,6 +136,26 @@ impl VisibilityStore for VerticalStore {
         8 * self.n_nodes as u64 * self.cells as u64
             + self.vpages.record_bytes() as u64 * self.vpages.records()
     }
+
+    fn into_shared(
+        self: Box<Self>,
+        capacity_pages: usize,
+        shards: usize,
+    ) -> crate::shared::SharedVStore {
+        let model = self.index.model();
+        crate::shared::SharedVStore::Vertical(crate::shared::SharedVertical {
+            index: hdov_storage::SharedCachedFile::from_mem(
+                self.index.into_inner(),
+                model,
+                capacity_pages,
+                shards,
+            ),
+            vpages: self.vpages.into_shared(capacity_pages, shards),
+            cells: self.cells,
+            n_nodes: self.n_nodes,
+            seg_pages: self.seg_pages,
+        })
+    }
 }
 
 #[cfg(test)]

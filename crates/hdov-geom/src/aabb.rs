@@ -8,7 +8,6 @@ use crate::{Ray, Vec3};
 /// An `Aabb` is *valid* when `min <= max` component-wise. [`Aabb::EMPTY`] is
 /// the identity of [`Aabb::union`] and reports `is_empty() == true`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Minimum corner.
     pub min: Vec3,

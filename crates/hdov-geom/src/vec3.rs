@@ -8,7 +8,6 @@ use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
 /// Used both as a position and as a direction; the distinction is carried by
 /// context, as is conventional in small geometry kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vec3 {
     /// X component.
     pub x: f64,

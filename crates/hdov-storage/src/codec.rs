@@ -1,11 +1,11 @@
 //! Little-endian encode/decode helpers for on-page records.
 //!
-//! Thin cursors over `bytes::{Buf, BufMut}` with bounds-checked reads that
-//! surface [`StorageError::Corrupt`] instead of panicking, so a damaged page
-//! cannot crash a query.
+//! Thin cursors over byte slices with bounds-checked reads that surface
+//! [`StorageError::Corrupt`] instead of panicking, so a damaged page cannot
+//! crash a query. Pure `std` (`to_le_bytes`/`from_le_bytes`) — no external
+//! byte-buffer crate.
 
 use crate::{Result, StorageError};
-use bytes::{Buf, BufMut};
 
 /// Sequential writer into a byte vector.
 #[derive(Debug, Default)]
@@ -48,37 +48,37 @@ impl ByteWriter {
 
     /// Appends a `u8`.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u16` (LE).
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u32` (LE).
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64` (LE).
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `f32` (LE).
     pub fn put_f32(&mut self, v: f32) {
-        self.buf.put_f32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `f64` (LE).
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends raw bytes.
     pub fn put_slice(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 }
 
@@ -110,40 +110,41 @@ impl<'a> ByteReader<'a> {
         }
     }
 
+    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N]> {
+        self.need(N, what)?;
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        Ok(head.try_into().expect("split_at returned N bytes"))
+    }
+
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> Result<u8> {
-        self.need(1, "u8")?;
-        Ok(self.buf.get_u8())
+        Ok(u8::from_le_bytes(self.take("u8")?))
     }
 
     /// Reads a `u16` (LE).
     pub fn get_u16(&mut self) -> Result<u16> {
-        self.need(2, "u16")?;
-        Ok(self.buf.get_u16_le())
+        Ok(u16::from_le_bytes(self.take("u16")?))
     }
 
     /// Reads a `u32` (LE).
     pub fn get_u32(&mut self) -> Result<u32> {
-        self.need(4, "u32")?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take("u32")?))
     }
 
     /// Reads a `u64` (LE).
     pub fn get_u64(&mut self) -> Result<u64> {
-        self.need(8, "u64")?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take("u64")?))
     }
 
     /// Reads an `f32` (LE).
     pub fn get_f32(&mut self) -> Result<f32> {
-        self.need(4, "f32")?;
-        Ok(self.buf.get_f32_le())
+        Ok(f32::from_le_bytes(self.take("f32")?))
     }
 
     /// Reads an `f64` (LE).
     pub fn get_f64(&mut self) -> Result<f64> {
-        self.need(8, "f64")?;
-        Ok(self.buf.get_f64_le())
+        Ok(f64::from_le_bytes(self.take("f64")?))
     }
 
     /// Reads exactly `n` raw bytes.

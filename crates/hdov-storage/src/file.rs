@@ -62,6 +62,13 @@ impl MemPagedFile {
             Ok(idx)
         }
     }
+
+    /// Consumes the file, yielding its raw pages — used to freeze a fully
+    /// built store into an immutable, shareable
+    /// [`FrozenPages`](crate::shared::FrozenPages) snapshot.
+    pub fn into_pages(self) -> Vec<Box<[u8]>> {
+        self.pages
+    }
 }
 
 impl PagedFile for MemPagedFile {

@@ -25,6 +25,7 @@ pub mod fault;
 pub mod file;
 pub mod lru;
 pub mod page;
+pub mod shared;
 pub mod stats;
 
 pub use cached::CachedFile;
@@ -34,4 +35,5 @@ pub use fault::{FaultPlan, FaultyFile};
 pub use file::{FilePagedFile, MemPagedFile, PagedFile};
 pub use lru::LruCache;
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};
 pub use stats::IoStats;

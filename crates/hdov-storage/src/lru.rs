@@ -5,6 +5,7 @@ use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
+#[derive(Debug)]
 struct Node<K, V> {
     key: K,
     value: V,
@@ -26,6 +27,7 @@ struct Node<K, V> {
 /// assert_eq!(pool.insert("c", 3), Some(("b", 2))); // evicts the LRU entry
 /// assert_eq!(pool.hit_stats(), (1, 0));
 /// ```
+#[derive(Debug)]
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
     slab: Vec<Node<K, V>>,

@@ -1,0 +1,408 @@
+//! Concurrent, shared read path: frozen page stores and a lock-striped
+//! buffer pool.
+//!
+//! The single-session engine threads `&mut` exclusively from the query down
+//! to [`SimulatedDisk`](crate::SimulatedDisk), so one tree can serve one
+//! walkthrough at a time. This module is the storage half of the concurrent
+//! engine:
+//!
+//! * [`FrozenPages`] — an immutable, `Arc`-shared snapshot of a fully built
+//!   [`MemPagedFile`]; any number of threads may read it.
+//! * [`SharedCachedFile`] — a buffer pool over a frozen file, striped into
+//!   independently locked LRU shards keyed by page id, so concurrent readers
+//!   contend only when they touch the same stripe. Global pool counters are
+//!   plain atomics ([`AtomicIoStats`]).
+//! * [`IoCursor`] — the *per-session* half of the simulated-disk cost model.
+//!   Seek-vs-transfer charging needs a disk-head position, which cannot be
+//!   shared state once N sessions interleave; each session carries its own
+//!   cursor, and a pool hit costs nothing, exactly like a
+//!   [`CachedFile`](crate::CachedFile) hit.
+//!
+//! The cost semantics deliberately mirror the sequential engine: a miss
+//! charges `seek + transfer` or `transfer` against the session's own head
+//! position using the same rule as [`SimulatedDisk`](crate::SimulatedDisk),
+//! so a single session over a cold shared pool sees the same simulated
+//! timings as one over a private pool of the same capacity.
+
+use crate::{DiskModel, IoStats, LruCache, MemPagedFile, Page, PageId, Result, StorageError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An immutable snapshot of a paged file, cheap to share across threads.
+#[derive(Debug, Clone)]
+pub struct FrozenPages {
+    pages: Arc<[Box<[u8]>]>,
+}
+
+impl FrozenPages {
+    /// Freezes a fully built in-memory file.
+    pub fn from_mem(file: MemPagedFile) -> Self {
+        FrozenPages {
+            pages: file.into_pages().into(),
+        }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Raw bytes of page `id`.
+    pub fn bytes(&self, id: PageId) -> Result<&[u8]> {
+        self.pages
+            .get(id.0 as usize)
+            .map(|p| &p[..])
+            .ok_or(StorageError::PageOutOfBounds {
+                page: id,
+                page_count: self.pages.len() as u64,
+            })
+    }
+}
+
+/// Atomic I/O counters for the shared pool: safe to bump from any thread,
+/// readable without stopping the world.
+///
+/// Simulated elapsed time is kept in integer nanoseconds so concurrent adds
+/// stay exact (every [`DiskModel`] cost is a whole number of nanoseconds).
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    page_reads: AtomicU64,
+    sequential_reads: AtomicU64,
+    random_reads: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    elapsed_ns: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn record_miss(&self, sequential: bool, cost_us: f64) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        if sequential {
+            self.sequential_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.random_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.elapsed_ns
+            .fetch_add((cost_us * 1000.0).round() as u64, Ordering::Relaxed);
+    }
+
+    fn record_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses)` over all shards since construction.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.pool_hits.load(Ordering::Relaxed),
+            self.pool_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot as a plain [`IoStats`] (writes are always 0: the store is
+    /// immutable).
+    pub fn snapshot(&self) -> IoStats {
+        let mut s = IoStats::new();
+        s.page_reads = self.page_reads.load(Ordering::Relaxed);
+        s.sequential_reads = self.sequential_reads.load(Ordering::Relaxed);
+        s.random_reads = self.random_reads.load(Ordering::Relaxed);
+        s.elapsed_us = self.elapsed_ns.load(Ordering::Relaxed) as f64 / 1000.0;
+        s
+    }
+}
+
+/// Per-session disk-head state plus accumulated per-session costs.
+///
+/// The shared pool charges misses against this cursor with the same
+/// sequential-run rule as [`SimulatedDisk`](crate::SimulatedDisk): an access
+/// is sequential iff it targets the session's previous page or the one after
+/// it.
+#[derive(Debug, Clone, Default)]
+pub struct IoCursor {
+    last_page: Option<u64>,
+    stats: IoStats,
+}
+
+impl IoCursor {
+    /// A cursor with no head-position memory and zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated per-session stats.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Clears counters; the head position is kept (mirrors
+    /// [`SimulatedDisk::reset_stats`](crate::SimulatedDisk::reset_stats)).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::new();
+    }
+
+    fn charge_read(&mut self, id: PageId, model: DiskModel) -> (bool, f64) {
+        let sequential =
+            self.last_page == Some(id.0.wrapping_sub(1)) || self.last_page == Some(id.0);
+        let cost = if sequential {
+            model.transfer_us
+        } else {
+            model.seek_us + model.transfer_us
+        };
+        self.stats.elapsed_us += cost;
+        self.stats.page_reads += 1;
+        if sequential {
+            self.stats.sequential_reads += 1;
+        } else {
+            self.stats.random_reads += 1;
+        }
+        self.last_page = Some(id.0);
+        (sequential, cost)
+    }
+}
+
+/// A lock-striped LRU buffer pool over a [`FrozenPages`] snapshot.
+///
+/// `read_page` takes `&self`: all mutability is interior (the shard mutexes
+/// and the atomic counters), so any number of sessions can share one pool.
+/// Pages are assigned to shards by `page_id % shards`, which spreads
+/// sequential runs across stripes and keeps a hot run from serializing on
+/// one lock.
+#[derive(Debug)]
+pub struct SharedCachedFile {
+    data: FrozenPages,
+    model: DiskModel,
+    shards: Vec<Mutex<LruCache<u64, Page>>>,
+    stats: AtomicIoStats,
+}
+
+impl SharedCachedFile {
+    /// Builds a pool of `capacity` total pages striped over `shards` locks.
+    ///
+    /// Capacity is divided evenly (rounding up) across shards; each shard
+    /// holds at least one page.
+    ///
+    /// # Panics
+    /// Panics when `capacity` or `shards` is zero.
+    pub fn new(data: FrozenPages, model: DiskModel, capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        let per_shard = capacity.div_ceil(shards);
+        SharedCachedFile {
+            data,
+            model,
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            stats: AtomicIoStats::default(),
+        }
+    }
+
+    /// Freezes a [`MemPagedFile`] and pools it in one step.
+    pub fn from_mem(file: MemPagedFile, model: DiskModel, capacity: usize, shards: usize) -> Self {
+        Self::new(FrozenPages::from_mem(file), model, capacity, shards)
+    }
+
+    /// A new pool (same frozen data, same geometry, cold cache, zeroed
+    /// counters) — the per-session-pool baseline of the concurrent bench.
+    pub fn fork(&self) -> Self {
+        let per_shard = self.shards[0]
+            .lock()
+            .expect("pool shard poisoned")
+            .capacity();
+        SharedCachedFile {
+            data: self.data.clone(),
+            model: self.model,
+            shards: (0..self.shards.len())
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            stats: AtomicIoStats::default(),
+        }
+    }
+
+    /// The underlying frozen snapshot.
+    pub fn data(&self) -> &FrozenPages {
+        &self.data
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// Number of pages in the backing store.
+    pub fn page_count(&self) -> u64 {
+        self.data.page_count()
+    }
+
+    /// Total size in bytes of the backing store.
+    pub fn size_bytes(&self) -> u64 {
+        self.data.page_count() * crate::PAGE_SIZE as u64
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global pool counters.
+    pub fn stats(&self) -> &AtomicIoStats {
+        &self.stats
+    }
+
+    /// `(hits, misses)` summed over every access since construction.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        self.stats.hit_stats()
+    }
+
+    /// Pool hit rate in `[0, 1]` (0 when the pool is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.hit_stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Per-shard `(hits, misses)` from each stripe's own LRU counters —
+    /// their sums must equal [`hit_stats`](Self::hit_stats) (covered by
+    /// tests).
+    pub fn per_shard_hit_stats(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pool shard poisoned").hit_stats())
+            .collect()
+    }
+
+    /// Reads page `id` into `out`, charging any miss against `cursor`.
+    ///
+    /// A pool hit copies from the shard and costs nothing; a miss copies
+    /// from the frozen store, charges `cursor` by the simulated-disk rule,
+    /// and installs the page (possibly evicting the shard's LRU page).
+    pub fn read_page(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+        // Bounds-check before any accounting: errors are never charged.
+        let src = self.data.bytes(id)?;
+        let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
+        let mut pool = shard.lock().expect("pool shard poisoned");
+        if let Some(page) = pool.get(&id.0) {
+            out.bytes_mut().copy_from_slice(page.bytes());
+            self.stats.record_hit();
+            return Ok(());
+        }
+        out.bytes_mut().copy_from_slice(src);
+        let (sequential, cost) = cursor.charge_read(id, self.model);
+        self.stats.record_miss(sequential, cost);
+        pool.insert(id.0, out.clone());
+        Ok(())
+    }
+
+    /// True if page `id` is currently pooled (no promotion, no counters).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.shards[(id.0 % self.shards.len() as u64) as usize]
+            .lock()
+            .expect("pool shard poisoned")
+            .peek(&id.0)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PagedFile, PAGE_SIZE};
+
+    fn frozen(n: u64) -> FrozenPages {
+        let mut f = MemPagedFile::new();
+        for i in 0..n {
+            let id = f.allocate_page().unwrap();
+            let mut p = Page::zeroed();
+            p.bytes_mut()[..8].copy_from_slice(&i.to_le_bytes());
+            f.write_page(id, &p).unwrap();
+        }
+        FrozenPages::from_mem(f)
+    }
+
+    #[test]
+    fn frozen_pages_expose_contents() {
+        let fp = frozen(3);
+        assert_eq!(fp.page_count(), 3);
+        assert_eq!(&fp.bytes(PageId(2)).unwrap()[..8], &2u64.to_le_bytes());
+        assert!(fp.bytes(PageId(3)).is_err());
+    }
+
+    #[test]
+    fn hit_costs_nothing_miss_charges_cursor() {
+        let pool = SharedCachedFile::new(frozen(4), DiskModel::PAPER_ERA, 8, 2);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &1u64.to_le_bytes());
+        let after_miss = cur.stats();
+        assert_eq!(after_miss.page_reads, 1);
+        assert_eq!(after_miss.random_reads, 1);
+        assert_eq!(after_miss.elapsed_us, 8000.0 + 100.0);
+
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(cur.stats(), after_miss, "hit must not charge");
+        assert_eq!(pool.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn sequential_rule_matches_simulated_disk() {
+        let pool = SharedCachedFile::new(frozen(5), DiskModel::PAPER_ERA, 2, 1);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        // Tiny pool (2 pages) so every access below misses.
+        for i in 0..5 {
+            pool.read_page(&mut cur, PageId(i), &mut out).unwrap();
+        }
+        let s = cur.stats();
+        assert_eq!(s.page_reads, 5);
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.sequential_reads, 4);
+        assert_eq!(s.elapsed_us, 8100.0 + 4.0 * 100.0);
+        // Global atomic totals agree (in integer-nanosecond precision).
+        let g = pool.stats().snapshot();
+        assert_eq!(g.page_reads, 5);
+        assert_eq!(g.sequential_reads, 4);
+        assert!((g.elapsed_us - s.elapsed_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_not_charged() {
+        let pool = SharedCachedFile::new(frozen(1), DiskModel::PAPER_ERA, 2, 1);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        assert!(pool.read_page(&mut cur, PageId(9), &mut out).is_err());
+        assert_eq!(cur.stats().page_reads, 0);
+        assert_eq!(pool.hit_stats(), (0, 0));
+    }
+
+    #[test]
+    fn fork_shares_data_not_pool_state() {
+        let pool = SharedCachedFile::new(frozen(2), DiskModel::FREE, 4, 2);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        let fork = pool.fork();
+        assert_eq!(fork.hit_stats(), (0, 0));
+        assert!(!fork.contains(PageId(0)));
+        fork.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
+        assert_eq!(fork.shard_count(), 2);
+        assert_eq!(fork.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn cursor_reset_keeps_head() {
+        let pool = SharedCachedFile::new(frozen(3), DiskModel::PAPER_ERA, 1, 1);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        cur.reset_stats();
+        // Pool holds only page 0; page 1 misses but is head-sequential.
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(cur.stats().sequential_reads, 1);
+        assert_eq!(cur.stats().page_reads, 1);
+    }
+}

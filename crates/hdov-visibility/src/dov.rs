@@ -111,8 +111,16 @@ impl DovTable {
     /// Computes the table for `scene` over `grid`.
     ///
     /// Work is distributed over `threads` scoped worker threads (pass 0 to
-    /// use the available parallelism).
+    /// use the available parallelism). Cells are handed out one at a time
+    /// from an atomic work queue rather than pre-partitioned: per-cell cost
+    /// varies by orders of magnitude (a cell facing dense geometry traces
+    /// far deeper than an empty one), so a static chunk split leaves workers
+    /// idle behind the unlucky chunk. The result is independent of thread
+    /// count and claim order — each cell's estimate depends only on the cell
+    /// id and `cfg`.
     pub fn compute(scene: &Scene, grid: &CellGrid, cfg: &DovConfig, threads: usize) -> DovTable {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
         let bvh = Caster::build(scene, cfg.geometry);
         let n_cells = grid.cell_count();
         let threads = if threads == 0 {
@@ -122,31 +130,37 @@ impl DovTable {
         } else {
             threads
         };
-        let mut cells: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_cells];
+        let workers = threads.clamp(1, n_cells.max(1));
 
-        // Static round-robin partition of cells over workers.
-        type CellSlot = Vec<(u32, f32)>;
-        let chunks: Vec<(usize, &mut [CellSlot])> = {
-            let per = n_cells.div_ceil(threads.max(1));
-            cells
-                .chunks_mut(per.max(1))
-                .enumerate()
-                .map(|(i, c)| (i * per.max(1), c))
+        // One worker's output: (cell index, that cell's (object, DoV) list).
+        type WorkerCells = Vec<(usize, Vec<(u32, f32)>)>;
+
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<WorkerCells> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let cell = next.fetch_add(1, Ordering::Relaxed);
+                            if cell >= n_cells {
+                                break done;
+                            }
+                            done.push((cell, compute_cell(&bvh, grid, cell as CellId, cfg)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DoV worker panicked"))
                 .collect()
-        };
-        crossbeam::thread::scope(|s| {
-            for (offset, chunk) in chunks {
-                let bvh = &bvh;
-                let grid = &grid;
-                s.spawn(move |_| {
-                    for (k, slot) in chunk.iter_mut().enumerate() {
-                        let cell = (offset + k) as CellId;
-                        *slot = compute_cell(bvh, grid, cell, cfg);
-                    }
-                });
-            }
-        })
-        .expect("DoV worker panicked");
+        });
+
+        let mut cells: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_cells];
+        for (cell, data) in per_worker.drain(..).flatten() {
+            cells[cell] = data;
+        }
 
         DovTable {
             cells,

@@ -12,7 +12,10 @@
 //! * [`Bvh`] — a first-hit ray caster over object bounding boxes (with a
 //!   ground plane, so rays cannot sneak under the city), and
 //! * [`DovTable`] — per-cell sparse `(object, DoV)` tables, computed in
-//!   parallel with `crossbeam` scoped threads.
+//!   parallel on `std::thread::scope` workers pulling cells from an
+//!   atomic-counter work queue (per-cell cost is wildly uneven, so dynamic
+//!   claiming keeps every worker busy; results are independent of thread
+//!   count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

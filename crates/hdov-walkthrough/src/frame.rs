@@ -8,10 +8,8 @@
 //! which we measure exactly, so the model preserves the comparison shape
 //! (see `DESIGN.md` §3).
 
-use serde::{Deserialize, Serialize};
-
 /// Render-cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameModel {
     /// Fixed per-frame cost (scene setup, culling, buffer swap) in µs.
     pub base_us: f64,
@@ -41,7 +39,7 @@ impl Default for FrameModel {
 }
 
 /// Everything measured about one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameRecord {
     /// Simulated database search time (ms).
     pub search_ms: f64,

@@ -13,19 +13,23 @@
 //! * [`VisualSystem`] and [`ReviewWalkthrough`] — both behind the
 //!   [`WalkthroughSystem`] trait, and
 //! * [`WalkthroughMetrics`] — average/variance frame time, per-query search
-//!   time and I/O, DoV-coverage fidelity, and peak memory.
+//!   time and I/O, DoV-coverage fidelity, and peak memory, and
+//! * [`SessionServer`] — a concurrent multi-session server replaying many
+//!   recorded sessions against one shared, immutable HDoV-tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;
 pub mod metrics;
+pub mod server;
 pub mod session;
 pub mod streaming;
 pub mod system;
 
 pub use frame::{FrameModel, FrameRecord};
 pub use metrics::{run_session, WalkthroughMetrics};
+pub use server::{ServerConfig, ServerReport, SessionOutcome, SessionServer};
 pub use session::{Session, SessionKind};
 pub use streaming::StreamingVisualSystem;
 pub use system::{LodRTreeWalkthrough, ReviewWalkthrough, VisualSystem, WalkthroughSystem};

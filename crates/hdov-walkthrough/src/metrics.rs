@@ -4,11 +4,10 @@ use crate::frame::{FrameModel, FrameRecord};
 use crate::session::Session;
 use crate::system::WalkthroughSystem;
 use hdov_storage::Result;
-use serde::{Deserialize, Serialize};
 
 /// Aggregates over one played-back session — the quantities of the paper's
 /// Table 3 and Figs. 10/12.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WalkthroughMetrics {
     /// System name.
     pub system: String,

@@ -3,15 +3,14 @@
 //! "We recorded a few walkthrough sessions with different motion patterns.
 //! Session 1 is a normal walkthrough; session 2 turns left and right; and
 //! session 3 moves back and forward frequently" (§5.4). Sessions here are
-//! seeded camera paths over the scene's walkable region, serializable with
-//! serde so a recorded session can be replayed bit-for-bit.
+//! seeded camera paths over the scene's walkable region, so a recorded
+//! session replays bit-for-bit from its seed.
 
 use hdov_geom::sampling::SplitMix64;
 use hdov_geom::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// The three motion patterns of the paper's Fig. 12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionKind {
     /// Session 1: a normal walk with slowly drifting heading.
     Normal,
@@ -51,7 +50,7 @@ impl SessionKind {
 /// assert_eq!(session.len(), 50);
 /// assert!(session.viewpoints.iter().all(|p| region.contains_point(*p)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Session {
     /// Motion pattern.
     pub kind: SessionKind,

@@ -7,6 +7,7 @@ use hdov_review::{FidelityReport, ReviewSystem};
 use hdov_storage::Result;
 use hdov_visibility::{CellGrid, DovTable};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A walkthrough-capable system: renders a frame at each viewpoint of a
 /// session, reporting costs and fidelity.
@@ -144,15 +145,15 @@ impl WalkthroughSystem for VisualSystem {
 /// REVIEW wrapped for walkthroughs, with ground-truth fidelity evaluation.
 pub struct ReviewWalkthrough {
     sys: ReviewSystem,
-    table: DovTable,
-    grid: CellGrid,
+    table: Arc<DovTable>,
+    grid: Arc<CellGrid>,
 }
 
 impl ReviewWalkthrough {
     /// Wraps a REVIEW system; `table`/`grid` provide the fidelity ground
-    /// truth (typically cloned from the VISUAL environment so both systems
-    /// are judged against the same reference).
-    pub fn new(sys: ReviewSystem, table: DovTable, grid: CellGrid) -> Self {
+    /// truth (shared with the VISUAL environment so both systems are judged
+    /// against the same reference without duplicating it).
+    pub fn new(sys: ReviewSystem, table: Arc<DovTable>, grid: Arc<CellGrid>) -> Self {
         ReviewWalkthrough { sys, table, grid }
     }
 
@@ -201,14 +202,18 @@ impl WalkthroughSystem for ReviewWalkthrough {
 /// as the user view changes").
 pub struct LodRTreeWalkthrough {
     sys: hdov_review::LodRTreeSystem,
-    table: DovTable,
-    grid: CellGrid,
+    table: Arc<DovTable>,
+    grid: Arc<CellGrid>,
     last_pos: Option<Vec3>,
 }
 
 impl LodRTreeWalkthrough {
     /// Wraps a LoD-R-tree system with the shared fidelity ground truth.
-    pub fn new(sys: hdov_review::LodRTreeSystem, table: DovTable, grid: CellGrid) -> Self {
+    pub fn new(
+        sys: hdov_review::LodRTreeSystem,
+        table: Arc<DovTable>,
+        grid: Arc<CellGrid>,
+    ) -> Self {
         LodRTreeWalkthrough {
             sys,
             table,
@@ -295,8 +300,8 @@ mod naming_tests {
         .unwrap();
         let rw = ReviewWalkthrough::new(
             review,
-            visual.env().dov_table().clone(),
-            visual.env().grid().clone(),
+            visual.env().dov_table_shared(),
+            visual.env().grid_shared(),
         );
         assert_eq!(rw.name(), "REVIEW(box=150m)");
 
@@ -310,8 +315,8 @@ mod naming_tests {
         .unwrap();
         let lw = LodRTreeWalkthrough::new(
             lodr,
-            visual.env().dov_table().clone(),
-            visual.env().grid().clone(),
+            visual.env().dov_table_shared(),
+            visual.env().grid_shared(),
         );
         assert_eq!(lw.name(), "LoD-R-tree(range=250m)");
     }

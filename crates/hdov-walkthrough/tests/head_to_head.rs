@@ -37,8 +37,8 @@ fn review(scene: &Scene, visual: &VisualSystem, box_size: f64) -> ReviewWalkthro
     .unwrap();
     ReviewWalkthrough::new(
         sys,
-        visual.env().dov_table().clone(),
-        visual.env().grid().clone(),
+        visual.env().dov_table_shared(),
+        visual.env().grid_shared(),
     )
 }
 

@@ -1,0 +1,136 @@
+//! A self-contained, offline drop-in for the subset of the `proptest` API
+//! this workspace uses.
+//!
+//! The container that builds this repo has no access to crates.io, so the
+//! real `proptest` cannot be vendored. This crate re-implements the pieces
+//! the test suites rely on — the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, ranges/tuples/`Just`/`prop_oneof!`, `prop::collection::{vec,
+//! btree_map}`, and the `prop_assert*`/`prop_assume!` macros — on top of a
+//! deterministic SplitMix64 generator.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case reports the generated inputs verbatim
+//!   (every strategy value is `Debug`), plus the seed-deriving test name and
+//!   case index, which replays deterministically.
+//! * **Deterministic seeding.** Cases are derived from the test's name, so a
+//!   failure reproduces on every run and every machine.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` etc., mirroring the upstream module layout.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_map`).
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, vec};
+    }
+}
+
+/// The upstream prelude: strategies, config, and macro re-exports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// `#![proptest_config(...)]` header and any number of test functions with
+/// `ident in strategy` parameters (trailing commas allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                let values = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let case = move |_marker: ()| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                (case(()), values)
+            });
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discards the current case (the runner draws a replacement).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// One-of strategy over alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

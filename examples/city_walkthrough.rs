@@ -33,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut review = ReviewWalkthrough::new(
         review_sys,
-        visual.env().dov_table().clone(),
-        visual.env().grid().clone(),
+        visual.env().dov_table_shared(),
+        visual.env().grid_shared(),
     );
 
     // Record one session and play it through both systems.

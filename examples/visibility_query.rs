@@ -45,10 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build the full environment and show how η reshapes the answer set.
     let mut env = HdovEnvironment::build_with_table(
         &scene,
-        grid,
+        std::sync::Arc::new(grid),
         HdovBuildConfig::default(),
         StorageScheme::IndexedVertical,
-        table,
+        std::sync::Arc::new(table),
     )?;
     println!("\nanswer-set composition vs eta:");
     for eta in [0.0, 0.002, 0.01, 0.05] {

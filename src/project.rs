@@ -59,7 +59,13 @@ impl Project {
         let grid = CellGridConfig::for_scene(&scene)
             .with_resolution(self.grid.0, self.grid.1)
             .build();
-        HdovEnvironment::build_with_table(&scene, grid, cfg, scheme, self.table.clone())
+        HdovEnvironment::build_with_table(
+            &scene,
+            std::sync::Arc::new(grid),
+            cfg,
+            scheme,
+            std::sync::Arc::new(self.table.clone()),
+        )
     }
 
     /// Writes the project to `path`.

@@ -54,8 +54,8 @@ fn walkthrough_pipeline_through_facade() {
     .unwrap();
     let mut review = ReviewWalkthrough::new(
         review,
-        visual.env().dov_table().clone(),
-        visual.env().grid().clone(),
+        visual.env().dov_table_shared(),
+        visual.env().grid_shared(),
     );
     let session = Session::record(scene.viewpoint_region(), SessionKind::Turning, 40, 1);
     let fm = FrameModel::PAPER_ERA;
