@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() {
     let opts = RunOptions::from_args();
+    hdov_bench::start_metrics();
     let eval = EvalScene::standard(&opts);
     let n_sessions = if opts.quick { 8 } else { 16 };
     let frames = if opts.quick { 40 } else { 200 };
@@ -153,6 +154,23 @@ fn main() {
     );
     write_csv(
         "concurrent_sessions",
+        &[
+            "mode",
+            "threads",
+            "sessions",
+            "wall_qps",
+            "sim_qps",
+            "p50_ms",
+            "p99_ms",
+            "hit_rate",
+            "pool_lookups",
+            "page_reads",
+        ],
+        &rows,
+    );
+    hdov_bench::write_metrics_snapshot(
+        "concurrent_sessions",
+        2,
         &[
             "mode",
             "threads",

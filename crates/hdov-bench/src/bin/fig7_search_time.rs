@@ -10,6 +10,7 @@ use hdov_core::StorageScheme;
 
 fn main() {
     let opts = RunOptions::from_args();
+    hdov_bench::start_metrics();
     let eval = EvalScene::standard(&opts);
     let viewpoints = eval.random_viewpoints(opts.query_count(), 7);
     println!(
@@ -52,6 +53,18 @@ fn main() {
     println!("paper shape: curves fall with eta; eta=0 ~= naive; horizontal worst; indexed best");
     write_csv(
         "fig7_search_time",
+        &[
+            "eta",
+            "horizontal_ms",
+            "vertical_ms",
+            "indexed_ms",
+            "naive_ms",
+        ],
+        &rows,
+    );
+    hdov_bench::write_metrics_snapshot(
+        "fig7_search_time",
+        1,
         &[
             "eta",
             "horizontal_ms",

@@ -12,6 +12,7 @@ use hdov_core::StorageScheme;
 
 fn main() {
     let opts = RunOptions::from_args();
+    hdov_bench::start_metrics();
     let eval = EvalScene::standard(&opts);
     let viewpoints = eval.random_viewpoints(opts.query_count(), 8);
     let mut env = eval.environment(StorageScheme::IndexedVertical);
@@ -56,6 +57,18 @@ fn main() {
     println!("paper shape: 8a falls with eta, <= naive; 8b starts above naive, crosses below");
     write_csv(
         "fig8_io",
+        &[
+            "eta",
+            "hdov_total",
+            "naive_total",
+            "hdov_light",
+            "naive_light",
+        ],
+        &rows,
+    );
+    hdov_bench::write_metrics_snapshot(
+        "fig8_io",
+        1,
         &[
             "eta",
             "hdov_total",

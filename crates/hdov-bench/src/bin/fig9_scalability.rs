@@ -10,6 +10,7 @@ use hdov_scene::DatasetPreset;
 
 fn main() {
     let opts = RunOptions::from_args();
+    hdov_bench::start_metrics();
     let queries = if opts.quick { 100 } else { 1000 };
     let eta = 0.001;
 
@@ -52,6 +53,18 @@ fn main() {
     println!("paper shape: near-flat growth across the 4x size range");
     write_csv(
         "fig9_scalability",
+        &[
+            "dataset_mb",
+            "actual_bytes",
+            "objects",
+            "search_ms",
+            "light_ios",
+        ],
+        &rows,
+    );
+    hdov_bench::write_metrics_snapshot(
+        "fig9_scalability",
+        1,
         &[
             "dataset_mb",
             "actual_bytes",

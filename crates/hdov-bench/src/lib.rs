@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use hdov_core::{HdovBuildConfig, HdovEnvironment, StorageScheme};
 use hdov_geom::Vec3;
 use hdov_scene::{CityConfig, Scene};
@@ -201,6 +203,50 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         let _ = writeln!(f, "{}", row.join(","));
     }
     println!("[csv] wrote {}", path.display());
+}
+
+/// Turns instrumentation on (and clears any previous state) for a harness
+/// binary that will emit a metrics snapshot at the end of its run.
+pub fn start_metrics() {
+    hdov_obs::reset();
+    hdov_obs::enable();
+}
+
+/// Writes `results/metrics/<name>.json`: the table the binary just printed,
+/// flattened to gauges, merged with everything the obs registry recorded.
+///
+/// The first `label_cols` columns of each row identify it; each remaining
+/// column becomes a gauge keyed `<h0><v0>[.<h1><v1>].<header>` (for example
+/// `eta0.002.indexed_ms`). Cells that do not parse as numbers (for example
+/// pretty-printed byte sizes) are skipped. Only CSV-formatted values enter
+/// the snapshot, so gauges are exactly as machine-independent as the CSVs.
+pub fn write_metrics_snapshot(
+    name: &str,
+    label_cols: usize,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) {
+    let mut snap = hdov_obs::snapshot(name);
+    hdov_obs::disable();
+    for row in rows {
+        let prefix: Vec<String> = (0..label_cols.min(row.len()))
+            .map(|i| format!("{}{}", headers[i], row[i]))
+            .collect();
+        let prefix = prefix.join(".");
+        for (header, cell) in headers.iter().zip(row).skip(label_cols) {
+            if let Ok(v) = cell.parse::<f64>() {
+                snap.set_gauge(format!("{prefix}.{header}"), v);
+            }
+        }
+    }
+    let dir = PathBuf::from("results/metrics");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if std::fs::write(&path, snap.to_json()).is_ok() {
+        println!("[metrics] wrote {}", path.display());
+    }
 }
 
 /// Mean of an iterator.

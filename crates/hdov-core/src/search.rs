@@ -21,6 +21,7 @@ use crate::node::HdovEntry;
 use crate::storage::VisibilityStore;
 use crate::vpage::VEntry;
 use hdov_geom::solid_angle::MAX_DOV;
+use hdov_obs::{Counter, Hist, Phase};
 use hdov_scene::{ModelStore, Scene};
 use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
 use hdov_visibility::CellId;
@@ -220,22 +221,39 @@ pub fn search(
 
     let mut out = QueryResult::default();
     let mut stats = SearchStats::default();
-    recurse(
-        tree,
-        vstore,
-        objects,
-        tree.root_ordinal(),
-        eta,
-        skip,
-        &mut out,
-        &mut stats,
-    )?;
+    {
+        let _traversal = hdov_obs::span(Phase::Traversal);
+        recurse(
+            tree,
+            vstore,
+            objects,
+            tree.root_ordinal(),
+            eta,
+            skip,
+            &mut out,
+            &mut stats,
+        )?;
+    }
 
     stats.node_io = tree.node_io().since(&node_io0);
     stats.internal_io = tree.internal_io().since(&internal_io0);
     stats.model_io = objects.disk.stats().since(&model_io0);
     stats.vstore_io = vstore.stats();
+    record_query_obs(&stats);
     Ok((out, stats))
+}
+
+/// Reports one finished query to `hdov-obs`: event counters plus the
+/// *simulated* latency histogram (deterministic — safe for the CI gate).
+/// A no-op when recording is disabled.
+pub(crate) fn record_query_obs(stats: &SearchStats) {
+    if !hdov_obs::is_enabled() {
+        return;
+    }
+    hdov_obs::add(Counter::Queries, 1);
+    hdov_obs::add(Counter::NodesVisited, stats.nodes_visited);
+    hdov_obs::add(Counter::VPagesFetched, stats.vpages_fetched);
+    hdov_obs::observe(Hist::SimSearchUs, (stats.search_time_ms() * 1000.0) as u64);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -249,14 +267,20 @@ fn recurse(
     out: &mut QueryResult,
     stats: &mut SearchStats,
 ) -> Result<()> {
-    let Some(vpage) = vstore.fetch(ordinal)? else {
+    let Some(vpage) = ({
+        let _vp = hdov_obs::span(Phase::VPageRead);
+        vstore.fetch(ordinal)?
+    }) else {
         return Ok(()); // invisible (vertical/indexed prove it for free)
     };
     stats.vpages_fetched += 1;
     if !vpage.any_visible() {
         return Ok(()); // horizontal placeholder for a hidden node
     }
-    let node = tree.read_node(ordinal)?;
+    let node = {
+        let _nr = hdov_obs::span(Phase::NodeRead);
+        tree.read_node(ordinal)?
+    };
     stats.nodes_visited += 1;
 
     for (entry, ve) in node.entries.iter().zip(&vpage.entries) {
@@ -272,6 +296,7 @@ fn recurse(
             let h = if cached {
                 objects.store.handle(entry.child, level)
             } else {
+                let _lf = hdov_obs::span(Phase::LodFetch);
                 objects.store.fetch(&mut objects.disk, entry.child, level)?
             };
             out.entries.push(ResultEntry {
@@ -296,6 +321,7 @@ fn recurse(
             let h = if cached {
                 tree.internal_store().handle(child as u64, level)
             } else {
+                let _lf = hdov_obs::span(Phase::LodFetch);
                 tree.fetch_internal_lod(child, level)?
             };
             out.entries.push(ResultEntry {

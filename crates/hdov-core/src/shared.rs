@@ -35,6 +35,7 @@ use crate::storage::{StorageScheme, VisibilityStore};
 use crate::vpage::VPage;
 use hdov_geom::solid_angle::MAX_DOV;
 use hdov_geom::Vec3;
+use hdov_obs::Phase;
 use hdov_scene::{ModelHandle, ModelStore};
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
@@ -353,6 +354,7 @@ impl SharedVStore {
     /// there is no per-cell run to batch: this is a no-op returning 0 (the
     /// paper's §4.1 scatter penalty, unchanged).
     pub fn prefetch_cell(&self, ctx: &mut SessionCtx) -> Result<u64> {
+        let _prefetch = hdov_obs::span(Phase::Prefetch);
         let vpages = match self {
             SharedVStore::Horizontal(_) => return Ok(0),
             SharedVStore::Vertical(s) => &s.vpages,
@@ -754,20 +756,24 @@ pub fn search_shared(
 
     let mut out = QueryResult::default();
     let mut stats = SearchStats::default();
-    recurse_shared(
-        env,
-        ctx,
-        env.tree.root_ordinal(),
-        eta,
-        skip,
-        &mut out,
-        &mut stats,
-    )?;
+    {
+        let _traversal = hdov_obs::span(Phase::Traversal);
+        recurse_shared(
+            env,
+            ctx,
+            env.tree.root_ordinal(),
+            eta,
+            skip,
+            &mut out,
+            &mut stats,
+        )?;
+    }
 
     stats.node_io = ctx.node_cur.stats().since(&node0);
     stats.internal_io = ctx.internal_cur.stats().since(&internal0);
     stats.model_io = ctx.model_cur.stats().since(&model0);
     stats.vstore_io = ctx.index_cur.stats().since(&index0) + ctx.vpage_cur.stats().since(&vpage0);
+    crate::search::record_query_obs(&stats);
     Ok((out, stats))
 }
 
@@ -780,14 +786,20 @@ fn recurse_shared(
     out: &mut QueryResult,
     stats: &mut SearchStats,
 ) -> Result<()> {
-    let Some(vpage) = env.vstore.fetch(ctx, ordinal)? else {
+    let Some(vpage) = ({
+        let _vp = hdov_obs::span(Phase::VPageRead);
+        env.vstore.fetch(ctx, ordinal)?
+    }) else {
         return Ok(()); // invisible (vertical/indexed prove it for free)
     };
     stats.vpages_fetched += 1;
     if !vpage.any_visible() {
         return Ok(()); // horizontal placeholder for a hidden node
     }
-    let node = env.tree.read_node(&mut ctx.node_cur, ordinal)?;
+    let node = {
+        let _nr = hdov_obs::span(Phase::NodeRead);
+        env.tree.read_node(&mut ctx.node_cur, ordinal)?
+    };
     stats.nodes_visited += 1;
 
     for (entry, ve) in node.entries.iter().zip(&vpage.entries) {
@@ -803,6 +815,7 @@ fn recurse_shared(
             let h = if cached {
                 env.models.store.handle(entry.child, level)
             } else {
+                let _lf = hdov_obs::span(Phase::LodFetch);
                 env.models.store.fetch(
                     &mut CursorFile::new(&env.models.pool, &mut ctx.model_cur),
                     entry.child,
@@ -839,6 +852,7 @@ fn recurse_shared(
             let h = if cached {
                 env.tree.internal_store().handle(child as u64, level)
             } else {
+                let _lf = hdov_obs::span(Phase::LodFetch);
                 env.tree
                     .fetch_internal_lod(&mut ctx.internal_cur, child, level)?
             };

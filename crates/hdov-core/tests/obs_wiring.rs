@@ -1,0 +1,123 @@
+//! End-to-end observability wiring: the real query stack records phases,
+//! counters, and histograms into `hdov-obs`, and enabling instrumentation
+//! never changes the simulated cost model (the fig7/fig8 bit-identical
+//! invariant, in miniature).
+//!
+//! This lives in its own integration-test binary on purpose: the global
+//! obs registry is process-wide, and a dedicated process keeps the
+//! enable/disable dance isolated from every other test.
+
+use hdov_core::{HdovBuildConfig, HdovEnvironment, PoolConfig, SearchStats, StorageScheme};
+use hdov_scene::CityConfig;
+use hdov_visibility::CellGridConfig;
+
+fn build_shared() -> hdov_core::SharedEnvironment {
+    let scene = CityConfig::tiny().seed(7).generate();
+    let grid_cfg = CellGridConfig::for_scene(&scene).with_resolution(3, 3);
+    HdovEnvironment::build(
+        &scene,
+        &grid_cfg,
+        HdovBuildConfig::fast_test(),
+        StorageScheme::IndexedVertical,
+    )
+    .unwrap()
+    .into_shared(PoolConfig::default())
+}
+
+fn flat(stats: &SearchStats) -> (u64, u64, f64) {
+    (
+        stats.nodes_visited,
+        stats.total_io().page_reads,
+        stats.search_time_ms(),
+    )
+}
+
+#[test]
+fn stack_records_into_obs_and_never_perturbs_simulated_costs() {
+    let eta = 0.002;
+    let cells = [0u32, 4, 8, 2];
+
+    // Pass 1: instrumentation disabled (the default) — baseline answers.
+    assert!(!hdov_obs::is_enabled());
+    let env = build_shared();
+    let mut ctx = env.session();
+    let baseline: Vec<_> = cells
+        .iter()
+        .map(|&c| {
+            let (r, st) = env.query_cell(&mut ctx, c, eta).unwrap();
+            (r.total_polygons(), flat(&st))
+        })
+        .collect();
+    let disabled_snap = hdov_obs::snapshot("disabled");
+    assert!(
+        disabled_snap.counters.is_empty() && disabled_snap.histograms.is_empty(),
+        "disabled instrumentation must record nothing"
+    );
+
+    // Pass 2: same queries on a fresh identical environment, recording on.
+    hdov_obs::enable();
+    let env2 = build_shared();
+    let mut ctx2 = env2.session();
+    let instrumented: Vec<_> = cells
+        .iter()
+        .map(|&c| {
+            let (r, st) = env2.query_cell(&mut ctx2, c, eta).unwrap();
+            (r.total_polygons(), flat(&st))
+        })
+        .collect();
+    hdov_obs::disable();
+    assert_eq!(
+        baseline, instrumented,
+        "enabling obs must not change answers or simulated costs"
+    );
+
+    let snap = hdov_obs::snapshot("wiring");
+    assert_eq!(snap.counters["queries"], cells.len() as u64);
+    assert_eq!(
+        snap.counters["phase.traversal.spans"],
+        cells.len() as u64,
+        "one traversal span per query"
+    );
+    // The stack exercised every phase of the taxonomy except prefetch-by-
+    // motion (query_cell prefetches V-pages, so Prefetch fires too).
+    for phase in [
+        "node_read",
+        "vpage_read",
+        "lod_fetch",
+        "cache_probe",
+        "prefetch",
+    ] {
+        assert!(
+            snap.counters.contains_key(&format!("phase.{phase}.spans")),
+            "phase {phase} should have recorded spans"
+        );
+    }
+    assert!(snap.counters["pool_hits"] + snap.counters["pool_misses"] > 0);
+    assert_eq!(
+        snap.counters["pool_hits"] + snap.counters["pool_misses"],
+        snap.counters["phase.cache_probe.spans"],
+        "every cache probe is either a hit or a miss"
+    );
+    assert!(snap.counters["nodes_visited"] > 0);
+    assert!(snap.counters["vpages_fetched"] > 0);
+    let h = &snap.histograms["sim_search_us"];
+    assert_eq!(h.count, cells.len() as u64);
+    assert!(h.max > 0, "simulated latencies are positive");
+
+    // The snapshot round-trips through its JSON schema.
+    let back = hdov_obs::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+
+    // Counters are monotone: a second instrumented batch only grows them.
+    hdov_obs::enable();
+    let mut ctx3 = env2.session();
+    env2.query_cell(&mut ctx3, 1, eta).unwrap();
+    hdov_obs::disable();
+    let later = hdov_obs::snapshot("wiring2");
+    assert_eq!(later.counters["queries"], cells.len() as u64 + 1);
+
+    // Reset zeroes everything for the next harness run.
+    hdov_obs::reset();
+    let clean = hdov_obs::snapshot("clean");
+    assert!(clean.counters.is_empty());
+}

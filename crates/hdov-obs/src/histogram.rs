@@ -1,0 +1,256 @@
+//! Fixed log-bucket histogram, no dependencies.
+//!
+//! Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i - 1]` — i.e. values with bit length `i`. 65 buckets cover
+//! the whole `u64` range, so `observe` never saturates or clips, and bucket
+//! assignment is a single `leading_zeros`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log buckets (value 0 plus one per bit length 1..=64).
+pub const BUCKET_COUNT: usize = 65;
+
+/// Dense index of the bucket holding `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `i`.
+///
+/// # Panics
+/// Panics when `i >= BUCKET_COUNT`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKET_COUNT, "bucket index out of range");
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A concurrent log-bucket histogram: every field is a relaxed atomic, so
+/// any number of threads can `observe` without locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Zeroes every field.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// An owned, mergeable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An immutable histogram state: sparse `(bucket_index, count)` pairs in
+/// ascending index order, plus exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Values observed.
+    pub count: u64,
+    /// Σ of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        let mut dense = [0u64; BUCKET_COUNT];
+        for &(i, n) in self.buckets.iter().chain(&other.buckets) {
+            dense[i] += n;
+        }
+        self.buckets = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| (n > 0).then_some((i, n)))
+            .collect();
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile (`0 ≤ q ≤ 1`), reported as the inclusive
+    /// upper bound of the bucket containing that rank (clamped to the
+    /// observed max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_exact() {
+        // Bucket 0 is {0}; bucket i ≥ 1 is [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for i in 1..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "low bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high bound of bucket {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "below bucket {i}");
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn observe_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(
+            s.buckets,
+            vec![(0, 1), (1, 2), (3, 1), (10, 1)],
+            "sparse buckets ascending"
+        );
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_and_quantiles() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=50u64 {
+            a.observe(v);
+        }
+        for v in 51..=100u64 {
+            b.observe(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!(m.sum, 5050);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 100);
+        assert!((m.mean() - 50.5).abs() < 1e-9);
+        // p50 lands in bucket [32,63]; p100 clamps to the observed max.
+        assert_eq!(m.quantile(0.5), 63);
+        assert_eq!(m.quantile(1.0), 100);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+
+        // Merging into an empty snapshot copies; merging empty is a no-op.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&m);
+        assert_eq!(empty, m);
+        let before = m.clone();
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(m, before);
+    }
+}

@@ -1,0 +1,176 @@
+//! The fixed metric taxonomy: query phases, counters, and histograms.
+//!
+//! Everything is a small dense enum rather than a string key so recorders
+//! can be arrays of atomics (no hashing, no allocation on the hot path) and
+//! the snapshot schema stays stable across runs by construction.
+
+/// A timed phase of the query pipeline (paper §4/§5 breakdown: where does a
+/// query spend its time?).
+///
+/// Phases are *not* disjoint: [`Phase::Traversal`] spans the whole recursive
+/// search, while the others time the individual operations it performs, so
+/// `traversal ≥ node_read + vpage_read + lod_fetch` in wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The whole recursive visibility search (outermost span).
+    Traversal,
+    /// Tree-node page reads and decodes.
+    NodeRead,
+    /// V-page fetches (segment lookups + record decode).
+    VPageRead,
+    /// Model retrieval: object LoDs and internal-LoD interpolation.
+    LodFetch,
+    /// Buffer-pool probes (hit or miss) in the shared read path.
+    CacheProbe,
+    /// Motion-vector / batched V-page prefetch work.
+    Prefetch,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 6;
+
+    /// Every phase, in snapshot order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Traversal,
+        Phase::NodeRead,
+        Phase::VPageRead,
+        Phase::LodFetch,
+        Phase::CacheProbe,
+        Phase::Prefetch,
+    ];
+
+    /// Stable snake_case name used in snapshot keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Traversal => "traversal",
+            Phase::NodeRead => "node_read",
+            Phase::VPageRead => "vpage_read",
+            Phase::LodFetch => "lod_fetch",
+            Phase::CacheProbe => "cache_probe",
+            Phase::Prefetch => "prefetch",
+        }
+    }
+
+    /// Dense index into recorder arrays.
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Buffer-pool hits (shared read path).
+    PoolHits,
+    /// Buffer-pool misses (shared read path).
+    PoolMisses,
+    /// Visibility queries executed.
+    Queries,
+    /// Tree nodes visited by queries.
+    NodesVisited,
+    /// V-pages fetched by queries.
+    VPagesFetched,
+    /// Walkthrough sessions driven to completion.
+    SessionsCompleted,
+    /// Simulated page reads charged to sessions.
+    SessionPageReads,
+    /// Disk pages warmed by motion prefetch.
+    PrefetchedPages,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 8;
+
+    /// Every counter, in snapshot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::PoolHits,
+        Counter::PoolMisses,
+        Counter::Queries,
+        Counter::NodesVisited,
+        Counter::VPagesFetched,
+        Counter::SessionsCompleted,
+        Counter::SessionPageReads,
+        Counter::PrefetchedPages,
+    ];
+
+    /// Stable snake_case name used in snapshot keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
+            Counter::Queries => "queries",
+            Counter::NodesVisited => "nodes_visited",
+            Counter::VPagesFetched => "vpages_fetched",
+            Counter::SessionsCompleted => "sessions_completed",
+            Counter::SessionPageReads => "session_page_reads",
+            Counter::PrefetchedPages => "prefetched_pages",
+        }
+    }
+
+    /// Dense index into recorder arrays.
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A built-in histogram. Names carry a `sim_` or `wall_` prefix so the CI
+/// gate's tolerance file can ignore wall-clock distributions wholesale
+/// (simulated distributions are deterministic; wall ones are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Simulated per-query search latency, microseconds.
+    SimSearchUs,
+    /// Simulated per-frame time, microseconds.
+    SimFrameUs,
+    /// Wall-clock per-query search latency, nanoseconds.
+    WallSearchNs,
+}
+
+impl Hist {
+    /// Number of histograms.
+    pub const COUNT: usize = 3;
+
+    /// Every histogram, in snapshot order.
+    pub const ALL: [Hist; Hist::COUNT] = [Hist::SimSearchUs, Hist::SimFrameUs, Hist::WallSearchNs];
+
+    /// Stable snake_case name used in snapshot keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SimSearchUs => "sim_search_us",
+            Hist::SimFrameUs => "sim_frame_us",
+            Hist::WallSearchNs => "wall_search_ns",
+        }
+    }
+
+    /// Dense index into recorder arrays.
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_names_unique() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.extend(Counter::ALL.iter().map(|c| c.name()));
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "metric names must be unique");
+    }
+}

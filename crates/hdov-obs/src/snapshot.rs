@@ -1,0 +1,281 @@
+//! The serializable metrics snapshot: what one harness run writes to
+//! `results/metrics/<name>.json` and what `bench_report` diffs.
+//!
+//! The schema is deliberately flat and stable:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "fig8_io",
+//!   "counters": { "pool_hits": 123, "phase.traversal.spans": 200 },
+//!   "gauges": { "eta0.002.hdov_total": 41.5 },
+//!   "histograms": {
+//!     "sim_search_us": { "count": 200, "sum": 81234, "min": 12, "max": 9001,
+//!                        "buckets": [[4, 10], [5, 190]] }
+//!   }
+//! }
+//! ```
+//!
+//! Keys are sorted (BTreeMap) and the writer is deterministic, so two
+//! identical runs produce byte-identical files — the property the CI
+//! determinism job checks for free alongside the CSVs.
+
+use crate::histogram::{HistogramSnapshot, BUCKET_COUNT};
+use crate::json::{parse, ParseError, Value};
+use std::collections::BTreeMap;
+
+/// Current snapshot schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One run's merged metrics, ready for serialization.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Snapshot name (conventionally the harness binary that produced it).
+    pub name: String,
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values (rates, means, simulated milliseconds).
+    pub gauges: BTreeMap<String, f64>,
+    /// Value distributions.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricsSnapshot {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets counter `key`.
+    pub fn set_counter(&mut self, key: impl Into<String>, value: u64) {
+        self.counters.insert(key.into(), value);
+    }
+
+    /// Sets gauge `key`.
+    ///
+    /// # Panics
+    /// Panics on non-finite values (the JSON schema has no NaN/inf).
+    pub fn set_gauge(&mut self, key: impl Into<String>, value: f64) {
+        assert!(value.is_finite(), "gauges must be finite");
+        self.gauges.insert(key.into(), value);
+    }
+
+    /// Sets histogram `key`.
+    pub fn set_histogram(&mut self, key: impl Into<String>, value: HistogramSnapshot) {
+        self.histograms.insert(key.into(), value);
+    }
+
+    /// Serializes to the stable pretty-JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema_version".to_string(),
+            Value::Int(SCHEMA_VERSION as i128),
+        );
+        root.insert("name".to_string(), Value::Str(self.name.clone()));
+        root.insert(
+            "counters".to_string(),
+            Value::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Int(v as i128)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Value::Obj(
+                self.gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Float(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".to_string(),
+            Value::Obj(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), hist_to_value(h)))
+                    .collect(),
+            ),
+        );
+        Value::Obj(root).to_pretty()
+    }
+
+    /// Parses a snapshot produced by [`to_json`](Self::to_json).
+    pub fn from_json(input: &str) -> Result<Self, ParseError> {
+        let root = parse(input)?;
+        let fail = |message: &str| ParseError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let version = root
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("missing schema_version"))?;
+        if version != SCHEMA_VERSION {
+            return Err(fail(&format!("unsupported schema_version {version}")));
+        }
+        let name = root
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("missing name"))?
+            .to_string();
+        let mut snap = MetricsSnapshot::new(name);
+        if let Some(obj) = root.get("counters").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let v = v.as_u64().ok_or_else(|| fail("counter must be u64"))?;
+                snap.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(obj) = root.get("gauges").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let v = v.as_f64().ok_or_else(|| fail("gauge must be a number"))?;
+                snap.gauges.insert(k.clone(), v);
+            }
+        }
+        if let Some(obj) = root.get("histograms").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                snap.histograms.insert(k.clone(), hist_from_value(v)?);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn hist_to_value(h: &HistogramSnapshot) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("count".to_string(), Value::Int(h.count as i128));
+    obj.insert("sum".to_string(), Value::Int(h.sum as i128));
+    obj.insert("min".to_string(), Value::Int(h.min as i128));
+    obj.insert("max".to_string(), Value::Int(h.max as i128));
+    obj.insert(
+        "buckets".to_string(),
+        Value::Arr(
+            h.buckets
+                .iter()
+                .map(|&(i, n)| Value::Arr(vec![Value::Int(i as i128), Value::Int(n as i128)]))
+                .collect(),
+        ),
+    );
+    Value::Obj(obj)
+}
+
+fn hist_from_value(v: &Value) -> Result<HistogramSnapshot, ParseError> {
+    let fail = |message: &str| ParseError {
+        message: message.to_string(),
+        offset: 0,
+    };
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail(&format!("histogram field {k} must be u64")))
+    };
+    let mut buckets = Vec::new();
+    let mut prev: Option<usize> = None;
+    for pair in v
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| fail("histogram buckets must be an array"))?
+    {
+        let pair = pair.as_arr().ok_or_else(|| fail("bucket must be a pair"))?;
+        if pair.len() != 2 {
+            return Err(fail("bucket must be a pair"));
+        }
+        let i = pair[0]
+            .as_u64()
+            .filter(|&i| (i as usize) < BUCKET_COUNT)
+            .ok_or_else(|| fail("bucket index out of range"))? as usize;
+        if prev.is_some_and(|p| p >= i) {
+            return Err(fail("bucket indices must be ascending"));
+        }
+        prev = Some(i);
+        let n = pair[1]
+            .as_u64()
+            .ok_or_else(|| fail("bucket count must be u64"))?;
+        buckets.push((i, n));
+    }
+    Ok(HistogramSnapshot {
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        buckets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new("unit_test");
+        s.set_counter("pool_hits", 10);
+        s.set_counter("phase.traversal.spans", u64::MAX);
+        s.set_gauge("hit_rate", 0.875);
+        s.set_gauge("sim_qps", 1234.5);
+        let h = Histogram::new();
+        for v in [1u64, 1, 7, 900] {
+            h.observe(v);
+        }
+        s.set_histogram("sim_search_us", h.snapshot());
+        s
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample();
+        let json = s.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        // And the serialization itself is stable (byte-identical re-emit).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = MetricsSnapshot::new("empty");
+        let back = MetricsSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(MetricsSnapshot::from_json("{}").is_err(), "no version");
+        assert!(
+            MetricsSnapshot::from_json(r#"{"schema_version": 99, "name": "x"}"#).is_err(),
+            "wrong version"
+        );
+        assert!(
+            MetricsSnapshot::from_json(r#"{"schema_version": 1}"#).is_err(),
+            "no name"
+        );
+        assert!(
+            MetricsSnapshot::from_json(
+                r#"{"schema_version": 1, "name": "x", "counters": {"a": -1}}"#
+            )
+            .is_err(),
+            "negative counter"
+        );
+        assert!(
+            MetricsSnapshot::from_json(
+                r#"{"schema_version": 1, "name": "x",
+                    "histograms": {"h": {"count": 1, "sum": 1, "min": 1, "max": 1,
+                                         "buckets": [[5, 1], [3, 1]]}}}"#
+            )
+            .is_err(),
+            "unsorted buckets"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_gauge_panics() {
+        MetricsSnapshot::new("x").set_gauge("bad", f64::NAN);
+    }
+}

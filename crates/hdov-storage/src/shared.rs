@@ -279,7 +279,11 @@ impl SharedCachedFile {
     /// A pool hit copies from the shard and costs nothing; a miss copies
     /// from the frozen store, charges `cursor` by the simulated-disk rule,
     /// and installs the page (possibly evicting the shard's LRU page).
+    /// Every probe is reported to `hdov-obs` (cache-probe span plus a
+    /// hit/miss counter) — observational only, never part of the simulated
+    /// cost model.
     pub fn read_page(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+        let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
         // Bounds-check before any accounting: errors are never charged.
         let src = self.data.bytes(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
@@ -287,11 +291,13 @@ impl SharedCachedFile {
         if let Some(page) = pool.get(&id.0) {
             out.bytes_mut().copy_from_slice(page.bytes());
             self.stats.record_hit();
+            hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
             return Ok(());
         }
         out.bytes_mut().copy_from_slice(src);
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
+        hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
         pool.insert(id.0, out.clone());
         Ok(())
     }

@@ -22,6 +22,7 @@
 
 use crate::session::Session;
 use hdov_core::{DeltaSearch, SharedEnvironment};
+use hdov_obs::{Counter, Hist};
 use hdov_storage::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -225,7 +226,11 @@ impl<'a> SessionServer<'a> {
         let mut prefetched_pages = 0u64;
 
         for (i, &vp) in session.viewpoints.iter().enumerate() {
+            let wall = hdov_obs::is_enabled().then(Instant::now);
             let (result, stats, _) = env.query_delta(&mut ctx, vp, self.cfg.eta, &mut delta)?;
+            if let Some(t0) = wall {
+                hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
+            }
             search_ms.push(stats.search_time_ms());
             total_polygons += result.total_polygons();
             page_reads += stats.total_io().page_reads;
@@ -241,6 +246,9 @@ impl<'a> SessionServer<'a> {
                 }
             }
         }
+        hdov_obs::add(Counter::SessionsCompleted, 1);
+        hdov_obs::add(Counter::SessionPageReads, page_reads);
+        hdov_obs::add(Counter::PrefetchedPages, prefetched_pages);
         Ok(SessionOutcome {
             session: index,
             search_ms,
