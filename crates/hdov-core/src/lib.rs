@@ -43,7 +43,8 @@ pub use node::{HdovEntry, HdovNode};
 pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
 pub use search::{naive_query, search, QueryResult, ResultEntry, ResultKey, SearchStats};
 pub use shared::{
-    search_shared, CursorFile, PoolConfig, SessionCtx, SharedEnvironment, SharedVStore,
+    search_shared, search_shared_into, CursorFile, PoolConfig, SearchScratch, SessionCtx,
+    SharedEnvironment, SharedVStore,
 };
 pub use storage::{StorageScheme, VisibilityStore};
 pub use vpage::{VEntry, VPage, VPAGE_SIZE};

@@ -112,6 +112,13 @@ impl QueryResult {
         self.entries.push(e);
     }
 
+    /// Drops all entries, retaining the allocation — scratch buffers
+    /// ([`SearchScratch`](crate::shared::SearchScratch)) reuse one result
+    /// across queries so steady-state searches allocate nothing.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Test-only constructor hook.
     #[doc(hidden)]
     pub fn push_for_test(&mut self, e: ResultEntry) {

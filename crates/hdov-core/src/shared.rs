@@ -60,6 +60,12 @@ pub struct PoolConfig {
     pub capacity_pages: usize,
     /// Lock stripes per pool.
     pub shards: usize,
+    /// Whether pooled frames memoize their decoded overlay (nodes and
+    /// V-pages decode at most once per pool residency). Purely an in-memory
+    /// CPU saving: switching it off reruns every decoder but changes no
+    /// query answers and no simulated costs (the `overlay_residency`
+    /// integration test pins this down).
+    pub decode_overlay: bool,
 }
 
 impl Default for PoolConfig {
@@ -67,6 +73,7 @@ impl Default for PoolConfig {
         PoolConfig {
             capacity_pages: 128,
             shards: 8,
+            decode_overlay: true,
         }
     }
 }
@@ -140,12 +147,30 @@ impl SharedVPageFile {
     }
 
     /// Reads record `idx`, charging any pool miss to `cursor`.
-    pub fn read(&self, cursor: &mut IoCursor, idx: u64) -> Result<VPage> {
-        let slot = (idx % self.records_per_page) as usize * self.record_bytes;
-        let mut page = Page::zeroed();
-        self.pool
-            .read_page(cursor, PageId(self.disk_page_of(idx)), &mut page)?;
-        VPage::decode(&page.bytes()[slot..slot + self.record_bytes])
+    ///
+    /// Zero-copy: the disk page comes back as a pooled frame, and the
+    /// frame's overlay holds every record of the page decoded (trailing
+    /// unused slots are zero bytes, which decode as empty V-pages). Repeat
+    /// reads of any record on the page — from this or any other session —
+    /// share the one decoded vector; the decoded data dies when the frame
+    /// is evicted.
+    pub fn read(&self, cursor: &mut IoCursor, idx: u64) -> Result<Arc<VPage>> {
+        let slot = (idx % self.records_per_page) as usize;
+        let frame = self
+            .pool
+            .read_frame(cursor, PageId(self.disk_page_of(idx)))?;
+        let rb = self.record_bytes;
+        let rpp = self.records_per_page as usize;
+        let decoded: Arc<Vec<Arc<VPage>>> = frame.overlay(|page| {
+            let mut v = Vec::with_capacity(rpp);
+            for s in 0..rpp {
+                v.push(Arc::new(VPage::decode(
+                    &page.bytes()[s * rb..(s + 1) * rb],
+                )?));
+            }
+            Ok(v)
+        })?;
+        Ok(Arc::clone(&decoded[slot]))
     }
 
     /// Number of records.
@@ -188,6 +213,11 @@ pub struct SessionCtx {
     seg_dense: Vec<u64>,
     /// Sparse segment (indexed-vertical): `(ordinal, pointer)` ascending.
     seg_sparse: Vec<(u32, u64)>,
+    /// Reusable staging buffer for the indexed-vertical flip (segment bytes
+    /// straddle page boundaries).
+    seg_bytes: Vec<u8>,
+    /// Reusable page-id list for [`SharedVStore::prefetch_cell`].
+    prefetch_pages: Vec<u64>,
 }
 
 impl SessionCtx {
@@ -268,47 +298,49 @@ impl SharedVStore {
         match self {
             SharedVStore::Horizontal(_) => {}
             SharedVStore::Vertical(s) => {
-                let mut segment = Vec::with_capacity(s.n_nodes as usize);
+                // Parse straight out of the pooled frames into the
+                // session's reused segment buffer: no scratch page, no
+                // fresh Vec at steady state.
+                ctx.seg_dense.clear();
+                ctx.seg_dense.reserve(s.n_nodes as usize);
                 let first = cell as u64 * s.seg_pages;
-                let mut page = Page::zeroed();
                 for i in 0..s.seg_pages {
-                    s.index
-                        .read_page(&mut ctx.index_cur, PageId(first + i), &mut page)?;
-                    let mut r = ByteReader::new(page.bytes());
+                    let frame = s.index.read_frame(&mut ctx.index_cur, PageId(first + i))?;
+                    let mut r = ByteReader::new(frame.bytes());
                     for _ in 0..PAGE_SIZE / 8 {
-                        if segment.len() == s.n_nodes as usize {
+                        if ctx.seg_dense.len() == s.n_nodes as usize {
                             break;
                         }
-                        segment.push(r.get_u64()?);
+                        ctx.seg_dense.push(r.get_u64()?);
                     }
                 }
-                ctx.seg_dense = segment;
             }
             SharedVStore::IndexedVertical(s) => {
                 const REC_BYTES: usize = 12;
                 let (start_byte, count) = s.dir[cell as usize];
                 let seg_bytes = count as usize * REC_BYTES;
-                let mut segment = Vec::with_capacity(count as usize);
+                ctx.seg_sparse.clear();
                 if seg_bytes > 0 {
+                    // Records straddle page boundaries, so stage the raw
+                    // bytes in the session's reused buffer.
                     let first_page = start_byte / PAGE_SIZE as u64;
                     let last_page = (start_byte + seg_bytes as u64 - 1) / PAGE_SIZE as u64;
-                    let mut bytes =
-                        Vec::with_capacity(((last_page - first_page + 1) as usize) * PAGE_SIZE);
-                    let mut page = Page::zeroed();
+                    ctx.seg_bytes.clear();
+                    ctx.seg_bytes
+                        .reserve(((last_page - first_page + 1) as usize) * PAGE_SIZE);
+                    ctx.seg_sparse.reserve(count as usize);
                     for p in first_page..=last_page {
-                        s.index
-                            .read_page(&mut ctx.index_cur, PageId(p), &mut page)?;
-                        bytes.extend_from_slice(page.bytes());
+                        let frame = s.index.read_frame(&mut ctx.index_cur, PageId(p))?;
+                        ctx.seg_bytes.extend_from_slice(frame.bytes());
                     }
                     let off = (start_byte - first_page * PAGE_SIZE as u64) as usize;
-                    let mut r = ByteReader::new(&bytes[off..off + seg_bytes]);
+                    let mut r = ByteReader::new(&ctx.seg_bytes[off..off + seg_bytes]);
                     for _ in 0..count {
                         let ordinal = r.get_u32()?;
                         let ptr = r.get_u64()?;
-                        segment.push((ordinal, ptr));
+                        ctx.seg_sparse.push((ordinal, ptr));
                     }
                 }
-                ctx.seg_sparse = segment;
             }
         }
         ctx.current_cell = Some(cell);
@@ -316,8 +348,10 @@ impl SharedVStore {
     }
 
     /// Fetches the V-page of `ordinal` in the session's current cell (same
-    /// `Ok(None)` semantics as [`VisibilityStore::fetch`]).
-    pub fn fetch(&self, ctx: &mut SessionCtx, ordinal: u32) -> Result<Option<VPage>> {
+    /// `Ok(None)` semantics as [`VisibilityStore::fetch`]). The V-page is
+    /// borrowed from the pooled frame's decoded overlay — no per-fetch
+    /// decode or copy once the frame is warm.
+    pub fn fetch(&self, ctx: &mut SessionCtx, ordinal: u32) -> Result<Option<Arc<VPage>>> {
         let cell = ctx.current_cell.expect("enter_cell before fetch");
         match self {
             SharedVStore::Horizontal(s) => {
@@ -364,29 +398,37 @@ impl SharedVStore {
             ctx.current_cell.is_some(),
             "enter_cell before prefetch_cell"
         );
-        let mut pages: Vec<u64> = match self {
+        ctx.prefetch_pages.clear();
+        match self {
             SharedVStore::Horizontal(_) => unreachable!(),
-            SharedVStore::Vertical(_) => ctx
-                .seg_dense
-                .iter()
-                .filter(|&&p| p != NIL)
-                .map(|&p| vpages.disk_page_of(p))
-                .collect(),
+            SharedVStore::Vertical(_) => ctx.prefetch_pages.extend(
+                ctx.seg_dense
+                    .iter()
+                    .filter(|&&p| p != NIL)
+                    .map(|&p| vpages.disk_page_of(p)),
+            ),
             SharedVStore::IndexedVertical(_) => ctx
-                .seg_sparse
-                .iter()
-                .map(|&(_, p)| vpages.disk_page_of(p))
-                .collect(),
+                .prefetch_pages
+                .extend(ctx.seg_sparse.iter().map(|&(_, p)| vpages.disk_page_of(p))),
         };
-        pages.sort_unstable();
-        pages.dedup();
-        let mut scratch = Page::zeroed();
-        for &p in &pages {
-            vpages
-                .pool
-                .read_page(&mut ctx.vpage_cur, PageId(p), &mut scratch)?;
+        ctx.prefetch_pages.sort_unstable();
+        ctx.prefetch_pages.dedup();
+        // Speculative warm-up must not displace genuinely hot recency
+        // state, so resident pages are probed without promotion; misses
+        // charge and install exactly like a read.
+        for &p in &ctx.prefetch_pages {
+            vpages.pool.warm(&mut ctx.vpage_cur, PageId(p))?;
         }
-        Ok(pages.len() as u64)
+        Ok(ctx.prefetch_pages.len() as u64)
+    }
+
+    /// The store's V-page file (every layout clusters its V-pages in one).
+    pub fn vpages(&self) -> &SharedVPageFile {
+        match self {
+            SharedVStore::Horizontal(s) => &s.vpages,
+            SharedVStore::Vertical(s) => &s.vpages,
+            SharedVStore::IndexedVertical(s) => &s.vpages,
+        }
     }
 
     /// `(hits, misses)` summed over the store's pools.
@@ -493,25 +535,36 @@ impl SharedTree {
     }
 
     /// Reads node `ordinal`, charging any pool miss to `cursor`.
-    pub fn read_node(&self, cursor: &mut IoCursor, ordinal: u32) -> Result<crate::node::HdovNode> {
-        let mut page = Page::zeroed();
-        self.nodes
-            .read_page(cursor, PageId(ordinal as u64), &mut page)?;
-        crate::node::HdovNode::decode(&page)
+    ///
+    /// Zero-copy: the node comes from the pooled frame's decoded overlay —
+    /// it is decoded at most once per pool residency (across *all*
+    /// sessions), and every later read clones the shared `Arc`.
+    pub fn read_node(
+        &self,
+        cursor: &mut IoCursor,
+        ordinal: u32,
+    ) -> Result<Arc<crate::node::HdovNode>> {
+        let frame = self.nodes.read_frame(cursor, PageId(ordinal as u64))?;
+        frame.overlay(crate::node::HdovNode::decode)
     }
 
     /// Fetches node `ordinal`'s internal LoD at `level`, charging `cursor`.
+    ///
+    /// Same page sequence (and therefore identical simulated charging) as
+    /// [`ModelStore::fetch`], but through the frame API: pool hits cost no
+    /// memcpy and the loop allocates nothing.
     pub fn fetch_internal_lod(
         &self,
         cursor: &mut IoCursor,
         ordinal: u32,
         level: usize,
     ) -> Result<ModelHandle> {
-        self.internal_store.fetch(
-            &mut CursorFile::new(&self.internal_pool, cursor),
-            ordinal as u64,
-            level,
-        )
+        let h = self.internal_store.handle(ordinal as u64, level);
+        for i in 0..h.pages as u64 {
+            self.internal_pool
+                .read_frame(cursor, PageId(h.first_page.0 + i))?;
+        }
+        Ok(h)
     }
 
     fn fork(&self) -> Self {
@@ -545,6 +598,18 @@ impl SharedModels {
     pub fn pool(&self) -> &SharedCachedFile {
         &self.pool
     }
+
+    /// Fetches (charges the page reads for) `(key, level)` — the zero-copy
+    /// counterpart of [`ModelStore::fetch`]: the identical page sequence is
+    /// charged to `cursor`, but pool hits hand back pooled frames instead
+    /// of copying into a scratch page, and the loop allocates nothing.
+    pub fn fetch(&self, cursor: &mut IoCursor, key: u64, level: usize) -> Result<ModelHandle> {
+        let h = self.store.handle(key, level);
+        for i in 0..h.pages as u64 {
+            self.pool.read_frame(cursor, PageId(h.first_page.0 + i))?;
+        }
+        Ok(h)
+    }
 }
 
 /// A complete frozen deployment: one immutable HDoV-tree that any number of
@@ -571,19 +636,18 @@ impl SharedEnvironment {
         let parts = tree.into_parts();
         let node_model = parts.node_disk.model();
         let internal_model = parts.internal_disk.model();
+        let mk_pool = |file, model| {
+            SharedCachedFile::with_overlay(
+                hdov_storage::FrozenPages::from_mem(file),
+                model,
+                pool.capacity_pages,
+                pool.shards,
+                pool.decode_overlay,
+            )
+        };
         let tree = SharedTree {
-            nodes: SharedCachedFile::from_mem(
-                parts.node_disk.into_inner(),
-                node_model,
-                pool.capacity_pages,
-                pool.shards,
-            ),
-            internal_pool: SharedCachedFile::from_mem(
-                parts.internal_disk.into_inner(),
-                internal_model,
-                pool.capacity_pages,
-                pool.shards,
-            ),
+            nodes: mk_pool(parts.node_disk.into_inner(), node_model),
+            internal_pool: mk_pool(parts.internal_disk.into_inner(), internal_model),
             internal_store: Arc::new(parts.internal_store),
             n_nodes: parts.n_nodes,
             fanout: parts.fanout,
@@ -595,16 +659,11 @@ impl SharedEnvironment {
         let model_model = objects.disk.model();
         let models = SharedModels {
             store: Arc::new(objects.store),
-            pool: SharedCachedFile::from_mem(
-                objects.disk.into_inner(),
-                model_model,
-                pool.capacity_pages,
-                pool.shards,
-            ),
+            pool: mk_pool(objects.disk.into_inner(), model_model),
         };
         SharedEnvironment {
             tree,
-            vstore: vstore.into_shared(pool.capacity_pages, pool.shards),
+            vstore: vstore.into_shared(pool),
             models,
             grid,
             table,
@@ -662,6 +721,25 @@ impl SharedEnvironment {
         let (result, stats) = search_shared(self, ctx, cell, eta, Some(&skip), true)?;
         let summary = delta.apply(&result);
         Ok((result, stats, summary))
+    }
+
+    /// [`query_delta`](Self::query_delta) writing into a reusable
+    /// [`SearchScratch`]: the result stays in `scratch` (read it via
+    /// [`SearchScratch::result`]), so a walkthrough session reuses one
+    /// buffer across every frame.
+    pub fn query_delta_into(
+        &self,
+        ctx: &mut SessionCtx,
+        scratch: &mut SearchScratch,
+        viewpoint: Vec3,
+        eta: f64,
+        delta: &mut DeltaSearch,
+    ) -> Result<(SearchStats, DeltaSummary)> {
+        let cell = self.cell_of(viewpoint);
+        let skip = delta.skip_map();
+        let stats = search_shared_into(self, ctx, scratch, cell, eta, Some(&skip), true)?;
+        let summary = delta.apply(scratch.result());
+        Ok((stats, summary))
     }
 
     /// Warms the pools for `cell`: segment flip plus batched V-page read,
@@ -728,12 +806,45 @@ impl SharedEnvironment {
     }
 }
 
+/// Reusable per-session search state: the result buffer survives across
+/// queries, so a steady-state [`search_shared_into`] call over warm pools
+/// performs **no heap allocation** (pinned by the `alloc_free` integration
+/// test). One per walkthrough session, alongside its [`SessionCtx`].
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    result: QueryResult,
+}
+
+impl SearchScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent query's answer set (cleared at the start of each
+    /// query).
+    pub fn result(&self) -> &QueryResult {
+        &self.result
+    }
+
+    /// Moves the result out, leaving empty buffers (the capacity goes with
+    /// it — keep the scratch and use [`result`](Self::result) to stay
+    /// allocation-free).
+    pub fn take_result(&mut self) -> QueryResult {
+        std::mem::take(&mut self.result)
+    }
+}
+
 /// The threshold visibility query of Fig. 3 against a frozen environment —
 /// the `&`-shareable counterpart of [`search`](crate::search::search), with
 /// optional batched V-page prefetch (`prefetch`).
 ///
 /// All simulated I/O is charged to `ctx`'s cursors; the returned
 /// [`SearchStats`] cover this query only.
+///
+/// Convenience wrapper over [`search_shared_into`] that returns an owned
+/// result; loops that care about allocations should hold a
+/// [`SearchScratch`] and call `search_shared_into` directly.
 pub fn search_shared(
     env: &SharedEnvironment,
     ctx: &mut SessionCtx,
@@ -742,6 +853,24 @@ pub fn search_shared(
     skip: Option<&HashMap<ResultKey, usize>>,
     prefetch: bool,
 ) -> Result<(QueryResult, SearchStats)> {
+    let mut scratch = SearchScratch::new();
+    let stats = search_shared_into(env, ctx, &mut scratch, cell, eta, skip, prefetch)?;
+    Ok((scratch.take_result(), stats))
+}
+
+/// [`search_shared`] writing its answer into `scratch` instead of a fresh
+/// [`QueryResult`] — the zero-allocation hot path: with warm pools and a
+/// same-cell session, the whole query touches no allocator (overlay `Arc`
+/// clones on every node/V-page, reused segment and result buffers).
+pub fn search_shared_into(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    scratch: &mut SearchScratch,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    prefetch: bool,
+) -> Result<SearchStats> {
     assert!(eta >= 0.0, "eta must be non-negative");
     let node0 = ctx.node_cur.stats();
     let internal0 = ctx.internal_cur.stats();
@@ -754,7 +883,7 @@ pub fn search_shared(
         env.vstore.prefetch_cell(ctx)?;
     }
 
-    let mut out = QueryResult::default();
+    scratch.result.clear();
     let mut stats = SearchStats::default();
     {
         let _traversal = hdov_obs::span(Phase::Traversal);
@@ -764,7 +893,7 @@ pub fn search_shared(
             env.tree.root_ordinal(),
             eta,
             skip,
-            &mut out,
+            &mut scratch.result,
             &mut stats,
         )?;
     }
@@ -774,7 +903,7 @@ pub fn search_shared(
     stats.model_io = ctx.model_cur.stats().since(&model0);
     stats.vstore_io = ctx.index_cur.stats().since(&index0) + ctx.vpage_cur.stats().since(&vpage0);
     crate::search::record_query_obs(&stats);
-    Ok((out, stats))
+    Ok(stats)
 }
 
 fn recurse_shared(
@@ -816,11 +945,7 @@ fn recurse_shared(
                 env.models.store.handle(entry.child, level)
             } else {
                 let _lf = hdov_obs::span(Phase::LodFetch);
-                env.models.store.fetch(
-                    &mut CursorFile::new(&env.models.pool, &mut ctx.model_cur),
-                    entry.child,
-                    level,
-                )?
+                env.models.fetch(&mut ctx.model_cur, entry.child, level)?
             };
             out.push(ResultEntry {
                 key,

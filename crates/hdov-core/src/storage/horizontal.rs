@@ -96,11 +96,10 @@ impl VisibilityStore for HorizontalStore {
 
     fn into_shared(
         self: Box<Self>,
-        capacity_pages: usize,
-        shards: usize,
+        pool: crate::shared::PoolConfig,
     ) -> crate::shared::SharedVStore {
         crate::shared::SharedVStore::Horizontal(crate::shared::SharedHorizontal {
-            vpages: self.vpages.into_shared(capacity_pages, shards),
+            vpages: self.vpages.into_shared(pool),
             cells: self.cells,
             n_nodes: self.n_nodes,
         })

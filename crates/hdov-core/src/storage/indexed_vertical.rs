@@ -156,18 +156,18 @@ impl VisibilityStore for IndexedVerticalStore {
 
     fn into_shared(
         self: Box<Self>,
-        capacity_pages: usize,
-        shards: usize,
+        pool: crate::shared::PoolConfig,
     ) -> crate::shared::SharedVStore {
         let model = self.index.model();
         crate::shared::SharedVStore::IndexedVertical(crate::shared::SharedIndexedVertical {
-            index: hdov_storage::SharedCachedFile::from_mem(
-                self.index.into_inner(),
+            index: hdov_storage::SharedCachedFile::with_overlay(
+                hdov_storage::FrozenPages::from_mem(self.index.into_inner()),
                 model,
-                capacity_pages,
-                shards,
+                pool.capacity_pages,
+                pool.shards,
+                pool.decode_overlay,
             ),
-            vpages: self.vpages.into_shared(capacity_pages, shards),
+            vpages: self.vpages.into_shared(pool),
             cells: self.cells,
             n_nodes: self.n_nodes,
             dir: std::sync::Arc::new(

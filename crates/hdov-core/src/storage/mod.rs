@@ -123,11 +123,8 @@ pub trait VisibilityStore: Send {
     /// buffer pools, with all per-session state (current cell, flipped
     /// segment, disk heads) moved into
     /// [`SessionCtx`](crate::shared::SessionCtx).
-    fn into_shared(
-        self: Box<Self>,
-        capacity_pages: usize,
-        shards: usize,
-    ) -> crate::shared::SharedVStore;
+    fn into_shared(self: Box<Self>, pool: crate::shared::PoolConfig)
+        -> crate::shared::SharedVStore;
 }
 
 /// V-page records packed into disk pages (several per page, never
@@ -211,18 +208,15 @@ impl VPageFile {
 
     /// Freezes the file behind a lock-striped shared pool (identical record
     /// layout — the backing pages are moved, not rewritten).
-    pub fn into_shared(
-        self,
-        capacity_pages: usize,
-        shards: usize,
-    ) -> crate::shared::SharedVPageFile {
+    pub fn into_shared(self, pool: crate::shared::PoolConfig) -> crate::shared::SharedVPageFile {
         let model = self.disk.model();
         crate::shared::SharedVPageFile::new(
-            hdov_storage::SharedCachedFile::from_mem(
-                self.disk.into_inner(),
+            hdov_storage::SharedCachedFile::with_overlay(
+                hdov_storage::FrozenPages::from_mem(self.disk.into_inner()),
                 model,
-                capacity_pages,
-                shards,
+                pool.capacity_pages,
+                pool.shards,
+                pool.decode_overlay,
             ),
             self.records,
             self.record_bytes,

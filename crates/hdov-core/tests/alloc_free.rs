@@ -1,0 +1,108 @@
+//! The acceptance criterion of the zero-copy read path: a steady-state
+//! `search_shared_into` over warm pools performs **zero** heap allocations.
+//! Every byte the query touches is either a pooled frame (`Arc` clone), a
+//! decoded overlay (`Arc` clone), or a buffer reused from `SessionCtx` /
+//! `SearchScratch`.
+//!
+//! A counting global allocator needs its own process: this file holds
+//! exactly one test, and obs stays disabled (registering a thread-local
+//! recorder allocates on first use, and the all-hits contract is about the
+//! production default).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hdov_core::{
+    search_shared_into, HdovBuildConfig, HdovEnvironment, PoolConfig, SearchScratch, StorageScheme,
+};
+use hdov_scene::CityConfig;
+use hdov_visibility::{CellGridConfig, CellId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_search_shared_allocates_nothing() {
+    assert!(!hdov_obs::is_enabled(), "obs must stay disabled here");
+    let scene = CityConfig::tiny().seed(5).generate();
+    let grid_cfg = CellGridConfig::for_scene(&scene).with_resolution(3, 3);
+
+    for scheme in [StorageScheme::Vertical, StorageScheme::IndexedVertical] {
+        // Pools big enough that the steady state is all-hits.
+        let env = HdovEnvironment::build(&scene, &grid_cfg, HdovBuildConfig::fast_test(), scheme)
+            .unwrap()
+            .into_shared(PoolConfig {
+                capacity_pages: 4096,
+                shards: 8,
+                decode_overlay: true,
+            });
+        let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
+        let mut ctx = env.session();
+        let mut scratch = SearchScratch::new();
+
+        for prefetch in [false, true] {
+            // Warm-up: two full rounds populate the pools and grow every
+            // reused buffer (segments, staging bytes, prefetch list, result
+            // entries) to its per-workload high-water mark.
+            for _ in 0..2 {
+                for &cell in &cells {
+                    for eta in [0.0, 0.004] {
+                        search_shared_into(&env, &mut ctx, &mut scratch, cell, eta, None, prefetch)
+                            .unwrap();
+                    }
+                }
+            }
+
+            // Steady state: the same workload must never touch the
+            // allocator — cell flips, prefetch probes, node and V-page
+            // reads, LoD charging, and result assembly included.
+            let before = allocations();
+            let mut polygons = 0u64;
+            for &cell in &cells {
+                for eta in [0.0, 0.004] {
+                    let stats =
+                        search_shared_into(&env, &mut ctx, &mut scratch, cell, eta, None, prefetch)
+                            .unwrap();
+                    assert!(stats.nodes_visited > 0);
+                    polygons += scratch.result().total_polygons();
+                }
+            }
+            let after = allocations();
+            assert!(polygons > 0, "queries must produce visible polygons");
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state all-hits search_shared_into allocated ({scheme}, prefetch {prefetch})"
+            );
+        }
+    }
+}

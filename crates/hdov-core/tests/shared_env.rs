@@ -109,6 +109,7 @@ fn prefetch_batches_vpage_reads_into_sequential_runs() {
     let shared = env(&scene, StorageScheme::Vertical).into_shared(PoolConfig {
         capacity_pages: 256,
         shards: 4,
+        ..PoolConfig::default()
     });
     let busiest = (0..shared.grid().cell_count() as CellId)
         .max_by_key(|&c| shared.dov_table().visible_count(c))
@@ -189,6 +190,7 @@ fn prefetch_cell_makes_vpage_fetches_free() {
     let shared = env(&scene, StorageScheme::Vertical).into_shared(PoolConfig {
         capacity_pages: 512,
         shards: 8,
+        ..PoolConfig::default()
     });
     // Warm the next cell from a scratch context, as the session server's
     // motion-vector prefetch does.

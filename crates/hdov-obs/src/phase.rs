@@ -77,11 +77,17 @@ pub enum Counter {
     SessionPageReads,
     /// Disk pages warmed by motion prefetch.
     PrefetchedPages,
+    /// Frame-overlay lookups served by an already-decoded object.
+    DecodeHits,
+    /// Frame-overlay lookups that had to run the decoder.
+    DecodeMisses,
+    /// Page bytes the zero-copy frame path did not memcpy (vs `read_page`).
+    BytesCopiedSaved,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -93,6 +99,9 @@ impl Counter {
         Counter::SessionsCompleted,
         Counter::SessionPageReads,
         Counter::PrefetchedPages,
+        Counter::DecodeHits,
+        Counter::DecodeMisses,
+        Counter::BytesCopiedSaved,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -106,6 +115,9 @@ impl Counter {
             Counter::SessionsCompleted => "sessions_completed",
             Counter::SessionPageReads => "session_page_reads",
             Counter::PrefetchedPages => "prefetched_pages",
+            Counter::DecodeHits => "decode_hits",
+            Counter::DecodeMisses => "decode_misses",
+            Counter::BytesCopiedSaved => "bytes_copied_saved",
         }
     }
 

@@ -19,12 +19,20 @@
 //! assert_eq!(file.inner().stats().page_reads, 0);
 //! ```
 
-use crate::{LruCache, Page, PageId, PagedFile, Result};
+use crate::{Frame, LruCache, Page, PageId, PagedFile, Result};
+use std::sync::Arc;
 
 /// A write-through page cache wrapping another [`PagedFile`].
+///
+/// The pool holds [`Arc<Frame>`]s — the same frame type as the shared
+/// engine's [`SharedCachedFile`](crate::SharedCachedFile) — so the
+/// sequential engine reads through [`read_frame`](Self::read_frame) without
+/// copying pooled bytes, and decoded overlays live exactly as long as a
+/// page stays pooled. The [`PagedFile`] `read_page` remains available as a
+/// copying compatibility wrapper.
 pub struct CachedFile<F> {
     inner: F,
-    pool: LruCache<u64, Page>,
+    pool: LruCache<u64, Arc<Frame>>,
 }
 
 impl<F: PagedFile> CachedFile<F> {
@@ -37,6 +45,24 @@ impl<F: PagedFile> CachedFile<F> {
             inner,
             pool: LruCache::new(capacity_pages),
         }
+    }
+
+    /// Reads page `id` as a shared frame: a pool hit clones the pooled
+    /// `Arc` (no page memcpy), a miss reads from the backend once and pools
+    /// the new frame. Hit/miss accounting and backend I/O are identical to
+    /// [`read_page`](PagedFile::read_page) on the same trace.
+    pub fn read_frame(&mut self, id: PageId) -> Result<Arc<Frame>> {
+        if let Some(frame) = self.pool.get(&id.0) {
+            let frame = Arc::clone(frame);
+            hdov_obs::add(hdov_obs::Counter::BytesCopiedSaved, crate::PAGE_SIZE as u64);
+            return Ok(frame);
+        }
+        let mut page = Page::zeroed();
+        self.inner.read_page(id, &mut page)?;
+        let frame = Arc::new(Frame::new(id, page));
+        self.pool.insert(id.0, Arc::clone(&frame));
+        hdov_obs::add(hdov_obs::Counter::BytesCopiedSaved, crate::PAGE_SIZE as u64);
+        Ok(frame)
     }
 
     /// `(hits, misses)` counters of the pool.
@@ -80,18 +106,22 @@ impl<F: PagedFile> CachedFile<F> {
 
 impl<F: PagedFile> PagedFile for CachedFile<F> {
     fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
-        if let Some(page) = self.pool.get(&id.0) {
-            out.bytes_mut().copy_from_slice(page.bytes());
+        if let Some(frame) = self.pool.get(&id.0) {
+            out.bytes_mut().copy_from_slice(frame.bytes());
             return Ok(());
         }
         self.inner.read_page(id, out)?;
-        self.pool.insert(id.0, out.clone());
+        self.pool
+            .insert(id.0, Arc::new(Frame::new(id, out.clone())));
         Ok(())
     }
 
     fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.inner.write_page(id, page)?;
-        self.pool.insert(id.0, page.clone());
+        // A fresh frame: the old frame's decoded overlay (stale now) dies
+        // with the pool's reference.
+        self.pool
+            .insert(id.0, Arc::new(Frame::new(id, page.clone())));
         Ok(())
     }
 
@@ -178,6 +208,34 @@ mod tests {
         assert!(f.read_page(PageId(99), &mut out).is_err());
         assert_eq!(f.pool_stats().0, 0);
         assert!(f.read_page(PageId(0), &mut out).is_ok());
+    }
+
+    #[test]
+    fn read_frame_shares_pooled_frame() {
+        let mut f = cached(4);
+        let a = f.read_frame(PageId(3)).unwrap();
+        let b = f.read_frame(PageId(3)).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "hit must clone the Arc");
+        assert_eq!(a.bytes()[0], 3);
+        assert_eq!(f.pool_stats(), (1, 1));
+        assert_eq!(f.inner().stats().page_reads, 1);
+    }
+
+    #[test]
+    fn write_replaces_frame_and_drops_overlay() {
+        let mut f = cached(4);
+        let before = f.read_frame(PageId(2)).unwrap();
+        let _: std::sync::Arc<u8> = before.overlay(|p| Ok(p.bytes()[0])).unwrap();
+        assert!(before.has_overlay());
+        f.write_page(PageId(2), &Page::from_bytes(b"fresh"))
+            .unwrap();
+        let after = f.read_frame(PageId(2)).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+        assert!(
+            !after.has_overlay(),
+            "stale overlay must not survive a write"
+        );
+        assert_eq!(&after.bytes()[..5], b"fresh");
     }
 
     #[test]

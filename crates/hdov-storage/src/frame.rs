@@ -1,0 +1,219 @@
+//! Immutable, `Arc`-shared page frames with a decoded-object overlay.
+//!
+//! The zero-copy read path hands callers an [`Arc<Frame>`] instead of
+//! copying page bytes into a caller-owned buffer. A frame is immutable for
+//! its whole pool residency, so any number of sessions may hold clones of
+//! the same `Arc` while the pool retains (or evicts) its own.
+//!
+//! Each frame also carries a **decoded overlay**: a `OnceLock` slot that
+//! memoizes the result of decoding the page into a typed object (an
+//! `HdovNode`, a vector of V-pages, …). The overlay is populated at most
+//! once per pool residency — concurrent sessions racing on a cold frame run
+//! the decoder once and everyone shares the same `Arc<T>` — and it is
+//! dropped exactly when the frame itself is evicted, because the pool's
+//! `Arc` is the only long-lived owner. Overlay state is deliberately
+//! *outside* the simulated-disk cost model: whether a decode memoizes or
+//! reruns changes no page-read charging, so every simulated-cost figure
+//! stays bit-identical with overlays on or off (the `overlay_residency`
+//! integration test pins this down).
+
+use crate::{Page, PageId, Result, StorageError};
+use std::any::Any;
+use std::sync::{Arc, OnceLock};
+
+/// The memoized outcome of one decode. Errors are cached as their display
+/// string ([`StorageError`] is not `Clone`); the bytes are immutable, so a
+/// failed decode is deterministic and rerunning it would be wasted work.
+type OverlaySlot = OnceLock<std::result::Result<Arc<dyn Any + Send + Sync>, String>>;
+
+/// One immutable pooled page plus its lazily decoded overlay.
+#[derive(Debug)]
+pub struct Frame {
+    id: PageId,
+    page: Page,
+    cache_overlay: bool,
+    overlay: OverlaySlot,
+}
+
+impl Frame {
+    /// A frame that memoizes its decoded overlay (the normal mode).
+    pub fn new(id: PageId, page: Page) -> Self {
+        Frame::with_overlay_policy(id, page, true)
+    }
+
+    /// A frame with an explicit overlay policy. With `cache_overlay` off,
+    /// [`overlay`](Self::overlay) reruns the decoder on every call — the A/B
+    /// arm used to prove overlays change no answers and no simulated costs.
+    pub fn with_overlay_policy(id: PageId, page: Page, cache_overlay: bool) -> Self {
+        Frame {
+            id,
+            page,
+            cache_overlay,
+            overlay: OnceLock::new(),
+        }
+    }
+
+    /// The page id this frame holds.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The immutable page.
+    pub fn page(&self) -> &Page {
+        &self.page
+    }
+
+    /// Raw page bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.page.bytes()
+    }
+
+    /// Whether this frame memoizes decoded overlays.
+    pub fn caches_overlay(&self) -> bool {
+        self.cache_overlay
+    }
+
+    /// Whether the overlay slot is populated (for residency tests).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.get().is_some()
+    }
+
+    /// The decoded overlay of this page, decoding with `decode` on first
+    /// use.
+    ///
+    /// Exactly one caller per residency runs `decode` (under the `OnceLock`
+    /// race, only the winner's closure executes); everyone else gets a clone
+    /// of the same `Arc<T>`. Records `decode_misses` for the run that
+    /// decoded and `decode_hits` for every memoized return, so for a page
+    /// type that is decoded on every pool read, `decode_misses` equals the
+    /// pool's miss count exactly.
+    ///
+    /// # Errors
+    /// Propagates the decoder's error (memoized as [`StorageError::Corrupt`]
+    /// on later calls), or `Corrupt` if the same page is requested as two
+    /// different overlay types.
+    pub fn overlay<T, F>(&self, decode: F) -> Result<Arc<T>>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&Page) -> Result<T>,
+    {
+        if !self.cache_overlay {
+            hdov_obs::add(hdov_obs::Counter::DecodeMisses, 1);
+            return decode(&self.page).map(Arc::new);
+        }
+        let mut ran = false;
+        let slot = self.overlay.get_or_init(|| {
+            ran = true;
+            match decode(&self.page) {
+                Ok(v) => Ok(Arc::new(v) as Arc<dyn Any + Send + Sync>),
+                Err(e) => Err(e.to_string()),
+            }
+        });
+        if ran {
+            hdov_obs::add(hdov_obs::Counter::DecodeMisses, 1);
+        } else {
+            hdov_obs::add(hdov_obs::Counter::DecodeHits, 1);
+        }
+        match slot {
+            Ok(any) => Arc::clone(any).downcast::<T>().map_err(|_| {
+                StorageError::Corrupt(format!(
+                    "{} overlay requested as two different types",
+                    self.id
+                ))
+            }),
+            Err(msg) => Err(StorageError::Corrupt(msg.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(byte: u8) -> Frame {
+        Frame::new(PageId(7), Page::from_bytes(&[byte; 16]))
+    }
+
+    #[test]
+    fn overlay_decodes_once_and_shares() {
+        let f = frame(3);
+        assert!(!f.has_overlay());
+        let mut decodes = 0;
+        let a: Arc<u32> = f
+            .overlay(|p| {
+                decodes += 1;
+                Ok(u32::from(p.bytes()[0]) * 10)
+            })
+            .unwrap();
+        let b: Arc<u32> = f
+            .overlay(|_| {
+                decodes += 1;
+                Ok(999)
+            })
+            .unwrap();
+        assert_eq!((*a, *b), (30, 30), "second call must reuse the first");
+        assert_eq!(decodes, 1);
+        assert!(f.has_overlay());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn overlay_policy_off_reruns_decoder() {
+        let f = Frame::with_overlay_policy(PageId(0), Page::from_bytes(&[5]), false);
+        let mut decodes = 0;
+        for _ in 0..3 {
+            let v: Arc<u8> = f
+                .overlay(|p| {
+                    decodes += 1;
+                    Ok(p.bytes()[0])
+                })
+                .unwrap();
+            assert_eq!(*v, 5);
+        }
+        assert_eq!(decodes, 3);
+        assert!(!f.has_overlay(), "uncached mode must not populate the slot");
+    }
+
+    #[test]
+    fn overlay_caches_decode_errors() {
+        let f = frame(0);
+        let err = f
+            .overlay::<u32, _>(|_| Err(StorageError::Corrupt("bad magic".into())))
+            .unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        // The failure is memoized: a second (would-succeed) decode never runs.
+        let err = f.overlay::<u32, _>(|_| Ok(1)).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn overlay_type_mismatch_is_an_error() {
+        let f = frame(1);
+        let _: Arc<u32> = f.overlay(|_| Ok(1u32)).unwrap();
+        let err = f.overlay::<u64, _>(|_| Ok(1u64)).unwrap_err();
+        assert!(err.to_string().contains("two different types"));
+    }
+
+    #[test]
+    fn concurrent_overlay_decodes_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let f = Arc::new(frame(9));
+        let decodes = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let f = Arc::clone(&f);
+                let decodes = &decodes;
+                s.spawn(move || {
+                    let v: Arc<u32> = f
+                        .overlay(|p| {
+                            decodes.fetch_add(1, Ordering::Relaxed);
+                            Ok(u32::from(p.bytes()[0]))
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 9);
+                });
+            }
+        });
+        assert_eq!(decodes.load(Ordering::Relaxed), 1);
+    }
+}

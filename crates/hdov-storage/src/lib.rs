@@ -23,6 +23,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod file;
+pub mod frame;
 pub mod lru;
 pub mod page;
 pub mod shared;
@@ -33,6 +34,7 @@ pub use disk::{DiskModel, SimulatedDisk};
 pub use error::{Result, StorageError};
 pub use fault::{FaultPlan, FaultyFile};
 pub use file::{FilePagedFile, MemPagedFile, PagedFile};
+pub use frame::Frame;
 pub use lru::LruCache;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};

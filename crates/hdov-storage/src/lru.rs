@@ -125,6 +125,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.get(key).map(|&idx| &self.slab[idx].value)
     }
 
+    /// Looks up `key`, counting a hit or miss but **not** promoting: the
+    /// eviction order is left untouched. Speculative probes (prefetch) use
+    /// this so pages they only *might* need don't displace genuinely hot
+    /// recency state, while the hit/miss accounting stays comparable with
+    /// [`get`](Self::get).
+    pub fn probe(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key) {
+            Some(&idx) => {
+                self.hits += 1;
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
     /// Inserts `key -> value`, evicting the least-recently-used entry when
     /// full. Returns the evicted `(key, value)` if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {

@@ -24,7 +24,10 @@
 //! so a single session over a cold shared pool sees the same simulated
 //! timings as one over a private pool of the same capacity.
 
-use crate::{DiskModel, IoStats, LruCache, MemPagedFile, Page, PageId, Result, StorageError};
+use crate::{
+    DiskModel, Frame, IoStats, LruCache, MemPagedFile, Page, PageId, Result, StorageError,
+    PAGE_SIZE,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -162,17 +165,26 @@ impl IoCursor {
 
 /// A lock-striped LRU buffer pool over a [`FrozenPages`] snapshot.
 ///
-/// `read_page` takes `&self`: all mutability is interior (the shard mutexes
-/// and the atomic counters), so any number of sessions can share one pool.
-/// Pages are assigned to shards by `page_id % shards`, which spreads
-/// sequential runs across stripes and keeps a hot run from serializing on
-/// one lock.
+/// `read_frame`/`read_page` take `&self`: all mutability is interior (the
+/// shard mutexes and the atomic counters), so any number of sessions can
+/// share one pool. Pages are assigned to shards by `page_id % shards`,
+/// which spreads sequential runs across stripes and keeps a hot run from
+/// serializing on one lock.
+///
+/// Shards hold [`Arc<Frame>`]s: the zero-copy [`read_frame`] hands back a
+/// clone of the pooled `Arc` (a pointer bump, no page memcpy), and the
+/// frame's decoded overlay lives exactly as long as the frame stays pooled
+/// — eviction drops the pool's `Arc`, and the overlay dies with the last
+/// session reference.
+///
+/// [`read_frame`]: Self::read_frame
 #[derive(Debug)]
 pub struct SharedCachedFile {
     data: FrozenPages,
     model: DiskModel,
-    shards: Vec<Mutex<LruCache<u64, Page>>>,
+    shards: Vec<Mutex<LruCache<u64, Arc<Frame>>>>,
     stats: AtomicIoStats,
+    cache_overlay: bool,
 }
 
 impl SharedCachedFile {
@@ -184,6 +196,21 @@ impl SharedCachedFile {
     /// # Panics
     /// Panics when `capacity` or `shards` is zero.
     pub fn new(data: FrozenPages, model: DiskModel, capacity: usize, shards: usize) -> Self {
+        Self::with_overlay(data, model, capacity, shards, true)
+    }
+
+    /// Like [`new`](Self::new) with an explicit decoded-overlay policy.
+    ///
+    /// With `cache_overlay` off, pooled frames rerun their decoder on every
+    /// overlay request — the A/B arm proving overlays change no answers and
+    /// no simulated costs.
+    pub fn with_overlay(
+        data: FrozenPages,
+        model: DiskModel,
+        capacity: usize,
+        shards: usize,
+        cache_overlay: bool,
+    ) -> Self {
         assert!(capacity > 0, "pool capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
         let per_shard = capacity.div_ceil(shards);
@@ -194,6 +221,7 @@ impl SharedCachedFile {
                 .map(|_| Mutex::new(LruCache::new(per_shard)))
                 .collect(),
             stats: AtomicIoStats::default(),
+            cache_overlay,
         }
     }
 
@@ -202,8 +230,9 @@ impl SharedCachedFile {
         Self::new(FrozenPages::from_mem(file), model, capacity, shards)
     }
 
-    /// A new pool (same frozen data, same geometry, cold cache, zeroed
-    /// counters) — the per-session-pool baseline of the concurrent bench.
+    /// A new pool (same frozen data, same geometry, same overlay policy,
+    /// cold cache, zeroed counters) — the per-session-pool baseline of the
+    /// concurrent bench.
     pub fn fork(&self) -> Self {
         let per_shard = self.shards[0]
             .lock()
@@ -216,6 +245,7 @@ impl SharedCachedFile {
                 .map(|_| Mutex::new(LruCache::new(per_shard)))
                 .collect(),
             stats: AtomicIoStats::default(),
+            cache_overlay: self.cache_overlay,
         }
     }
 
@@ -274,31 +304,84 @@ impl SharedCachedFile {
             .collect()
     }
 
-    /// Reads page `id` into `out`, charging any miss against `cursor`.
+    /// Reads page `id` as a shared frame, charging any miss against
+    /// `cursor`.
     ///
-    /// A pool hit copies from the shard and costs nothing; a miss copies
-    /// from the frozen store, charges `cursor` by the simulated-disk rule,
-    /// and installs the page (possibly evicting the shard's LRU page).
+    /// The zero-copy hot path: a pool hit clones the pooled `Arc` (no page
+    /// memcpy) and costs nothing; a miss copies the page out of the frozen
+    /// store exactly once into a fresh frame, charges `cursor` by the
+    /// simulated-disk rule, and installs the frame (possibly evicting the
+    /// shard's LRU frame, whose decoded overlay dies with it). The hit/miss
+    /// sequence and all cursor charging are identical to the historical
+    /// copying `read_page`, so simulated-cost figures are unaffected.
     /// Every probe is reported to `hdov-obs` (cache-probe span plus a
-    /// hit/miss counter) — observational only, never part of the simulated
-    /// cost model.
-    pub fn read_page(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+    /// hit/miss counter, and `bytes_copied_saved` for the memcpy a copying
+    /// read would have done) — observational only, never part of the
+    /// simulated cost model.
+    pub fn read_frame(&self, cursor: &mut IoCursor, id: PageId) -> Result<Arc<Frame>> {
+        let frame = self.read_frame_inner(cursor, id)?;
+        hdov_obs::add(hdov_obs::Counter::BytesCopiedSaved, PAGE_SIZE as u64);
+        Ok(frame)
+    }
+
+    fn read_frame_inner(&self, cursor: &mut IoCursor, id: PageId) -> Result<Arc<Frame>> {
         let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
         // Bounds-check before any accounting: errors are never charged.
         let src = self.data.bytes(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
         let mut pool = shard.lock().expect("pool shard poisoned");
-        if let Some(page) = pool.get(&id.0) {
-            out.bytes_mut().copy_from_slice(page.bytes());
+        if let Some(frame) = pool.get(&id.0) {
+            let frame = Arc::clone(frame);
+            self.stats.record_hit();
+            hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
+            return Ok(frame);
+        }
+        let mut page = Page::zeroed();
+        page.bytes_mut().copy_from_slice(src);
+        let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
+        let (sequential, cost) = cursor.charge_read(id, self.model);
+        self.stats.record_miss(sequential, cost);
+        hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
+        pool.insert(id.0, Arc::clone(&frame));
+        Ok(frame)
+    }
+
+    /// Reads page `id` into `out`, charging any miss against `cursor`.
+    ///
+    /// Compatibility wrapper over [`read_frame`](Self::read_frame) for
+    /// callers that need an owned buffer; it pays one page memcpy per call
+    /// (and therefore doesn't count `bytes_copied_saved`). Accounting is
+    /// identical to `read_frame`.
+    pub fn read_page(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+        let frame = self.read_frame_inner(cursor, id)?;
+        out.bytes_mut().copy_from_slice(frame.bytes());
+        Ok(())
+    }
+
+    /// Ensures page `id` is pooled without promoting it: the speculative
+    /// prefetch path.
+    ///
+    /// A resident page is left exactly where it sits in the eviction order
+    /// (counted as a pool hit, but not promoted — a page prefetch only
+    /// *might* use must not displace genuinely hot recency state); a miss
+    /// is charged and installed exactly like [`read_frame`](Self::read_frame).
+    pub fn warm(&self, cursor: &mut IoCursor, id: PageId) -> Result<()> {
+        let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
+        let src = self.data.bytes(id)?;
+        let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
+        let mut pool = shard.lock().expect("pool shard poisoned");
+        if pool.probe(&id.0).is_some() {
             self.stats.record_hit();
             hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
             return Ok(());
         }
-        out.bytes_mut().copy_from_slice(src);
+        let mut page = Page::zeroed();
+        page.bytes_mut().copy_from_slice(src);
+        let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
         hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
-        pool.insert(id.0, out.clone());
+        pool.insert(id.0, frame);
         Ok(())
     }
 
@@ -397,6 +480,90 @@ mod tests {
         assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
         assert_eq!(fork.shard_count(), 2);
         assert_eq!(fork.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn read_frame_zero_copy_hit_and_identical_charging() {
+        let pool = SharedCachedFile::new(frozen(4), DiskModel::PAPER_ERA, 8, 2);
+        let mut cur = IoCursor::new();
+        let a = pool.read_frame(&mut cur, PageId(1)).unwrap();
+        assert_eq!(&a.bytes()[..8], &1u64.to_le_bytes());
+        let after_miss = cur.stats();
+        assert_eq!(after_miss.page_reads, 1);
+        assert_eq!(after_miss.elapsed_us, 8000.0 + 100.0);
+        let b = pool.read_frame(&mut cur, PageId(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must clone the pooled Arc");
+        assert_eq!(cur.stats(), after_miss, "hit must not charge");
+        assert_eq!(pool.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn warm_does_not_promote_but_counts() {
+        // Single shard of 2 frames: after reading 0 then 1, page 0 is LRU.
+        let pool = SharedCachedFile::new(frozen(4), DiskModel::FREE, 2, 1);
+        let mut cur = IoCursor::new();
+        pool.read_frame(&mut cur, PageId(0)).unwrap();
+        pool.read_frame(&mut cur, PageId(1)).unwrap();
+        // A promoting read of 0 would make 1 the victim; warm must not.
+        pool.warm(&mut cur, PageId(0)).unwrap();
+        assert_eq!(pool.hit_stats(), (1, 2));
+        pool.read_frame(&mut cur, PageId(2)).unwrap(); // evicts the true LRU
+        assert!(!pool.contains(PageId(0)), "warm hit must not promote");
+        assert!(pool.contains(PageId(1)));
+        // Per-shard LRU counters still reconcile with the atomic totals.
+        let per_shard = pool.per_shard_hit_stats();
+        let sums = per_shard
+            .iter()
+            .fold((0, 0), |(h, m), &(sh, sm)| (h + sh, m + sm));
+        assert_eq!(sums, pool.hit_stats());
+    }
+
+    #[test]
+    fn warm_miss_charges_like_a_read() {
+        let pool = SharedCachedFile::new(frozen(4), DiskModel::PAPER_ERA, 8, 2);
+        let mut cur = IoCursor::new();
+        pool.warm(&mut cur, PageId(2)).unwrap();
+        assert_eq!(cur.stats().page_reads, 1);
+        assert_eq!(cur.stats().elapsed_us, 8000.0 + 100.0);
+        assert!(pool.contains(PageId(2)));
+        // The warmed frame then serves a zero-cost read.
+        let before = cur.stats();
+        pool.read_frame(&mut cur, PageId(2)).unwrap();
+        assert_eq!(cur.stats(), before);
+    }
+
+    #[test]
+    fn overlay_dropped_on_eviction() {
+        let pool = SharedCachedFile::new(frozen(3), DiskModel::FREE, 1, 1);
+        let mut cur = IoCursor::new();
+        let frame = pool.read_frame(&mut cur, PageId(0)).unwrap();
+        let overlay: Arc<u64> = frame
+            .overlay(|p| Ok(u64::from_le_bytes(p.bytes()[..8].try_into().unwrap())))
+            .unwrap();
+        assert_eq!(*overlay, 0);
+        let weak = Arc::downgrade(&frame);
+        drop(frame);
+        assert!(weak.upgrade().is_some(), "pool must keep the frame alive");
+        pool.read_frame(&mut cur, PageId(1)).unwrap(); // capacity 1: evicts 0
+        drop(overlay);
+        assert!(
+            weak.upgrade().is_none(),
+            "evicted frame (and its overlay) must be freed once unreferenced"
+        );
+    }
+
+    #[test]
+    fn overlay_policy_off_propagates_to_frames() {
+        let pool = SharedCachedFile::with_overlay(frozen(2), DiskModel::FREE, 4, 2, false);
+        let mut cur = IoCursor::new();
+        let frame = pool.read_frame(&mut cur, PageId(0)).unwrap();
+        assert!(!frame.caches_overlay());
+        let _: Arc<u64> = frame.overlay(|_| Ok(1)).unwrap();
+        assert!(!frame.has_overlay());
+        // fork preserves the policy.
+        let fork = pool.fork();
+        let frame = fork.read_frame(&mut cur, PageId(0)).unwrap();
+        assert!(!frame.caches_overlay());
     }
 
     #[test]

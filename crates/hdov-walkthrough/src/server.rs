@@ -21,7 +21,7 @@
 //! is the phenomenon the `concurrent_sessions` benchmark measures.
 
 use crate::session::Session;
-use hdov_core::{DeltaSearch, SharedEnvironment};
+use hdov_core::{DeltaSearch, SearchScratch, SharedEnvironment};
 use hdov_obs::{Counter, Hist};
 use hdov_storage::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -215,10 +215,15 @@ impl<'a> SessionServer<'a> {
 
     /// Replays one session: delta query per frame, plus motion-vector
     /// prefetch of the predicted next cell through a scratch context.
+    ///
+    /// One [`SearchScratch`] is carried across every frame of the session,
+    /// so steady-state frames reuse the previous frame's result buffer
+    /// instead of allocating a fresh one.
     fn drive(&self, index: usize, session: &Session) -> Result<SessionOutcome> {
         let env = self.env;
         let mut ctx = env.session();
-        let mut scratch = env.session(); // prefetch I/O stays off the books
+        let mut prefetch_ctx = env.session(); // prefetch I/O stays off the books
+        let mut scratch = SearchScratch::new();
         let mut delta = DeltaSearch::new();
         let mut search_ms = Vec::with_capacity(session.len());
         let mut total_polygons = 0u64;
@@ -227,12 +232,13 @@ impl<'a> SessionServer<'a> {
 
         for (i, &vp) in session.viewpoints.iter().enumerate() {
             let wall = hdov_obs::is_enabled().then(Instant::now);
-            let (result, stats, _) = env.query_delta(&mut ctx, vp, self.cfg.eta, &mut delta)?;
+            let (stats, _) =
+                env.query_delta_into(&mut ctx, &mut scratch, vp, self.cfg.eta, &mut delta)?;
             if let Some(t0) = wall {
                 hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
             }
             search_ms.push(stats.search_time_ms());
-            total_polygons += result.total_polygons();
+            total_polygons += scratch.result().total_polygons();
             page_reads += stats.total_io().page_reads;
 
             if self.cfg.motion_prefetch && i > 0 {
@@ -242,7 +248,7 @@ impl<'a> SessionServer<'a> {
                 let here = env.cell_of(vp);
                 let ahead = env.cell_of(predicted);
                 if ahead != here {
-                    prefetched_pages += env.prefetch_cell(&mut scratch, ahead)?;
+                    prefetched_pages += env.prefetch_cell(&mut prefetch_ctx, ahead)?;
                 }
             }
         }
@@ -385,6 +391,7 @@ mod tests {
         .into_shared(PoolConfig {
             capacity_pages: 4,
             shards: 2,
+            ..PoolConfig::default()
         });
         let sessions = record_sessions(&env, 8, 30);
         let four = SessionServer::new(&env, ServerConfig::default())
