@@ -38,6 +38,7 @@ fn shared_env(decode_overlay: bool) -> SharedEnvironment {
         capacity_pages: 4096,
         shards: 8,
         decode_overlay,
+        ..PoolConfig::default()
     })
 }
 

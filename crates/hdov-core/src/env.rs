@@ -189,6 +189,24 @@ impl HdovEnvironment {
         Ok((outcome, stats))
     }
 
+    /// Arms seeded fault injection on every file of the environment — node
+    /// pages, internal LoDs, object models, and the visibility store's
+    /// disks (chaos testing). Reads then flow through each disk's retry
+    /// policy; unreadable subtrees degrade to internal LoDs (see
+    /// [`QueryResult::degrade`]).
+    pub fn arm_faults(&mut self, plan: &hdov_storage::FaultPlan) {
+        self.tree.arm_faults(plan);
+        self.vstore.arm_faults(plan);
+        self.objects.disk.arm_faults(plan.clone());
+    }
+
+    /// Disarms fault injection everywhere (subsequent reads are clean).
+    pub fn disarm_faults(&mut self) {
+        self.tree.disarm_faults();
+        self.vstore.disarm_faults();
+        self.objects.disk.disarm_faults();
+    }
+
     /// The ground-truth total DoV of a cell (denominator of fidelity
     /// metrics).
     pub fn cell_total_dov(&self, cell: CellId) -> f64 {

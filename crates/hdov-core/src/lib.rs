@@ -41,7 +41,10 @@ pub use delta::DeltaSearch;
 pub use env::HdovEnvironment;
 pub use node::{HdovEntry, HdovNode};
 pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
-pub use search::{naive_query, search, QueryResult, ResultEntry, ResultKey, SearchStats};
+pub use search::{
+    naive_query, search, DegradeEvent, DegradeReport, QueryResult, ResultEntry, ResultKey,
+    SearchStats,
+};
 pub use shared::{
     search_shared, search_shared_into, CursorFile, PoolConfig, SearchScratch, SessionCtx,
     SharedEnvironment, SharedVStore,

@@ -23,7 +23,7 @@ use crate::vpage::VEntry;
 use hdov_geom::solid_angle::MAX_DOV;
 use hdov_obs::{Counter, Hist, Phase};
 use hdov_scene::{ModelStore, Scene};
-use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
+use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk, StorageError};
 use hdov_visibility::CellId;
 use std::collections::HashMap;
 
@@ -59,10 +59,76 @@ pub struct ResultEntry {
     pub cached: bool,
 }
 
+/// One absorbed read failure: the subtree rooted at `ordinal` could not be
+/// traversed (or its models fetched) and was served as that node's internal
+/// LoD instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// Ordinal of the node whose subtree was served coarse.
+    pub ordinal: u32,
+    /// Visible objects the fallback entry stands in for (the entry's NVO;
+    /// the tree's whole object count for a root fallback).
+    pub objects_coarse: u64,
+    /// Display form of the absorbed [`StorageError`].
+    pub error: String,
+}
+
+/// How much of a query's answer was served coarse after read failures that
+/// retries could not absorb (§ DESIGN.md 11). Empty — and allocation-free —
+/// on the fault-free path.
+#[derive(Debug, Clone, Default)]
+pub struct DegradeReport {
+    events: Vec<DegradeEvent>,
+}
+
+impl DegradeReport {
+    /// True when at least one read error was absorbed.
+    pub fn is_degraded(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Every absorbed failure, in traversal order.
+    pub fn events(&self) -> &[DegradeEvent] {
+        &self.events
+    }
+
+    /// Read errors the traversal absorbed instead of failing the query.
+    pub fn errors_absorbed(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Subtrees served as an ancestor's internal LoD (one per absorbed
+    /// error: every absorbed failure produces exactly one fallback entry).
+    pub fn lod_fallbacks(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Objects represented only by a coarse internal LoD in the answer set.
+    pub fn objects_coarse(&self) -> u64 {
+        self.events.iter().map(|e| e.objects_coarse).sum()
+    }
+
+    /// Lower bound on pages the degraded traversal never read: at least the
+    /// one unreadable page behind each absorbed error (the pruned subtree's
+    /// remaining pages are unknown without traversing it).
+    pub fn pages_skipped(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    pub(crate) fn record(&mut self, ordinal: u32, objects_coarse: u64, error: &StorageError) {
+        self.events.push(DegradeEvent {
+            ordinal,
+            objects_coarse,
+            error: error.to_string(),
+        });
+    }
+}
+
 /// The answer set of one visibility query.
 #[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     entries: Vec<ResultEntry>,
+    degrade: DegradeReport,
 }
 
 impl QueryResult {
@@ -108,8 +174,32 @@ impl QueryResult {
         self.entries.len() - self.object_count()
     }
 
+    /// What the query served coarse (or skipped) after absorbed read
+    /// failures — empty on a fault-free run.
+    pub fn degrade(&self) -> &DegradeReport {
+        &self.degrade
+    }
+
     pub(crate) fn push(&mut self, e: ResultEntry) {
         self.entries.push(e);
+    }
+
+    pub(crate) fn record_degrade(&mut self, ordinal: u32, objects_coarse: u64, e: &StorageError) {
+        self.degrade.record(ordinal, objects_coarse, e);
+    }
+
+    /// Snapshot of `(entries, degrade events)` lengths, for
+    /// [`rollback`](Self::rollback) when a descent fails mid-subtree.
+    pub(crate) fn mark(&self) -> (usize, usize) {
+        (self.entries.len(), self.degrade.events.len())
+    }
+
+    /// Drops everything pushed since `mark` — a failed subtree's partial
+    /// entries (and any fallbacks it recorded before dying) are superseded
+    /// by the single ancestor fallback that absorbs the propagated error.
+    pub(crate) fn rollback(&mut self, mark: (usize, usize)) {
+        self.entries.truncate(mark.0);
+        self.degrade.events.truncate(mark.1);
     }
 
     /// Drops all entries, retaining the allocation — scratch buffers
@@ -117,6 +207,7 @@ impl QueryResult {
     /// across queries so steady-state searches allocate nothing.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.degrade.events.clear();
     }
 
     /// Test-only constructor hook.
@@ -194,6 +285,7 @@ impl ObjectModels {
             .map(|o| scene.prototypes().chain(o.prototype));
         let store = ModelStore::build(&mut disk, chains)?;
         disk.reset_stats();
+        disk.enable_checksums()?;
         Ok(ObjectModels { store, disk })
     }
 }
@@ -224,11 +316,11 @@ pub fn search(
     let internal_io0 = tree.internal_io();
     let model_io0 = objects.disk.stats();
     vstore.reset_stats();
-    vstore.enter_cell(cell)?;
 
     let mut out = QueryResult::default();
     let mut stats = SearchStats::default();
-    {
+    let attempt = (|| {
+        vstore.enter_cell(cell)?;
         let _traversal = hdov_obs::span(Phase::Traversal);
         recurse(
             tree,
@@ -239,21 +331,64 @@ pub fn search(
             skip,
             &mut out,
             &mut stats,
-        )?;
+        )
+    })();
+    if let Err(e) = attempt {
+        // Even the root's own reads failed (or the segment flip did): the
+        // last resort of graceful degradation serves the whole scene as the
+        // root's internal LoD. Only an unreadable root LoD fails the query.
+        out.clear();
+        let count = tree.object_count();
+        degrade_to_internal(tree, tree.root_ordinal(), 0.0, count, &e, skip, &mut out)?;
     }
 
     stats.node_io = tree.node_io().since(&node_io0);
     stats.internal_io = tree.internal_io().since(&internal_io0);
     stats.model_io = objects.disk.stats().since(&model_io0);
     stats.vstore_io = vstore.stats();
-    record_query_obs(&stats);
+    record_query_obs(&stats, &out.degrade);
     Ok((out, stats))
+}
+
+/// Serves node `ordinal`'s finest internal LoD in place of its unreadable
+/// subtree and records the absorbed `cause` (graceful degradation, DESIGN.md
+/// §11). Propagates the fetch error when even the internal LoD cannot be
+/// read — the caller's ancestor then degrades in turn, so the answer falls
+/// back to the *deepest readable ancestor*.
+fn degrade_to_internal(
+    tree: &mut HdovTree,
+    ordinal: u32,
+    dov: f32,
+    objects_coarse: u64,
+    cause: &StorageError,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    out: &mut QueryResult,
+) -> Result<()> {
+    let level = select_level(tree.internal_store(), ordinal as u64, 1.0);
+    let key = ResultKey::Internal(ordinal);
+    let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+    let h = if cached {
+        tree.internal_store().handle(ordinal as u64, level)
+    } else {
+        let _lf = hdov_obs::span(Phase::LodFetch);
+        tree.fetch_internal_lod(ordinal, level)?
+    };
+    out.push(ResultEntry {
+        key,
+        level,
+        polygons: h.polygons as u64,
+        bytes: h.bytes as u64,
+        dov,
+        cached,
+    });
+    out.record_degrade(ordinal, objects_coarse, cause);
+    Ok(())
 }
 
 /// Reports one finished query to `hdov-obs`: event counters plus the
 /// *simulated* latency histogram (deterministic — safe for the CI gate).
 /// A no-op when recording is disabled.
-pub(crate) fn record_query_obs(stats: &SearchStats) {
+pub(crate) fn record_query_obs(stats: &SearchStats, degrade: &DegradeReport) {
     if !hdov_obs::is_enabled() {
         return;
     }
@@ -261,6 +396,10 @@ pub(crate) fn record_query_obs(stats: &SearchStats) {
     hdov_obs::add(Counter::NodesVisited, stats.nodes_visited);
     hdov_obs::add(Counter::VPagesFetched, stats.vpages_fetched);
     hdov_obs::observe(Hist::SimSearchUs, (stats.search_time_ms() * 1000.0) as u64);
+    if degrade.is_degraded() {
+        hdov_obs::add(Counter::DegradedQueries, 1);
+        hdov_obs::add(Counter::LodFallbacks, degrade.lod_fallbacks());
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -340,8 +479,11 @@ fn recurse(
                 cached,
             });
         } else {
-            // Line 10: descend.
-            recurse(
+            // Line 10: descend — absorbing read failures beneath this entry
+            // by dropping the subtree's partial answer and serving the
+            // child's internal LoD instead.
+            let mark = out.mark();
+            let descent = recurse(
                 tree,
                 vstore,
                 objects,
@@ -350,7 +492,19 @@ fn recurse(
                 skip,
                 out,
                 stats,
-            )?;
+            );
+            if let Err(e) = descent {
+                out.rollback(mark);
+                degrade_to_internal(
+                    tree,
+                    entry.child_ordinal,
+                    ve.dov,
+                    ve.nvo as u64,
+                    &e,
+                    skip,
+                    out,
+                )?;
+            }
         }
     }
     Ok(())

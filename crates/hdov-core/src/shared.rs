@@ -39,7 +39,8 @@ use hdov_obs::Phase;
 use hdov_scene::{ModelHandle, ModelStore};
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
-    IoCursor, Page, PageId, PagedFile, Result, SharedCachedFile, StorageError, PAGE_SIZE,
+    FaultPlan, IoCursor, Page, PageId, PagedFile, Result, RetryPolicy, SharedCachedFile,
+    SharedFaultyFile, StorageError, PAGE_SIZE,
 };
 use hdov_visibility::{CellGrid, CellId, DovTable};
 use std::collections::HashMap;
@@ -66,6 +67,10 @@ pub struct PoolConfig {
     /// query answers and no simulated costs (the `overlay_residency`
     /// integration test pins this down).
     pub decode_overlay: bool,
+    /// Transient-failure retry policy applied by every pool on page reads.
+    /// Only engages under armed fault injection
+    /// ([`SharedEnvironment::arm_faults`]); fault-free reads never retry.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PoolConfig {
@@ -74,6 +79,7 @@ impl Default for PoolConfig {
             capacity_pages: 128,
             shards: 8,
             decode_overlay: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -295,6 +301,10 @@ impl SharedVStore {
         if ctx.current_cell == Some(cell) {
             return Ok(());
         }
+        // A failed flip must not leave the old cell's tag over a partially
+        // overwritten segment (the next same-cell query would no-op on
+        // corrupt state): tag only after the flip fully succeeds.
+        ctx.current_cell = None;
         match self {
             SharedVStore::Horizontal(_) => {}
             SharedVStore::Vertical(s) => {
@@ -529,6 +539,13 @@ impl SharedTree {
         &self.leaf_objects[i]
     }
 
+    /// Total objects indexed by the tree (Σ leaf objects). Only used on the
+    /// degraded path, so the per-call walk over the leaf lists is free at
+    /// steady state.
+    pub fn object_count(&self) -> u64 {
+        self.leaf_objects.iter().map(|o| o.len() as u64).sum()
+    }
+
     /// The internal-LoD store (key = node ordinal).
     pub fn internal_store(&self) -> &ModelStore {
         &self.internal_store
@@ -644,6 +661,7 @@ impl SharedEnvironment {
                 pool.shards,
                 pool.decode_overlay,
             )
+            .with_retry(pool.retry)
         };
         let tree = SharedTree {
             nodes: mk_pool(parts.node_disk.into_inner(), node_model),
@@ -780,6 +798,32 @@ impl SharedEnvironment {
         self.scheme
     }
 
+    /// Arms seeded fault injection on every pool of the environment (chaos
+    /// testing). Per pool the *first* arming wins; frames already resident
+    /// stay valid because pool hits never consult the injector. Returns the
+    /// per-file injectors — nodes, internal LoDs, object models, then the
+    /// visibility store's files — for inspection and
+    /// [`disarming`](SharedFaultyFile::disarm).
+    pub fn arm_faults(&self, plan: &FaultPlan) -> Vec<Arc<SharedFaultyFile>> {
+        let mut armed = vec![
+            self.tree.nodes.arm_faults(plan),
+            self.tree.internal_pool.arm_faults(plan),
+            self.models.pool.arm_faults(plan),
+        ];
+        match &self.vstore {
+            SharedVStore::Horizontal(s) => armed.push(s.vpages.pool.arm_faults(plan)),
+            SharedVStore::Vertical(s) => {
+                armed.push(s.index.arm_faults(plan));
+                armed.push(s.vpages.pool.arm_faults(plan));
+            }
+            SharedVStore::IndexedVertical(s) => {
+                armed.push(s.index.arm_faults(plan));
+                armed.push(s.vpages.pool.arm_faults(plan));
+            }
+        }
+        armed
+    }
+
     /// `(hits, misses)` summed over every pool of the environment.
     pub fn pool_hit_stats(&self) -> (u64, u64) {
         let (mut h, mut m) = self.vstore.pool_hit_stats();
@@ -878,14 +922,13 @@ pub fn search_shared_into(
     let index0 = ctx.index_cur.stats();
     let vpage0 = ctx.vpage_cur.stats();
 
-    env.vstore.enter_cell(ctx, cell)?;
-    if prefetch {
-        env.vstore.prefetch_cell(ctx)?;
-    }
-
     scratch.result.clear();
     let mut stats = SearchStats::default();
-    {
+    let attempt = (|| {
+        env.vstore.enter_cell(ctx, cell)?;
+        if prefetch {
+            env.vstore.prefetch_cell(ctx)?;
+        }
         let _traversal = hdov_obs::span(Phase::Traversal);
         recurse_shared(
             env,
@@ -895,6 +938,22 @@ pub fn search_shared_into(
             skip,
             &mut scratch.result,
             &mut stats,
+        )
+    })();
+    if let Err(e) = attempt {
+        // Even the root's own reads failed (or the segment flip did): the
+        // last resort of graceful degradation serves the whole scene as the
+        // root's internal LoD. Only an unreadable root LoD fails the query.
+        scratch.result.clear();
+        degrade_to_internal_shared(
+            env,
+            ctx,
+            env.tree.root_ordinal(),
+            0.0,
+            env.tree.object_count(),
+            &e,
+            skip,
+            &mut scratch.result,
         )?;
     }
 
@@ -902,8 +961,45 @@ pub fn search_shared_into(
     stats.internal_io = ctx.internal_cur.stats().since(&internal0);
     stats.model_io = ctx.model_cur.stats().since(&model0);
     stats.vstore_io = ctx.index_cur.stats().since(&index0) + ctx.vpage_cur.stats().since(&vpage0);
-    crate::search::record_query_obs(&stats);
+    crate::search::record_query_obs(&stats, scratch.result.degrade());
     Ok(stats)
+}
+
+/// The shared-path counterpart of `search::degrade_to_internal`: serves
+/// node `ordinal`'s finest internal LoD in place of its unreadable subtree,
+/// records the absorbed `cause`, and propagates the fetch error when even
+/// the internal LoD cannot be read (the deepest *readable* ancestor wins).
+#[allow(clippy::too_many_arguments)]
+fn degrade_to_internal_shared(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    ordinal: u32,
+    dov: f32,
+    objects_coarse: u64,
+    cause: &StorageError,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    out: &mut QueryResult,
+) -> Result<()> {
+    let level = select_level(env.tree.internal_store(), ordinal as u64, 1.0);
+    let key = ResultKey::Internal(ordinal);
+    let cached = skip.and_then(|s| s.get(&key)).is_some_and(|&l| l == level);
+    let h = if cached {
+        env.tree.internal_store().handle(ordinal as u64, level)
+    } else {
+        let _lf = hdov_obs::span(Phase::LodFetch);
+        env.tree
+            .fetch_internal_lod(&mut ctx.internal_cur, ordinal, level)?
+    };
+    out.push(ResultEntry {
+        key,
+        level,
+        polygons: h.polygons as u64,
+        bytes: h.bytes as u64,
+        dov,
+        cached,
+    });
+    out.record_degrade(ordinal, objects_coarse, cause);
+    Ok(())
 }
 
 fn recurse_shared(
@@ -990,8 +1086,23 @@ fn recurse_shared(
                 cached,
             });
         } else {
-            // Line 10: descend.
-            recurse_shared(env, ctx, entry.child_ordinal, eta, skip, out, stats)?;
+            // Line 10: descend — absorbing read failures beneath this entry
+            // by dropping the subtree's partial answer and serving the
+            // child's internal LoD instead.
+            let mark = out.mark();
+            if let Err(e) = recurse_shared(env, ctx, entry.child_ordinal, eta, skip, out, stats) {
+                out.rollback(mark);
+                degrade_to_internal_shared(
+                    env,
+                    ctx,
+                    entry.child_ordinal,
+                    ve.dov,
+                    ve.nvo as u64,
+                    &e,
+                    skip,
+                    out,
+                )?;
+            }
         }
     }
     Ok(())

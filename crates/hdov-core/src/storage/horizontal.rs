@@ -10,7 +10,7 @@
 
 use super::{StorageScheme, VPageFile, VisibilityStore};
 use crate::vpage::{VEntry, VPage};
-use hdov_storage::{DiskModel, IoStats, Result};
+use hdov_storage::{DiskModel, FaultPlan, IoStats, Result};
 use hdov_visibility::CellId;
 
 /// Horizontal store: record index = `ordinal · c + cell`.
@@ -46,6 +46,7 @@ impl HorizontalStore {
             }
         }
         vpages.reset_stats(); // build-time writes are not query I/O
+        vpages.enable_checksums()?;
         Ok(HorizontalStore {
             vpages,
             cells: c,
@@ -92,6 +93,14 @@ impl VisibilityStore for HorizontalStore {
     fn storage_bytes(&self) -> u64 {
         // size_vpage · c · N_node (paper §4.1).
         self.vpages.record_bytes() as u64 * self.cells as u64 * self.n_nodes as u64
+    }
+
+    fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.vpages.arm_faults(plan.clone());
+    }
+
+    fn disarm_faults(&mut self) {
+        self.vpages.disarm_faults();
     }
 
     fn into_shared(

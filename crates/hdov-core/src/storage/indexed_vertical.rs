@@ -11,7 +11,8 @@ use super::{StorageScheme, VPageFile, VisibilityStore};
 use crate::vpage::VPage;
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
-    DiskModel, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk, PAGE_SIZE,
+    DiskModel, FaultPlan, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk,
+    PAGE_SIZE,
 };
 use hdov_visibility::CellId;
 
@@ -73,6 +74,8 @@ impl IndexedVerticalStore {
         }
         vpages.reset_stats();
         index.reset_stats();
+        vpages.enable_checksums()?;
+        index.enable_checksums()?;
         Ok(IndexedVerticalStore {
             index,
             vpages,
@@ -154,6 +157,16 @@ impl VisibilityStore for IndexedVerticalStore {
         (REC_BYTES as u64 + self.vpages.record_bytes() as u64) * self.vpages.records()
     }
 
+    fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.index.arm_faults(plan.clone());
+        self.vpages.arm_faults(plan.clone());
+    }
+
+    fn disarm_faults(&mut self) {
+        self.index.disarm_faults();
+        self.vpages.disarm_faults();
+    }
+
     fn into_shared(
         self: Box<Self>,
         pool: crate::shared::PoolConfig,
@@ -166,7 +179,8 @@ impl VisibilityStore for IndexedVerticalStore {
                 pool.capacity_pages,
                 pool.shards,
                 pool.decode_overlay,
-            ),
+            )
+            .with_retry(pool.retry),
             vpages: self.vpages.into_shared(pool),
             cells: self.cells,
             n_nodes: self.n_nodes,

@@ -22,7 +22,8 @@ pub use vertical::VerticalStore;
 
 use crate::vpage::VPage;
 use hdov_storage::{
-    DiskModel, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk, PAGE_SIZE,
+    DiskModel, FaultPlan, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk,
+    PAGE_SIZE,
 };
 use hdov_visibility::CellId;
 
@@ -118,6 +119,15 @@ pub trait VisibilityStore: Send {
     /// (excluding the tree structure, as in Table 2).
     fn storage_bytes(&self) -> u64;
 
+    /// Arms seeded fault injection on every disk of the store (chaos
+    /// testing). Reads then flow through the configured retry policy;
+    /// corruptions surface as [`StorageError::Corrupt`](hdov_storage::StorageError::Corrupt)
+    /// via the store's build-time checksum tables.
+    fn arm_faults(&mut self, plan: &FaultPlan);
+
+    /// Disarms any armed fault injection (subsequent reads are clean).
+    fn disarm_faults(&mut self);
+
     /// Freezes this store into its `&`-shareable counterpart for the
     /// concurrent engine: the same on-disk layout behind lock-striped
     /// buffer pools, with all per-session state (current cell, flipped
@@ -206,6 +216,20 @@ impl VPageFile {
         self.disk.reset_stats();
     }
 
+    /// Stamps the build-time checksum table (call once after the last
+    /// append; verification itself charges no simulated I/O).
+    pub fn enable_checksums(&mut self) -> Result<()> {
+        self.disk.enable_checksums()
+    }
+
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.disk.arm_faults(plan);
+    }
+
+    pub fn disarm_faults(&mut self) {
+        self.disk.disarm_faults();
+    }
+
     /// Freezes the file behind a lock-striped shared pool (identical record
     /// layout — the backing pages are moved, not rewritten).
     pub fn into_shared(self, pool: crate::shared::PoolConfig) -> crate::shared::SharedVPageFile {
@@ -217,7 +241,8 @@ impl VPageFile {
                 pool.capacity_pages,
                 pool.shards,
                 pool.decode_overlay,
-            ),
+            )
+            .with_retry(pool.retry),
             self.records,
             self.record_bytes,
             self.records_per_page,

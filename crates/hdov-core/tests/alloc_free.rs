@@ -63,7 +63,7 @@ fn steady_state_search_shared_allocates_nothing() {
             .into_shared(PoolConfig {
                 capacity_pages: 4096,
                 shards: 8,
-                decode_overlay: true,
+                ..PoolConfig::default()
             });
         let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
         let mut ctx = env.session();

@@ -73,7 +73,7 @@ fn overlay_dropped_exactly_on_frame_eviction() {
     let vs = store.into_shared(PoolConfig {
         capacity_pages: 2,
         shards: 1,
-        decode_overlay: true,
+        ..PoolConfig::default()
     });
 
     let mut ctx = SessionCtx::new();
@@ -208,7 +208,7 @@ fn concurrent_sessions_observe_one_decode_per_node_frame() {
         PoolConfig {
             capacity_pages: 4096,
             shards: 8,
-            decode_overlay: true,
+            ..PoolConfig::default()
         },
     );
     let n = env.tree().node_count();

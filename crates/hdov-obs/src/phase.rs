@@ -83,11 +83,19 @@ pub enum Counter {
     DecodeMisses,
     /// Page bytes the zero-copy frame path did not memcpy (vs `read_page`).
     BytesCopiedSaved,
+    /// Pages whose bytes failed checksum verification at frame admission.
+    ChecksumFailures,
+    /// Transient read failures retried (one per failed, retried attempt).
+    ReadRetries,
+    /// Queries that absorbed at least one read error via LoD fallback.
+    DegradedQueries,
+    /// Subtrees served as an ancestor's internal LoD after read failures.
+    LodFallbacks,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -102,6 +110,10 @@ impl Counter {
         Counter::DecodeHits,
         Counter::DecodeMisses,
         Counter::BytesCopiedSaved,
+        Counter::ChecksumFailures,
+        Counter::ReadRetries,
+        Counter::DegradedQueries,
+        Counter::LodFallbacks,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -118,6 +130,10 @@ impl Counter {
             Counter::DecodeHits => "decode_hits",
             Counter::DecodeMisses => "decode_misses",
             Counter::BytesCopiedSaved => "bytes_copied_saved",
+            Counter::ChecksumFailures => "checksum_failures",
+            Counter::ReadRetries => "read_retries",
+            Counter::DegradedQueries => "degraded_queries",
+            Counter::LodFallbacks => "lod_fallbacks",
         }
     }
 

@@ -19,7 +19,7 @@
 //! assert_eq!(file.inner().stats().page_reads, 0);
 //! ```
 
-use crate::{Frame, LruCache, Page, PageId, PagedFile, Result};
+use crate::{page_checksum, Frame, LruCache, Page, PageId, PagedFile, Result, StorageError};
 use std::sync::Arc;
 
 /// A write-through page cache wrapping another [`PagedFile`].
@@ -33,6 +33,7 @@ use std::sync::Arc;
 pub struct CachedFile<F> {
     inner: F,
     pool: LruCache<u64, Arc<Frame>>,
+    checksums: Option<Vec<u64>>,
 }
 
 impl<F: PagedFile> CachedFile<F> {
@@ -44,7 +45,34 @@ impl<F: PagedFile> CachedFile<F> {
         CachedFile {
             inner,
             pool: LruCache::new(capacity_pages),
+            checksums: None,
         }
+    }
+
+    /// Installs a per-page checksum table (as produced at build time by a
+    /// stamped store): every miss is verified before frame admission, and
+    /// a mismatch fails with [`StorageError::Corrupt`] without pooling the
+    /// frame. Writes through this pool keep the table fresh.
+    #[must_use]
+    pub fn with_checksums(mut self, table: Vec<u64>) -> Self {
+        self.checksums = Some(table);
+        self
+    }
+
+    /// Verifies a freshly read page against the admission table (no-op
+    /// when no table is installed).
+    fn verify(&self, id: PageId, page: &Page) -> Result<()> {
+        if let Some(expect) = self
+            .checksums
+            .as_ref()
+            .and_then(|t| t.get(id.0 as usize).copied())
+        {
+            if page_checksum(page.bytes()) != expect {
+                hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+            }
+        }
+        Ok(())
     }
 
     /// Reads page `id` as a shared frame: a pool hit clones the pooled
@@ -59,6 +87,7 @@ impl<F: PagedFile> CachedFile<F> {
         }
         let mut page = Page::zeroed();
         self.inner.read_page(id, &mut page)?;
+        self.verify(id, &page)?;
         let frame = Arc::new(Frame::new(id, page));
         self.pool.insert(id.0, Arc::clone(&frame));
         hdov_obs::add(hdov_obs::Counter::BytesCopiedSaved, crate::PAGE_SIZE as u64);
@@ -111,6 +140,7 @@ impl<F: PagedFile> PagedFile for CachedFile<F> {
             return Ok(());
         }
         self.inner.read_page(id, out)?;
+        self.verify(id, out)?;
         self.pool
             .insert(id.0, Arc::new(Frame::new(id, out.clone())));
         Ok(())
@@ -118,6 +148,13 @@ impl<F: PagedFile> PagedFile for CachedFile<F> {
 
     fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.inner.write_page(id, page)?;
+        if let Some(table) = &mut self.checksums {
+            let slot = id.0 as usize;
+            if table.len() <= slot {
+                table.resize(slot + 1, page_checksum(Page::zeroed().bytes()));
+            }
+            table[slot] = page_checksum(page.bytes());
+        }
         // A fresh frame: the old frame's decoded overlay (stale now) dies
         // with the pool's reference.
         self.pool
@@ -236,6 +273,50 @@ mod tests {
             "stale overlay must not survive a write"
         );
         assert_eq!(&after.bytes()[..5], b"fresh");
+    }
+
+    #[test]
+    fn checksum_admission_rejects_and_never_pools() {
+        use crate::{FaultPlan, FaultyFile};
+        let mut disk = SimulatedDisk::new(MemPagedFile::new(), DiskModel::FREE);
+        for i in 0..4u8 {
+            let id = disk.allocate_page().unwrap();
+            disk.write_page(id, &Page::from_bytes(&[i; 8])).unwrap();
+        }
+        let table: Vec<u64> = (0..4)
+            .map(|i| {
+                let mut p = Page::zeroed();
+                disk.read_page(PageId(i), &mut p).unwrap();
+                crate::page_checksum(p.bytes())
+            })
+            .collect();
+        let faulty = FaultyFile::new(disk, FaultPlan::corrupt_one(2));
+        let mut f = CachedFile::new(faulty, 4).with_checksums(table);
+        let mut out = Page::zeroed();
+        f.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(out.bytes()[0], 1);
+        let err = f.read_frame(PageId(2)).unwrap_err();
+        assert!(matches!(err, crate::StorageError::Corrupt(_)), "{err}");
+        // The corrupt frame never entered the pool, and once the fault is
+        // cleared the page reads (and pools) clean: no negative caching.
+        f.inner_mut().disarm();
+        f.read_page(PageId(2), &mut out).unwrap();
+        assert_eq!(out.bytes()[0], 2);
+    }
+
+    #[test]
+    fn checksum_table_follows_writes() {
+        let f = cached(4);
+        let table: Vec<u64> = (0..16)
+            .map(|i| crate::page_checksum(Page::from_bytes(&[i as u8; 8]).bytes()))
+            .collect();
+        let mut f2 = CachedFile::new(f.into_inner(), 4).with_checksums(table);
+        f2.write_page(PageId(0), &Page::from_bytes(b"rewritten"))
+            .unwrap();
+        f2.invalidate();
+        let mut out = Page::zeroed();
+        f2.read_page(PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..9], b"rewritten");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! The accumulated [`IoStats`] is the sole time source for the experiment
 //! harness, making results deterministic.
 
-use crate::{IoStats, Page, PageId, PagedFile, Result};
+use crate::{
+    page_checksum, FaultPlan, IoStats, Page, PageId, PagedFile, Result, RetryPolicy, StorageError,
+};
 
 /// Disk timing parameters (microseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +68,23 @@ pub struct SimulatedDisk<F> {
     model: DiskModel,
     stats: IoStats,
     last_page: Option<u64>,
+    /// Sidecar per-page checksum table, stamped by
+    /// [`enable_checksums`](Self::enable_checksums) and kept fresh on every
+    /// write. `None` until stamped. Verification costs zero simulated time.
+    checksums: Option<Vec<u64>>,
+    /// Per-page "verified since last stamp" bits. The backend is an
+    /// immutable in-memory store between writes, so with no fault plan
+    /// armed, re-hashing a page already verified this generation can only
+    /// re-measure the hasher — verification is amortized to once per page
+    /// per stamp. An armed plan corrupts the *read copy*, so while armed
+    /// every read verifies regardless of this bitmap.
+    verified: Vec<bool>,
+    /// Armed fault plan ([`arm_faults`](Self::arm_faults)); `None` in
+    /// production.
+    plan: Option<FaultPlan>,
+    fault_reads: u64,
+    fault_injected: u64,
+    retry: RetryPolicy,
 }
 
 impl<F: PagedFile> SimulatedDisk<F> {
@@ -76,7 +95,65 @@ impl<F: PagedFile> SimulatedDisk<F> {
             model,
             stats: IoStats::new(),
             last_page: None,
+            checksums: None,
+            verified: Vec::new(),
+            plan: None,
+            fault_reads: 0,
+            fault_injected: 0,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Stamps a checksum for every current page and verifies all future
+    /// reads against the table (kept fresh by writes). Stamping reads the
+    /// backend directly and charges no simulated time: integrity metadata
+    /// is bookkeeping, not I/O.
+    ///
+    /// Call once the store is fully built — after this, a read whose bytes
+    /// do not match the stamped table fails with
+    /// [`StorageError::Corrupt`] before any cost is charged.
+    pub fn enable_checksums(&mut self) -> Result<()> {
+        let mut table = Vec::with_capacity(self.inner.page_count() as usize);
+        let mut page = Page::zeroed();
+        for id in 0..self.inner.page_count() {
+            self.inner.read_page(PageId(id), &mut page)?;
+            table.push(page_checksum(page.bytes()));
+        }
+        self.verified = vec![false; table.len()];
+        self.checksums = Some(table);
+        Ok(())
+    }
+
+    /// Whether [`enable_checksums`](Self::enable_checksums) has run.
+    pub fn checksums_enabled(&self) -> bool {
+        self.checksums.is_some()
+    }
+
+    /// Arms fault injection: subsequent reads draw from `plan`'s
+    /// deterministic fault stream (same counting rule as
+    /// [`FaultyFile`](crate::FaultyFile): failed attempts advance the read
+    /// counter). Transient failures are retried per
+    /// [`set_retry`](Self::set_retry); injected corruption is caught by the
+    /// checksum table when enabled.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Disables fault injection (the injection counters are kept).
+    pub fn disarm_faults(&mut self) {
+        self.plan = None;
+    }
+
+    /// Number of faults injected since construction.
+    pub fn fault_injected(&self) -> u64 {
+        self.fault_injected
+    }
+
+    /// Sets the transient-failure retry policy (default:
+    /// [`RetryPolicy::default`]). Inert unless faults are armed or the
+    /// backend itself fails transiently.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Accumulated statistics since construction or the last
@@ -128,21 +205,114 @@ impl<F: PagedFile> SimulatedDisk<F> {
     }
 }
 
+impl<F: PagedFile> SimulatedDisk<F> {
+    /// One uncharged read attempt: backend read, then fault injection.
+    /// Returns the latency-spike microseconds to charge (0 when none).
+    fn try_read(&mut self, id: PageId, out: &mut Page) -> Result<f64> {
+        self.inner.read_page(id, out)?;
+        let Some(plan) = &self.plan else {
+            return Ok(0.0);
+        };
+        let nth = self.fault_reads + 1;
+        let fails = plan.fails_read(nth, id.0);
+        let corrupt_mask = plan
+            .corrupt_pages
+            .contains(&id.0)
+            .then_some(plan.corruption_mask);
+        let spike_us = plan.draws_spike_us(nth, id.0);
+        self.fault_reads = nth;
+        if fails {
+            self.fault_injected += 1;
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "injected read fault at {id}"
+            ))));
+        }
+        if let Some(mask) = corrupt_mask {
+            self.fault_injected += 1;
+            for b in out.bytes_mut() {
+                *b ^= mask;
+            }
+        }
+        Ok(spike_us)
+    }
+
+    /// Verifies `out` against the stamped table (no-op when disabled).
+    ///
+    /// Amortized: with no fault plan armed, a page re-read since its last
+    /// stamp-and-verify is skipped (the in-memory backend cannot rot
+    /// between writes); while a plan is armed every read verifies, because
+    /// injection corrupts the read copy, not the store.
+    fn verify(&mut self, id: PageId, out: &Page) -> Result<()> {
+        let slot = id.0 as usize;
+        if self.plan.is_none() && self.verified.get(slot).copied().unwrap_or(false) {
+            return Ok(());
+        }
+        if let Some(expect) = self.checksums.as_ref().and_then(|t| t.get(slot).copied()) {
+            if page_checksum(out.bytes()) != expect {
+                hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+            }
+            if let Some(v) = self.verified.get_mut(slot) {
+                *v = true;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl<F: PagedFile> PagedFile for SimulatedDisk<F> {
     fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
-        self.inner.read_page(id, out)?;
-        self.charge(id, true);
-        Ok(())
+        let attempts = self.retry.attempts();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_read(id, out) {
+                Ok(spike_us) => {
+                    self.stats.elapsed_us += spike_us;
+                    // Integrity first (zero simulated cost, errors are
+                    // never charged), then the ordinary access charge.
+                    self.verify(id, out)?;
+                    self.charge(id, true);
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    // A failed attempt costs a full access plus backoff in
+                    // simulated time, but is never counted as a read.
+                    attempt += 1;
+                    self.stats.elapsed_us += self.model.seek_us
+                        + self.model.transfer_us
+                        + self.retry.backoff_us(attempt);
+                    hdov_obs::add(hdov_obs::Counter::ReadRetries, 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.inner.write_page(id, page)?;
+        if let Some(table) = &mut self.checksums {
+            let slot = id.0 as usize;
+            if table.len() <= slot {
+                table.resize(slot + 1, page_checksum(Page::zeroed().bytes()));
+                self.verified.resize(slot + 1, false);
+            }
+            table[slot] = page_checksum(page.bytes());
+            self.verified[slot] = false; // new generation: re-verify on read
+        }
         self.charge(id, false);
         Ok(())
     }
 
     fn allocate_page(&mut self) -> Result<PageId> {
-        self.inner.allocate_page()
+        let id = self.inner.allocate_page()?;
+        if let Some(table) = &mut self.checksums {
+            let slot = id.0 as usize;
+            if table.len() <= slot {
+                table.resize(slot + 1, page_checksum(Page::zeroed().bytes()));
+                self.verified.resize(slot + 1, false);
+            }
+        }
+        Ok(id)
     }
 
     fn page_count(&self) -> u64 {
@@ -247,5 +417,142 @@ mod tests {
         let mut p = Page::zeroed();
         assert!(d.read_page(PageId(5), &mut p).is_err());
         assert_eq!(d.stats().page_reads, 0);
+    }
+
+    fn written_disk(n: u64) -> SimulatedDisk<MemPagedFile> {
+        let mut d = SimulatedDisk::new(
+            MemPagedFile::new(),
+            DiskModel {
+                seek_us: 1000.0,
+                transfer_us: 10.0,
+            },
+        );
+        for i in 0..n {
+            let id = d.allocate_page().unwrap();
+            d.write_page(id, &Page::from_bytes(&[i as u8; 8])).unwrap();
+        }
+        d.reset_stats();
+        d
+    }
+
+    #[test]
+    fn checksums_cost_nothing_and_catch_corruption() {
+        let mut d = written_disk(3);
+        d.enable_checksums().unwrap();
+        assert!(d.checksums_enabled());
+        let mut p = Page::zeroed();
+        d.read_page(PageId(1), &mut p).unwrap();
+        let clean = d.stats();
+        // Same trace without checksums charges identically.
+        let mut plain = written_disk(3);
+        plain.read_page(PageId(1), &mut p).unwrap();
+        assert_eq!(clean.elapsed_us, plain.stats().elapsed_us);
+        assert_eq!(clean.page_reads, plain.stats().page_reads);
+        // A bit flip is caught before any charge.
+        d.arm_faults(FaultPlan::corrupt_one(2));
+        let before = d.stats();
+        let err = d.read_page(PageId(2), &mut p).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert_eq!(d.stats().page_reads, before.page_reads);
+        assert_eq!(d.stats().elapsed_us, before.elapsed_us);
+        assert_eq!(d.fault_injected(), 1);
+    }
+
+    #[test]
+    fn corruption_without_checksums_passes_through() {
+        // Matches FaultyFile: undetected bit rot is the baseline hazard
+        // the checksum table exists to close.
+        let mut d = written_disk(1);
+        d.arm_faults(FaultPlan::corrupt_one(0));
+        let mut p = Page::zeroed();
+        d.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(p.bytes()[0], 0xA5);
+    }
+
+    #[test]
+    fn writes_keep_the_table_fresh() {
+        let mut d = written_disk(2);
+        d.enable_checksums().unwrap();
+        d.write_page(PageId(0), &Page::from_bytes(b"new bytes"))
+            .unwrap();
+        let id = d.allocate_page().unwrap();
+        d.write_page(id, &Page::from_bytes(b"appended")).unwrap();
+        let mut p = Page::zeroed();
+        d.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(&p.bytes()[..9], b"new bytes");
+        d.read_page(id, &mut p).unwrap();
+        assert_eq!(&p.bytes()[..8], b"appended");
+    }
+
+    #[test]
+    fn allocated_but_unwritten_page_verifies_as_zeroed() {
+        let mut d = written_disk(1);
+        d.enable_checksums().unwrap();
+        let id = d.allocate_page().unwrap();
+        let mut p = Page::zeroed();
+        d.read_page(id, &mut p).unwrap();
+        assert_eq!(p.bytes()[0], 0);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_penalties() {
+        let mut d = written_disk(2);
+        d.set_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 5.0,
+            max_backoff_us: 100.0,
+        });
+        // Fault-stream read #2 fails: the first read passes, the second
+        // fails once and succeeds on retry.
+        d.arm_faults(FaultPlan {
+            fail_every_nth_read: 2,
+            ..Default::default()
+        });
+        let mut p = Page::zeroed();
+        d.read_page(PageId(0), &mut p).unwrap();
+        let base = d.stats().elapsed_us;
+        d.read_page(PageId(1), &mut p).unwrap();
+        assert_eq!(p.bytes()[0], 1);
+        let s = d.stats();
+        assert_eq!(s.page_reads, 2, "failed attempts are not reads");
+        // Penalty (1000 + 10 + 5) then the sequential success (10).
+        assert_eq!(s.elapsed_us, base + 1015.0 + 10.0);
+        assert_eq!(d.fault_injected(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_io_error() {
+        let mut d = written_disk(1);
+        d.set_retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 5.0,
+            max_backoff_us: 100.0,
+        });
+        d.arm_faults(FaultPlan::fail_one(0));
+        let mut p = Page::zeroed();
+        let err = d.read_page(PageId(0), &mut p).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(d.stats().page_reads, 0);
+        assert_eq!(d.stats().elapsed_us, 1015.0, "one charged retry penalty");
+        d.disarm_faults();
+        d.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(d.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn latency_spike_adds_simulated_time() {
+        let mut d = written_disk(1);
+        d.arm_faults(FaultPlan {
+            latency_spike_rate: 1.0,
+            latency_spike_us: 77.0,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut p = Page::zeroed();
+        d.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(d.stats().page_reads, 1);
+        // Head is already at page 0 after the build writes: a sequential
+        // transfer (10) plus the injected spike (77).
+        assert_eq!(d.stats().elapsed_us, 10.0 + 77.0);
     }
 }

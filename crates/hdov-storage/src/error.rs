@@ -22,6 +22,19 @@ pub enum StorageError {
     Corrupt(String),
 }
 
+impl StorageError {
+    /// Whether retrying the same operation could plausibly succeed.
+    ///
+    /// Only [`Io`](StorageError::Io) is transient (a timeout or dropped
+    /// request may clear); [`Corrupt`](StorageError::Corrupt) and
+    /// [`PageOutOfBounds`](StorageError::PageOutOfBounds) are properties of
+    /// the stored bytes or the request itself and are never retried.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io(_))
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -63,6 +76,18 @@ mod tests {
         assert!(e.to_string().contains("4 pages"));
         let c = StorageError::Corrupt("bad magic".into());
         assert!(c.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        let io: StorageError = std::io::Error::other("blip").into();
+        assert!(io.is_transient());
+        assert!(!StorageError::Corrupt("bad".into()).is_transient());
+        assert!(!StorageError::PageOutOfBounds {
+            page: PageId(1),
+            page_count: 1
+        }
+        .is_transient());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod cached;
+pub mod checksum;
 pub mod codec;
 pub mod disk;
 pub mod error;
@@ -26,16 +27,19 @@ pub mod file;
 pub mod frame;
 pub mod lru;
 pub mod page;
+pub mod retry;
 pub mod shared;
 pub mod stats;
 
 pub use cached::CachedFile;
+pub use checksum::page_checksum;
 pub use disk::{DiskModel, SimulatedDisk};
 pub use error::{Result, StorageError};
-pub use fault::{FaultPlan, FaultyFile};
+pub use fault::{FaultPlan, FaultyFile, SharedFaultyFile};
 pub use file::{FilePagedFile, MemPagedFile, PagedFile};
 pub use frame::Frame;
 pub use lru::LruCache;
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use retry::RetryPolicy;
 pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};
 pub use stats::IoStats;

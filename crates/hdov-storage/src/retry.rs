@@ -1,0 +1,105 @@
+//! Retry policy for transient read failures.
+//!
+//! Production storage distinguishes *transient* faults (a timed-out request,
+//! a bus hiccup — worth retrying) from *permanent* ones (a checksum mismatch,
+//! an out-of-bounds page — retrying returns the same answer). The pools
+//! retry only [`StorageError::is_transient`](crate::StorageError::is_transient)
+//! errors, waiting a deterministic exponential backoff between attempts.
+//!
+//! Backoff is charged to the *simulated* clock (`elapsed_us`), like every
+//! other cost in this repo: a fault-free run performs zero retries and is
+//! byte-identical to a run without the policy.
+
+/// How many times to attempt a read and how long to back off in between.
+///
+/// `max_attempts` counts the first try: `max_attempts == 1` disables
+/// retrying entirely. Backoff before retry `k` (1-based) is
+/// `min(base_backoff_us * 2^(k-1), max_backoff_us)` simulated microseconds —
+/// deterministic, no jitter, so chaos runs replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total read attempts (first try included). Clamped to ≥ 1 in use.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated microseconds.
+    pub base_backoff_us: f64,
+    /// Upper bound on a single backoff, in simulated microseconds.
+    pub max_backoff_us: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base_backoff_us: 0.0,
+        max_backoff_us: 0.0,
+    };
+
+    /// Simulated backoff before retry `retry` (1-based). Zero for `retry == 0`.
+    #[must_use]
+    pub fn backoff_us(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        let exp = self.base_backoff_us * 2f64.powi(retry as i32 - 1);
+        exp.min(self.max_backoff_us)
+    }
+
+    /// Total attempts, never below one.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 100 µs base backoff, capped at 10 ms — a mild policy
+    /// whose worst case (two retries) stays below one paper-era seek.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 100.0,
+            max_backoff_us: 10_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 100.0,
+            max_backoff_us: 500.0,
+        };
+        assert_eq!(p.backoff_us(0), 0.0);
+        assert_eq!(p.backoff_us(1), 100.0);
+        assert_eq!(p.backoff_us(2), 200.0);
+        assert_eq!(p.backoff_us(3), 400.0);
+        assert_eq!(p.backoff_us(4), 500.0, "capped");
+        assert_eq!(p.backoff_us(20), 500.0);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        assert_eq!(RetryPolicy::NONE.attempts(), 1);
+    }
+
+    #[test]
+    fn zero_attempts_clamps_to_one() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.attempts(), 1);
+    }
+
+    #[test]
+    fn default_is_deterministic() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_us(1), p.backoff_us(1));
+        assert_eq!(p.attempts(), 3);
+    }
+}

@@ -25,11 +25,22 @@
 //! timings as one over a private pool of the same capacity.
 
 use crate::{
-    DiskModel, Frame, IoStats, LruCache, MemPagedFile, Page, PageId, Result, StorageError,
-    PAGE_SIZE,
+    page_checksum, DiskModel, FaultPlan, Frame, IoStats, LruCache, MemPagedFile, Page, PageId,
+    Result, RetryPolicy, SharedFaultyFile, StorageError, PAGE_SIZE,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Locks a pool shard, recovering from poison.
+///
+/// Shards hold plain `(page id → Arc<Frame>)` maps with no invariants that
+/// span a panic point, so a shard abandoned mid-operation by a panicking
+/// session is still structurally sound: recover the guard and keep serving.
+/// One crashed session must never wedge every other session sharing the
+/// pool.
+fn lock_shard<T>(shard: &Mutex<T>) -> MutexGuard<'_, T> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// An immutable snapshot of a paged file, cheap to share across threads.
 #[derive(Debug, Clone)]
@@ -92,6 +103,13 @@ impl AtomicIoStats {
 
     fn record_hit(&self) {
         self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds pure simulated time (retry backoff, latency spikes) without
+    /// touching any read counter: penalties are time, not I/O.
+    fn record_penalty(&self, cost_us: f64) {
+        self.elapsed_ns
+            .fetch_add((cost_us * 1000.0).round() as u64, Ordering::Relaxed);
     }
 
     /// `(hits, misses)` over all shards since construction.
@@ -161,6 +179,12 @@ impl IoCursor {
         self.last_page = Some(id.0);
         (sequential, cost)
     }
+
+    /// Adds pure simulated time with no read counted (see
+    /// [`AtomicIoStats::record_penalty`]).
+    fn charge_penalty(&mut self, cost_us: f64) {
+        self.stats.elapsed_us += cost_us;
+    }
 }
 
 /// A lock-striped LRU buffer pool over a [`FrozenPages`] snapshot.
@@ -185,6 +209,14 @@ pub struct SharedCachedFile {
     shards: Vec<Mutex<LruCache<u64, Arc<Frame>>>>,
     stats: AtomicIoStats,
     cache_overlay: bool,
+    /// Sidecar per-page FNV-1a table, stamped from the trusted frozen
+    /// snapshot at construction; every miss is verified against it before
+    /// frame admission. Verification is charged zero simulated time.
+    checksums: Arc<[u64]>,
+    retry: RetryPolicy,
+    /// Armed at most once; misses read through it when set. Hits never
+    /// consult it (pooled frames were verified at admission).
+    faults: OnceLock<Arc<SharedFaultyFile>>,
 }
 
 impl SharedCachedFile {
@@ -214,6 +246,9 @@ impl SharedCachedFile {
         assert!(capacity > 0, "pool capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
         let per_shard = capacity.div_ceil(shards);
+        let checksums: Arc<[u64]> = (0..data.page_count())
+            .map(|i| page_checksum(data.bytes(PageId(i)).expect("page in range")))
+            .collect();
         SharedCachedFile {
             data,
             model,
@@ -222,7 +257,45 @@ impl SharedCachedFile {
                 .collect(),
             stats: AtomicIoStats::default(),
             cache_overlay,
+            checksums,
+            retry: RetryPolicy::default(),
+            faults: OnceLock::new(),
         }
+    }
+
+    /// Sets the transient-read retry policy, chainable at construction.
+    ///
+    /// Only transient ([`StorageError::is_transient`]) failures are retried;
+    /// each failed attempt charges one full access (`seek + transfer`) plus
+    /// the policy's backoff as pure simulated time against the reading
+    /// session — never as a page read. With no faults armed the policy is
+    /// inert.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms deterministic fault injection on the miss path: subsequent
+    /// misses read through a [`SharedFaultyFile`] over the same frozen
+    /// snapshot. Returns the injector (also returned to later callers — a
+    /// pool arms at most once; use [`SharedFaultyFile::disarm`] to stop
+    /// injecting).
+    pub fn arm_faults(&self, plan: &FaultPlan) -> Arc<SharedFaultyFile> {
+        Arc::clone(
+            self.faults
+                .get_or_init(|| Arc::new(SharedFaultyFile::new(self.data.clone(), plan.clone()))),
+        )
+    }
+
+    /// The armed fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<SharedFaultyFile>> {
+        self.faults.get()
+    }
+
+    /// The retry policy in use.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Freezes a [`MemPagedFile`] and pools it in one step.
@@ -234,10 +307,7 @@ impl SharedCachedFile {
     /// cold cache, zeroed counters) — the per-session-pool baseline of the
     /// concurrent bench.
     pub fn fork(&self) -> Self {
-        let per_shard = self.shards[0]
-            .lock()
-            .expect("pool shard poisoned")
-            .capacity();
+        let per_shard = lock_shard(&self.shards[0]).capacity();
         SharedCachedFile {
             data: self.data.clone(),
             model: self.model,
@@ -246,6 +316,10 @@ impl SharedCachedFile {
                 .collect(),
             stats: AtomicIoStats::default(),
             cache_overlay: self.cache_overlay,
+            checksums: Arc::clone(&self.checksums),
+            retry: self.retry,
+            // Faults are not inherited: each pool arms its own injector.
+            faults: OnceLock::new(),
         }
     }
 
@@ -300,8 +374,55 @@ impl SharedCachedFile {
     pub fn per_shard_hit_stats(&self) -> Vec<(u64, u64)> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("pool shard poisoned").hit_stats())
+            .map(|s| lock_shard(s).hit_stats())
             .collect()
+    }
+
+    /// Copies page `id` into `out`: through the armed fault injector when
+    /// present, retrying transient failures per the pool's [`RetryPolicy`],
+    /// then verifies the sidecar checksum before returning.
+    ///
+    /// Each *failed transient* attempt charges `seek + transfer + backoff`
+    /// as pure simulated time (no read counters) against `cursor` and the
+    /// global stats, as does a latency spike on the winning attempt.
+    /// Checksum verification itself costs zero simulated time; a mismatch is
+    /// permanent ([`StorageError::Corrupt`]) and never retried. With no
+    /// faults armed this is a plain copy + verify and cannot fail transiently.
+    fn fetch_into(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+        let attempts = self.retry.attempts();
+        let mut attempt = 0u32;
+        loop {
+            let outcome = match self.faults.get() {
+                Some(f) => f.read_into(id, out.bytes_mut()),
+                None => {
+                    out.bytes_mut().copy_from_slice(self.data.bytes(id)?);
+                    Ok(0.0)
+                }
+            };
+            match outcome {
+                Ok(spike_us) => {
+                    if spike_us > 0.0 {
+                        cursor.charge_penalty(spike_us);
+                        self.stats.record_penalty(spike_us);
+                    }
+                    if page_checksum(out.bytes()) != self.checksums[id.0 as usize] {
+                        hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                        return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    attempt += 1;
+                    let penalty = self.model.seek_us
+                        + self.model.transfer_us
+                        + self.retry.backoff_us(attempt);
+                    cursor.charge_penalty(penalty);
+                    self.stats.record_penalty(penalty);
+                    hdov_obs::add(hdov_obs::Counter::ReadRetries, 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Reads page `id` as a shared frame, charging any miss against
@@ -327,17 +448,19 @@ impl SharedCachedFile {
     fn read_frame_inner(&self, cursor: &mut IoCursor, id: PageId) -> Result<Arc<Frame>> {
         let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
         // Bounds-check before any accounting: errors are never charged.
-        let src = self.data.bytes(id)?;
+        self.data.bytes(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
-        let mut pool = shard.lock().expect("pool shard poisoned");
+        let mut pool = lock_shard(shard);
         if let Some(frame) = pool.get(&id.0) {
             let frame = Arc::clone(frame);
             self.stats.record_hit();
             hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
             return Ok(frame);
         }
+        // A failed or corrupt fetch returns here before any read is
+        // counted or any frame built: poison never enters the pool.
         let mut page = Page::zeroed();
-        page.bytes_mut().copy_from_slice(src);
+        self.fetch_into(cursor, id, &mut page)?;
         let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
@@ -367,16 +490,16 @@ impl SharedCachedFile {
     /// is charged and installed exactly like [`read_frame`](Self::read_frame).
     pub fn warm(&self, cursor: &mut IoCursor, id: PageId) -> Result<()> {
         let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
-        let src = self.data.bytes(id)?;
+        self.data.bytes(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
-        let mut pool = shard.lock().expect("pool shard poisoned");
+        let mut pool = lock_shard(shard);
         if pool.probe(&id.0).is_some() {
             self.stats.record_hit();
             hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
             return Ok(());
         }
         let mut page = Page::zeroed();
-        page.bytes_mut().copy_from_slice(src);
+        self.fetch_into(cursor, id, &mut page)?;
         let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
@@ -387,9 +510,7 @@ impl SharedCachedFile {
 
     /// True if page `id` is currently pooled (no promotion, no counters).
     pub fn contains(&self, id: PageId) -> bool {
-        self.shards[(id.0 % self.shards.len() as u64) as usize]
-            .lock()
-            .expect("pool shard poisoned")
+        lock_shard(&self.shards[(id.0 % self.shards.len() as u64) as usize])
             .peek(&id.0)
             .is_some()
     }
@@ -564,6 +685,144 @@ mod tests {
         let fork = pool.fork();
         let frame = fork.read_frame(&mut cur, PageId(0)).unwrap();
         assert!(!frame.caches_overlay());
+    }
+
+    #[test]
+    fn corrupt_page_is_rejected_and_never_pooled() {
+        let pool = SharedCachedFile::new(frozen(3), DiskModel::PAPER_ERA, 8, 2);
+        let injector = pool.arm_faults(&FaultPlan::corrupt_one(1));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        // Clean pages still read fine through the injector.
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
+        // The corrupt page fails the admission checksum, permanently.
+        let err = pool.read_page(&mut cur, PageId(1), &mut out).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert!(!pool.contains(PageId(1)), "poison must not enter the pool");
+        assert_eq!(injector.injected(), 1);
+        // No negative caching either: disarm and the page reads clean.
+        injector.disarm();
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &1u64.to_le_bytes());
+        assert!(pool.contains(PageId(1)));
+    }
+
+    #[test]
+    fn transient_failure_is_retried_with_charged_backoff() {
+        let pool = SharedCachedFile::new(frozen(2), DiskModel::PAPER_ERA, 8, 2);
+        // Injector read #2 fails; the retry (read #3) succeeds.
+        pool.arm_faults(&FaultPlan {
+            fail_every_nth_read: 2,
+            ..Default::default()
+        });
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap(); // read #1
+        let base = cur.stats();
+        assert_eq!(base.elapsed_us, 8100.0);
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap(); // #2 fails, #3 ok
+        assert_eq!(&out.bytes()[..8], &1u64.to_le_bytes());
+        let s = cur.stats();
+        assert_eq!(s.page_reads, 2, "the failed attempt is not a read");
+        assert_eq!(s.sequential_reads, 1);
+        // Penalty: one full access (8000 + 100) + first backoff (100),
+        // then the successful sequential read (100).
+        assert_eq!(s.elapsed_us, base.elapsed_us + 8200.0 + 100.0);
+        // The global pool stats carry the same penalty.
+        assert!((pool.stats().snapshot().elapsed_us - s.elapsed_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn permanent_failure_exhausts_retries() {
+        let pool =
+            SharedCachedFile::new(frozen(2), DiskModel::PAPER_ERA, 8, 2).with_retry(RetryPolicy {
+                max_attempts: 3,
+                base_backoff_us: 100.0,
+                max_backoff_us: 10_000.0,
+            });
+        let injector = pool.arm_faults(&FaultPlan::fail_one(0));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        let err = pool.read_page(&mut cur, PageId(0), &mut out).unwrap_err();
+        assert!(err.is_transient(), "injected faults are I/O errors");
+        assert_eq!(injector.reads(), 3, "three attempts were made");
+        assert_eq!(cur.stats().page_reads, 0, "failed reads are never counted");
+        // Two retriable failures charged penalties; the terminal one did not.
+        assert_eq!(cur.stats().elapsed_us, (8100.0 + 100.0) + (8100.0 + 200.0));
+        assert!(!pool.contains(PageId(0)));
+    }
+
+    #[test]
+    fn retry_none_fails_fast() {
+        let pool = SharedCachedFile::new(frozen(1), DiskModel::PAPER_ERA, 2, 1)
+            .with_retry(RetryPolicy::NONE);
+        let injector = pool.arm_faults(&FaultPlan::fail_one(0));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        assert!(pool.read_page(&mut cur, PageId(0), &mut out).is_err());
+        assert_eq!(injector.reads(), 1);
+        assert_eq!(cur.stats().elapsed_us, 0.0, "no retry, no penalty");
+    }
+
+    #[test]
+    fn latency_spike_charges_time_but_no_reads() {
+        let pool = SharedCachedFile::new(frozen(1), DiskModel::PAPER_ERA, 2, 1);
+        pool.arm_faults(&FaultPlan {
+            latency_spike_rate: 1.0,
+            latency_spike_us: 500.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        let s = cur.stats();
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.elapsed_us, 8100.0 + 500.0);
+        // Hits bypass the injector entirely: no further spikes.
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(cur.stats().elapsed_us, s.elapsed_us);
+    }
+
+    #[test]
+    fn hits_never_consult_the_injector() {
+        let pool = SharedCachedFile::new(frozen(1), DiskModel::FREE, 2, 1);
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        // Arm a plan that fails *every* read — pooled pages must keep serving.
+        let injector = pool.arm_faults(&FaultPlan {
+            fail_every_nth_read: 1,
+            ..Default::default()
+        });
+        for _ in 0..4 {
+            pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        }
+        assert_eq!(injector.reads(), 0, "hits bypass the fault source");
+        assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
+    }
+
+    #[test]
+    fn arm_faults_is_first_wins() {
+        let pool = SharedCachedFile::new(frozen(1), DiskModel::FREE, 2, 1);
+        let a = pool.arm_faults(&FaultPlan::fail_one(0));
+        let b = pool.arm_faults(&FaultPlan::default());
+        assert!(Arc::ptr_eq(&a, &b), "re-arming returns the first injector");
+        assert!(pool.faults().is_some());
+    }
+
+    #[test]
+    fn fork_keeps_retry_and_checksums_but_not_faults() {
+        let pool =
+            SharedCachedFile::new(frozen(2), DiskModel::FREE, 4, 2).with_retry(RetryPolicy::NONE);
+        pool.arm_faults(&FaultPlan::fail_one(0));
+        let fork = pool.fork();
+        assert_eq!(fork.retry(), RetryPolicy::NONE);
+        assert!(fork.faults().is_none(), "forks arm independently");
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        fork.read_page(&mut cur, PageId(0), &mut out).unwrap();
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! The paper's walkthrough evaluation (§5.4) replays one session at a time;
 //! a deployed server hosts many independent visitors of the same virtual
 //! city. [`SessionServer`] drives each recorded [`Session`] as its own
-//! logical client — its own [`SessionCtx`] (disk heads, flipped segment) and
+//! logical client — its own [`SessionCtx`](hdov_core::SessionCtx) (disk
+//! heads, flipped segment) and
 //! [`DeltaSearch`] resident set — on a `std::thread::scope` worker pool,
 //! where workers claim whole sessions from an atomic-counter queue.
 //!
@@ -60,6 +61,13 @@ pub struct SessionOutcome {
     pub page_reads: u64,
     /// Disk pages warmed by this session's motion prefetch.
     pub prefetched_pages: u64,
+    /// Frames answered coarse: at least one read error was absorbed by an
+    /// internal-LoD fallback (see [`hdov_core::DegradeReport`]).
+    pub degraded_frames: u64,
+    /// Frames dropped outright — even the root's internal LoD was
+    /// unreadable. Failure stays inside this session; other sessions are
+    /// unaffected.
+    pub failed_frames: u64,
 }
 
 /// Aggregate result of one server run.
@@ -178,7 +186,7 @@ impl<'a> SessionServer<'a> {
         let next = AtomicUsize::new(0);
         let start = Instant::now();
 
-        let per_worker: Vec<Result<Vec<SessionOutcome>>> = std::thread::scope(|s| {
+        let per_worker: Vec<Vec<SessionOutcome>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
@@ -187,9 +195,9 @@ impl<'a> SessionServer<'a> {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= sessions.len() {
-                                break Ok(done);
+                                break done;
                             }
-                            done.push(self.drive(i, &sessions[i])?);
+                            done.push(self.drive(i, &sessions[i]));
                         }
                     })
                 })
@@ -203,7 +211,7 @@ impl<'a> SessionServer<'a> {
         let wall_seconds = start.elapsed().as_secs_f64();
         let mut outcomes = Vec::with_capacity(sessions.len());
         for r in per_worker {
-            outcomes.extend(r?);
+            outcomes.extend(r);
         }
         outcomes.sort_by_key(|o| o.session);
         Ok(ServerReport {
@@ -219,7 +227,12 @@ impl<'a> SessionServer<'a> {
     /// One [`SearchScratch`] is carried across every frame of the session,
     /// so steady-state frames reuse the previous frame's result buffer
     /// instead of allocating a fresh one.
-    fn drive(&self, index: usize, session: &Session) -> Result<SessionOutcome> {
+    ///
+    /// Infallible by design: read errors that graceful degradation inside
+    /// the query could not absorb drop only the failing frame
+    /// ([`SessionOutcome::failed_frames`]) — one visitor's bad disk reads
+    /// never take down another visitor's walkthrough.
+    fn drive(&self, index: usize, session: &Session) -> SessionOutcome {
         let env = self.env;
         let mut ctx = env.session();
         let mut prefetch_ctx = env.session(); // prefetch I/O stays off the books
@@ -229,39 +242,52 @@ impl<'a> SessionServer<'a> {
         let mut total_polygons = 0u64;
         let mut page_reads = 0u64;
         let mut prefetched_pages = 0u64;
+        let mut degraded_frames = 0u64;
+        let mut failed_frames = 0u64;
 
         for (i, &vp) in session.viewpoints.iter().enumerate() {
             let wall = hdov_obs::is_enabled().then(Instant::now);
-            let (stats, _) =
-                env.query_delta_into(&mut ctx, &mut scratch, vp, self.cfg.eta, &mut delta)?;
-            if let Some(t0) = wall {
-                hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
+            match env.query_delta_into(&mut ctx, &mut scratch, vp, self.cfg.eta, &mut delta) {
+                Ok((stats, _)) => {
+                    if let Some(t0) = wall {
+                        hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
+                    }
+                    search_ms.push(stats.search_time_ms());
+                    total_polygons += scratch.result().total_polygons();
+                    page_reads += stats.total_io().page_reads;
+                    if scratch.result().degrade().is_degraded() {
+                        degraded_frames += 1;
+                    }
+                }
+                Err(_) => failed_frames += 1,
             }
-            search_ms.push(stats.search_time_ms());
-            total_polygons += scratch.result().total_polygons();
-            page_reads += stats.total_io().page_reads;
 
             if self.cfg.motion_prefetch && i > 0 {
                 // Dead-reckon the next viewpoint from the current motion
                 // vector; if it crosses into another cell, warm that cell.
+                // Prefetch is advisory: a failed warm-up costs nothing.
                 let predicted = vp + (vp - session.viewpoints[i - 1]);
                 let here = env.cell_of(vp);
                 let ahead = env.cell_of(predicted);
                 if ahead != here {
-                    prefetched_pages += env.prefetch_cell(&mut prefetch_ctx, ahead)?;
+                    if let Ok(warmed) = env.prefetch_cell(&mut prefetch_ctx, ahead) {
+                        prefetched_pages += warmed;
+                    }
                 }
             }
         }
         hdov_obs::add(Counter::SessionsCompleted, 1);
         hdov_obs::add(Counter::SessionPageReads, page_reads);
         hdov_obs::add(Counter::PrefetchedPages, prefetched_pages);
-        Ok(SessionOutcome {
+        SessionOutcome {
             session: index,
             search_ms,
             total_polygons,
             page_reads,
             prefetched_pages,
-        })
+            degraded_frames,
+            failed_frames,
+        }
     }
 }
 

@@ -92,10 +92,20 @@ pub struct TestRunner {
 
 impl TestRunner {
     /// Creates a runner seeded deterministically from the test's name.
+    ///
+    /// Setting `PROPTEST_RNG_SEED` (a `u64`) mixes an extra seed into every
+    /// runner, shifting the whole input stream while staying reproducible —
+    /// CI's chaos job uses this to sweep fixed seeds; an unset or
+    /// unparsable variable leaves the name-derived default.
     pub fn new(config: ProptestConfig, name: &'static str) -> Self {
-        let seed = name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        let mut seed = name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
         });
+        if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(extra) = extra.trim().parse::<u64>() {
+                seed ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
         TestRunner {
             config,
             name,
