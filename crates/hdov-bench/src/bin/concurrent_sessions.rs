@@ -115,6 +115,7 @@ fn main() {
             sessions: outcomes,
             wall_seconds: start.elapsed().as_secs_f64(),
             threads: threads.min(n_sessions),
+            backpressure: Default::default(),
         };
         let (mut hits, mut misses) = (0u64, 0u64);
         for f in &forks {

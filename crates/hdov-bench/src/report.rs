@@ -308,8 +308,37 @@ pub fn compare(
     out
 }
 
+/// Loads one metrics snapshot JSON file.
+///
+/// A missing file is a *usage* error (`bench_report` exits 2), not a gate
+/// failure: the caller pointed at something that was never produced, and
+/// the message says how to produce it.
+pub fn load_snapshot_file(path: &Path) -> Result<MetricsSnapshot, String> {
+    if !path.is_file() {
+        return Err(format!(
+            "metrics file {} does not exist — run the bench bin that writes it \
+             (they write results/metrics/<name>.json), or fix the path",
+            path.display()
+        ));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    MetricsSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 /// Loads every `*.json` snapshot in `dir`, sorted by file name.
+///
+/// A missing directory is a usage error with the same contract as
+/// [`load_snapshot_file`]: exit 2, with a hint at what should have created
+/// the directory.
 pub fn load_snapshot_dir(dir: &Path) -> Result<Vec<MetricsSnapshot>, String> {
+    if !dir.is_dir() {
+        return Err(format!(
+            "snapshot directory {} does not exist — pass --baseline/--current a directory \
+             of *.json metrics snapshots (CI keeps the baseline in results/metrics-baseline)",
+            dir.display()
+        ));
+    }
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -318,11 +347,7 @@ pub fn load_snapshot_dir(dir: &Path) -> Result<Vec<MetricsSnapshot>, String> {
     paths.sort();
     let mut snaps = Vec::with_capacity(paths.len());
     for path in paths {
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let snap =
-            MetricsSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        snaps.push(snap);
+        snaps.push(load_snapshot_file(&path)?);
     }
     Ok(snaps)
 }
@@ -458,6 +483,65 @@ mod tests {
             ..ToleranceConfig::default()
         };
         assert!(!compare(&base, &cur, &cfg).failed());
+    }
+
+    /// A `--baseline`/`--current` path that is not a directory is a usage
+    /// error (exit 2 in `bench_report`), and the message says so plainly
+    /// instead of leaking a raw `read_dir` errno.
+    #[test]
+    fn missing_baseline_dir_is_a_usage_error() {
+        let bogus = Path::new("/nonexistent/hdov-metrics-baseline");
+        let err = load_snapshot_dir(bogus).unwrap_err();
+        assert!(err.contains("does not exist"), "unhelpful error: {err}");
+        assert!(err.contains("--baseline"), "should name the flag: {err}");
+        assert!(
+            err.contains(&bogus.display().to_string()),
+            "should name the path: {err}"
+        );
+    }
+
+    /// A missing metrics file gets the same treatment: a clear pointer at
+    /// what should have produced it, not a bare I/O error.
+    #[test]
+    fn missing_metrics_file_is_a_usage_error() {
+        let bogus = Path::new("/nonexistent/results/metrics/fig7_search.json");
+        let err = load_snapshot_file(bogus).unwrap_err();
+        assert!(err.contains("does not exist"), "unhelpful error: {err}");
+        assert!(
+            err.contains("bench bin"),
+            "should say how to produce it: {err}"
+        );
+        assert!(
+            err.contains(&bogus.display().to_string()),
+            "should name the path: {err}"
+        );
+    }
+
+    /// Round-trip through a real directory: written snapshots load back in
+    /// file-name order, and a malformed file is reported by path.
+    #[test]
+    fn snapshot_dir_round_trips_and_reports_bad_json_by_path() {
+        let dir =
+            std::env::temp_dir().join(format!("hdov-bench-report-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let b = snap("b_run", &[("x", 2.0)]);
+        let a = snap("a_run", &[("x", 1.0)]);
+        std::fs::write(dir.join("b.json"), b.to_json()).unwrap();
+        std::fs::write(dir.join("a.json"), a.to_json()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored: not json").unwrap();
+
+        let snaps = load_snapshot_dir(&dir).unwrap();
+        assert_eq!(snaps.len(), 2, "non-json files are skipped");
+        assert_eq!(snaps[0].name, "a_run", "sorted by file name");
+        assert_eq!(snaps[1].name, "b_run");
+
+        std::fs::write(dir.join("c.json"), "{ not json").unwrap();
+        let err = load_snapshot_dir(&dir).unwrap_err();
+        assert!(err.contains("c.json"), "bad file not named: {err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -95,6 +95,30 @@ impl HdovEnvironment {
         )
     }
 
+    /// [`query_cell`](Self::query_cell) under a
+    /// [`QueryBudget`](crate::QueryBudget): an exhausted budget stops the
+    /// descent and serves the remaining subtrees as internal LoDs (see
+    /// [`search_budgeted`](crate::search::search_budgeted)). An unlimited
+    /// budget is byte-identical to [`query_cell`](Self::query_cell).
+    pub fn query_cell_budgeted(
+        &mut self,
+        cell: CellId,
+        eta: f64,
+        budget: crate::QueryBudget,
+    ) -> Result<(QueryResult, SearchStats)> {
+        self.tree.reset_io();
+        self.objects.disk.reset_stats();
+        crate::search::search_budgeted(
+            &mut self.tree,
+            self.vstore.as_mut(),
+            &mut self.objects,
+            cell,
+            eta,
+            None,
+            budget,
+        )
+    }
+
     /// The naïve (cell, list-of-objects) baseline at `viewpoint`.
     pub fn query_naive(&mut self, viewpoint: Vec3) -> Result<(QueryResult, SearchStats)> {
         let cell = self.cell_of(viewpoint);

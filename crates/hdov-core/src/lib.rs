@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod build;
 pub mod delta;
 pub mod env;
@@ -36,18 +37,19 @@ pub mod shared;
 pub mod storage;
 pub mod vpage;
 
+pub use budget::QueryBudget;
 pub use build::{HdovBuildConfig, HdovTree, TerminationHeuristic};
 pub use delta::DeltaSearch;
 pub use env::HdovEnvironment;
 pub use node::{HdovEntry, HdovNode};
 pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
 pub use search::{
-    naive_query, search, DegradeEvent, DegradeReport, QueryResult, ResultEntry, ResultKey,
-    SearchStats,
+    naive_query, search, search_budgeted, DegradeCause, DegradeEvent, DegradeReport, QueryResult,
+    ResultEntry, ResultKey, SearchStats,
 };
 pub use shared::{
-    search_shared, search_shared_into, CursorFile, PoolConfig, SearchScratch, SessionCtx,
-    SharedEnvironment, SharedVStore,
+    search_shared, search_shared_budgeted, search_shared_into, search_shared_into_budgeted,
+    CursorFile, PoolConfig, SearchScratch, SessionCtx, SharedEnvironment, SharedVStore,
 };
 pub use storage::{StorageScheme, VisibilityStore};
 pub use vpage::{VEntry, VPage, VPAGE_SIZE};

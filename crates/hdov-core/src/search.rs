@@ -16,6 +16,7 @@
 //! node file; [`SearchStats`] separates "light-weight" (nodes + V-pages) from
 //! "heavy-weight" (models) I/O exactly as the paper's Fig. 8 does.
 
+use crate::budget::{BudgetClock, QueryBudget};
 use crate::build::{HdovTree, TerminationHeuristic};
 use crate::node::HdovEntry;
 use crate::storage::VisibilityStore;
@@ -23,7 +24,7 @@ use crate::vpage::VEntry;
 use hdov_geom::solid_angle::MAX_DOV;
 use hdov_obs::{Counter, Hist, Phase};
 use hdov_scene::{ModelStore, Scene};
-use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk, StorageError};
+use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
 use hdov_visibility::CellId;
 use std::collections::HashMap;
 
@@ -59,9 +60,23 @@ pub struct ResultEntry {
     pub cached: bool,
 }
 
-/// One absorbed read failure: the subtree rooted at `ordinal` could not be
-/// traversed (or its models fetched) and was served as that node's internal
-/// LoD instead.
+/// Why a subtree was served as an internal LoD instead of being descended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeCause {
+    /// A read error retries could not absorb (DESIGN.md §11).
+    ReadError,
+    /// The query's [`QueryBudget`] ran out before this subtree's descent
+    /// (DESIGN.md §12) — the fallback preserves coverage, not the error path.
+    BudgetExhausted,
+}
+
+/// The `error` string recorded on a [`DegradeCause::BudgetExhausted`] event
+/// (kept non-empty so every event explains itself, like absorbed errors do).
+pub(crate) const BUDGET_EXHAUSTED_DETAIL: &str = "query budget exhausted before descent";
+
+/// One degraded subtree: the subtree rooted at `ordinal` was not traversed
+/// (a read failure, or an exhausted budget) and was served as that node's
+/// internal LoD instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradeEvent {
     /// Ordinal of the node whose subtree was served coarse.
@@ -69,7 +84,11 @@ pub struct DegradeEvent {
     /// Visible objects the fallback entry stands in for (the entry's NVO;
     /// the tree's whole object count for a root fallback).
     pub objects_coarse: u64,
-    /// Display form of the absorbed [`StorageError`].
+    /// Why the subtree degraded.
+    pub cause: DegradeCause,
+    /// Display form of the absorbed
+    /// [`StorageError`](hdov_storage::StorageError), or a fixed budget
+    /// notice — never empty.
     pub error: String,
 }
 
@@ -92,15 +111,31 @@ impl DegradeReport {
         &self.events
     }
 
-    /// Read errors the traversal absorbed instead of failing the query.
+    /// Read errors the traversal absorbed instead of failing the query
+    /// (budget stops are counted separately by
+    /// [`budget_stops`](Self::budget_stops)).
     pub fn errors_absorbed(&self) -> u64 {
-        self.events.len() as u64
+        self.events
+            .iter()
+            .filter(|e| e.cause == DegradeCause::ReadError)
+            .count() as u64
     }
 
-    /// Subtrees served as an ancestor's internal LoD (one per absorbed
-    /// error: every absorbed failure produces exactly one fallback entry).
+    /// Subtrees served as internal LoDs because the query's
+    /// [`QueryBudget`] ran out mid-descent.
+    pub fn budget_stops(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.cause == DegradeCause::BudgetExhausted)
+            .count() as u64
+    }
+
+    /// Subtrees served as an ancestor's internal LoD after *read failures*
+    /// (one per absorbed error: every absorbed failure produces exactly one
+    /// fallback entry). Budget stops are not fallbacks — they are planned
+    /// coverage, counted by [`budget_stops`](Self::budget_stops).
     pub fn lod_fallbacks(&self) -> u64 {
-        self.events.len() as u64
+        self.errors_absorbed()
     }
 
     /// Objects represented only by a coarse internal LoD in the answer set.
@@ -115,11 +150,18 @@ impl DegradeReport {
         self.events.len() as u64
     }
 
-    pub(crate) fn record(&mut self, ordinal: u32, objects_coarse: u64, error: &StorageError) {
+    pub(crate) fn record(
+        &mut self,
+        ordinal: u32,
+        objects_coarse: u64,
+        cause: DegradeCause,
+        detail: &str,
+    ) {
         self.events.push(DegradeEvent {
             ordinal,
             objects_coarse,
-            error: error.to_string(),
+            cause,
+            error: detail.to_string(),
         });
     }
 }
@@ -184,8 +226,14 @@ impl QueryResult {
         self.entries.push(e);
     }
 
-    pub(crate) fn record_degrade(&mut self, ordinal: u32, objects_coarse: u64, e: &StorageError) {
-        self.degrade.record(ordinal, objects_coarse, e);
+    pub(crate) fn record_degrade(
+        &mut self,
+        ordinal: u32,
+        objects_coarse: u64,
+        cause: DegradeCause,
+        detail: &str,
+    ) {
+        self.degrade.record(ordinal, objects_coarse, cause, detail);
     }
 
     /// Snapshot of `(entries, degrade events)` lengths, for
@@ -311,11 +359,40 @@ pub fn search(
     eta: f64,
     skip: Option<&HashMap<ResultKey, usize>>,
 ) -> Result<(QueryResult, SearchStats)> {
+    search_budgeted(
+        tree,
+        vstore,
+        objects,
+        cell,
+        eta,
+        skip,
+        QueryBudget::UNLIMITED,
+    )
+}
+
+/// [`search`] under a [`QueryBudget`]: when the budget exhausts mid-descent
+/// the traversal stops descending and serves every remaining subtree as its
+/// internal LoD, recorded as [`DegradeCause::BudgetExhausted`] events in the
+/// result's [`DegradeReport`]. An unlimited budget is byte-identical to
+/// [`search`] (answer, simulated costs, empty degrade report).
+pub fn search_budgeted(
+    tree: &mut HdovTree,
+    vstore: &mut dyn VisibilityStore,
+    objects: &mut ObjectModels,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    budget: QueryBudget,
+) -> Result<(QueryResult, SearchStats)> {
     assert!(eta >= 0.0, "eta must be non-negative");
     let node_io0 = tree.node_io();
     let internal_io0 = tree.internal_io();
     let model_io0 = objects.disk.stats();
     vstore.reset_stats();
+    let bclock = BudgetClock::start(
+        budget,
+        node_io0.elapsed_us + internal_io0.elapsed_us + model_io0.elapsed_us,
+    );
 
     let mut out = QueryResult::default();
     let mut stats = SearchStats::default();
@@ -329,6 +406,7 @@ pub fn search(
             tree.root_ordinal(),
             eta,
             skip,
+            &bclock,
             &mut out,
             &mut stats,
         )
@@ -339,7 +417,16 @@ pub fn search(
         // root's internal LoD. Only an unreadable root LoD fails the query.
         out.clear();
         let count = tree.object_count();
-        degrade_to_internal(tree, tree.root_ordinal(), 0.0, count, &e, skip, &mut out)?;
+        degrade_to_internal(
+            tree,
+            tree.root_ordinal(),
+            0.0,
+            count,
+            DegradeCause::ReadError,
+            &e.to_string(),
+            skip,
+            &mut out,
+        )?;
     }
 
     stats.node_io = tree.node_io().since(&node_io0);
@@ -350,17 +437,19 @@ pub fn search(
     Ok((out, stats))
 }
 
-/// Serves node `ordinal`'s finest internal LoD in place of its unreadable
-/// subtree and records the absorbed `cause` (graceful degradation, DESIGN.md
-/// §11). Propagates the fetch error when even the internal LoD cannot be
-/// read — the caller's ancestor then degrades in turn, so the answer falls
-/// back to the *deepest readable ancestor*.
+/// Serves node `ordinal`'s finest internal LoD in place of its untraversed
+/// subtree and records the degrade `cause` (graceful degradation, DESIGN.md
+/// §11; budget stops, §12). Propagates the fetch error when even the
+/// internal LoD cannot be read — the caller's ancestor then degrades in
+/// turn, so the answer falls back to the *deepest readable ancestor*.
+#[allow(clippy::too_many_arguments)]
 fn degrade_to_internal(
     tree: &mut HdovTree,
     ordinal: u32,
     dov: f32,
     objects_coarse: u64,
-    cause: &StorageError,
+    cause: DegradeCause,
+    detail: &str,
     skip: Option<&HashMap<ResultKey, usize>>,
     out: &mut QueryResult,
 ) -> Result<()> {
@@ -381,7 +470,7 @@ fn degrade_to_internal(
         dov,
         cached,
     });
-    out.record_degrade(ordinal, objects_coarse, cause);
+    out.record_degrade(ordinal, objects_coarse, cause, detail);
     Ok(())
 }
 
@@ -396,10 +485,25 @@ pub(crate) fn record_query_obs(stats: &SearchStats, degrade: &DegradeReport) {
     hdov_obs::add(Counter::NodesVisited, stats.nodes_visited);
     hdov_obs::add(Counter::VPagesFetched, stats.vpages_fetched);
     hdov_obs::observe(Hist::SimSearchUs, (stats.search_time_ms() * 1000.0) as u64);
-    if degrade.is_degraded() {
+    if degrade.errors_absorbed() > 0 {
         hdov_obs::add(Counter::DegradedQueries, 1);
         hdov_obs::add(Counter::LodFallbacks, degrade.lod_fallbacks());
     }
+    let stops = degrade.budget_stops();
+    if stops > 0 {
+        hdov_obs::add(Counter::BudgetStops, stops);
+    }
+}
+
+/// Cumulative simulated I/O charge across every meter a sequential query
+/// touches, for budget accounting ([`BudgetClock::exhausted`] subtracts the
+/// query-start baseline). Pure accessor reads: calling this has no effect on
+/// any simulated cost.
+fn io_elapsed_us(tree: &HdovTree, vstore: &dyn VisibilityStore, objects: &ObjectModels) -> f64 {
+    tree.node_io().elapsed_us
+        + tree.internal_io().elapsed_us
+        + objects.disk.stats().elapsed_us
+        + vstore.stats().elapsed_us
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -410,6 +514,7 @@ fn recurse(
     ordinal: u32,
     eta: f64,
     skip: Option<&HashMap<ResultKey, usize>>,
+    bclock: &BudgetClock,
     out: &mut QueryResult,
     stats: &mut SearchStats,
 ) -> Result<()> {
@@ -479,6 +584,29 @@ fn recurse(
                 cached,
             });
         } else {
+            // Budget check, charged nothing itself: once the query's spend
+            // reaches its cap, every remaining subtree is served as its
+            // internal LoD instead of being descended (DESIGN.md §12). The
+            // unlimited path is one branch — no meter reads, no clock.
+            if bclock.is_limited()
+                && bclock.exhausted(
+                    io_elapsed_us(tree, vstore, objects),
+                    stats.nodes_visited,
+                    stats.vpages_fetched,
+                )
+            {
+                degrade_to_internal(
+                    tree,
+                    entry.child_ordinal,
+                    ve.dov,
+                    ve.nvo as u64,
+                    DegradeCause::BudgetExhausted,
+                    BUDGET_EXHAUSTED_DETAIL,
+                    skip,
+                    out,
+                )?;
+                continue;
+            }
             // Line 10: descend — absorbing read failures beneath this entry
             // by dropping the subtree's partial answer and serving the
             // child's internal LoD instead.
@@ -490,6 +618,7 @@ fn recurse(
                 entry.child_ordinal,
                 eta,
                 skip,
+                bclock,
                 out,
                 stats,
             );
@@ -500,7 +629,8 @@ fn recurse(
                     entry.child_ordinal,
                     ve.dov,
                     ve.nvo as u64,
-                    &e,
+                    DegradeCause::ReadError,
+                    &e.to_string(),
                     skip,
                     out,
                 )?;

@@ -26,10 +26,12 @@
 //! [`search`](crate::search::search) decision-for-decision, so a
 //! single-session run returns bit-identical result entries.
 
+use crate::budget::{BudgetClock, QueryBudget};
 use crate::build::{HdovTree, TerminationHeuristic};
 use crate::delta::{DeltaSearch, DeltaSummary};
 use crate::search::{
-    select_level, terminates_with, ObjectModels, QueryResult, ResultEntry, ResultKey, SearchStats,
+    select_level, terminates_with, DegradeCause, ObjectModels, QueryResult, ResultEntry, ResultKey,
+    SearchStats, BUDGET_EXHAUSTED_DETAIL,
 };
 use crate::storage::{StorageScheme, VisibilityStore};
 use crate::vpage::VPage;
@@ -760,6 +762,40 @@ impl SharedEnvironment {
         Ok((stats, summary))
     }
 
+    /// [`query_cell`](Self::query_cell) under a [`QueryBudget`] — see
+    /// [`search_shared_budgeted`].
+    pub fn query_cell_budgeted(
+        &self,
+        ctx: &mut SessionCtx,
+        cell: CellId,
+        eta: f64,
+        budget: QueryBudget,
+    ) -> Result<(QueryResult, SearchStats)> {
+        search_shared_budgeted(self, ctx, cell, eta, None, true, budget)
+    }
+
+    /// [`query_delta_into`](Self::query_delta_into) under a [`QueryBudget`]:
+    /// the per-frame serving path of an overloaded `SessionServer` — a frame
+    /// that exhausts its budget still returns a full-coverage (coarser)
+    /// answer and updates the resident set with it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_delta_into_budgeted(
+        &self,
+        ctx: &mut SessionCtx,
+        scratch: &mut SearchScratch,
+        viewpoint: Vec3,
+        eta: f64,
+        delta: &mut DeltaSearch,
+        budget: QueryBudget,
+    ) -> Result<(SearchStats, DeltaSummary)> {
+        let cell = self.cell_of(viewpoint);
+        let skip = delta.skip_map();
+        let stats =
+            search_shared_into_budgeted(self, ctx, scratch, cell, eta, Some(&skip), true, budget)?;
+        let summary = delta.apply(scratch.result());
+        Ok((stats, summary))
+    }
+
     /// Warms the pools for `cell`: segment flip plus batched V-page read,
     /// charged to `ctx`'s cursors (use a scratch context to keep prefetch
     /// cost out of a session's search time). Returns disk pages touched.
@@ -902,6 +938,26 @@ pub fn search_shared(
     Ok((scratch.take_result(), stats))
 }
 
+/// [`search_shared`] under a [`QueryBudget`] — the concurrent counterpart of
+/// [`search_budgeted`](crate::search::search_budgeted): when the budget
+/// exhausts mid-descent, every remaining subtree is served as its internal
+/// LoD and recorded as a `BudgetExhausted` degrade event. An unlimited
+/// budget is byte-identical to [`search_shared`].
+pub fn search_shared_budgeted(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    prefetch: bool,
+    budget: QueryBudget,
+) -> Result<(QueryResult, SearchStats)> {
+    let mut scratch = SearchScratch::new();
+    let stats =
+        search_shared_into_budgeted(env, ctx, &mut scratch, cell, eta, skip, prefetch, budget)?;
+    Ok((scratch.take_result(), stats))
+}
+
 /// [`search_shared`] writing its answer into `scratch` instead of a fresh
 /// [`QueryResult`] — the zero-allocation hot path: with warm pools and a
 /// same-cell session, the whole query touches no allocator (overlay `Arc`
@@ -915,12 +971,58 @@ pub fn search_shared_into(
     skip: Option<&HashMap<ResultKey, usize>>,
     prefetch: bool,
 ) -> Result<SearchStats> {
+    search_shared_into_budgeted(
+        env,
+        ctx,
+        scratch,
+        cell,
+        eta,
+        skip,
+        prefetch,
+        QueryBudget::UNLIMITED,
+    )
+}
+
+/// Cumulative simulated I/O charge across a session's five cursors, for
+/// budget accounting. Pure accessor reads — charges nothing.
+fn io_elapsed_us_shared(ctx: &SessionCtx) -> f64 {
+    ctx.node_cur.stats().elapsed_us
+        + ctx.internal_cur.stats().elapsed_us
+        + ctx.model_cur.stats().elapsed_us
+        + ctx.index_cur.stats().elapsed_us
+        + ctx.vpage_cur.stats().elapsed_us
+}
+
+/// [`search_shared_into`] under a [`QueryBudget`] (see
+/// [`search_shared_budgeted`]). The budget covers everything charged to the
+/// session's cursors from the call on — including the segment flip and the
+/// batched V-page prefetch, which is what makes a saturated cell's prefetch
+/// count against its own deadline.
+#[allow(clippy::too_many_arguments)]
+pub fn search_shared_into_budgeted(
+    env: &SharedEnvironment,
+    ctx: &mut SessionCtx,
+    scratch: &mut SearchScratch,
+    cell: CellId,
+    eta: f64,
+    skip: Option<&HashMap<ResultKey, usize>>,
+    prefetch: bool,
+    budget: QueryBudget,
+) -> Result<SearchStats> {
     assert!(eta >= 0.0, "eta must be non-negative");
     let node0 = ctx.node_cur.stats();
     let internal0 = ctx.internal_cur.stats();
     let model0 = ctx.model_cur.stats();
     let index0 = ctx.index_cur.stats();
     let vpage0 = ctx.vpage_cur.stats();
+    let bclock = BudgetClock::start(
+        budget,
+        node0.elapsed_us
+            + internal0.elapsed_us
+            + model0.elapsed_us
+            + index0.elapsed_us
+            + vpage0.elapsed_us,
+    );
 
     scratch.result.clear();
     let mut stats = SearchStats::default();
@@ -936,6 +1038,7 @@ pub fn search_shared_into(
             env.tree.root_ordinal(),
             eta,
             skip,
+            &bclock,
             &mut scratch.result,
             &mut stats,
         )
@@ -951,7 +1054,8 @@ pub fn search_shared_into(
             env.tree.root_ordinal(),
             0.0,
             env.tree.object_count(),
-            &e,
+            DegradeCause::ReadError,
+            &e.to_string(),
             skip,
             &mut scratch.result,
         )?;
@@ -976,7 +1080,8 @@ fn degrade_to_internal_shared(
     ordinal: u32,
     dov: f32,
     objects_coarse: u64,
-    cause: &StorageError,
+    cause: DegradeCause,
+    detail: &str,
     skip: Option<&HashMap<ResultKey, usize>>,
     out: &mut QueryResult,
 ) -> Result<()> {
@@ -998,16 +1103,18 @@ fn degrade_to_internal_shared(
         dov,
         cached,
     });
-    out.record_degrade(ordinal, objects_coarse, cause);
+    out.record_degrade(ordinal, objects_coarse, cause, detail);
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse_shared(
     env: &SharedEnvironment,
     ctx: &mut SessionCtx,
     ordinal: u32,
     eta: f64,
     skip: Option<&HashMap<ResultKey, usize>>,
+    bclock: &BudgetClock,
     out: &mut QueryResult,
     stats: &mut SearchStats,
 ) -> Result<()> {
@@ -1086,11 +1193,37 @@ fn recurse_shared(
                 cached,
             });
         } else {
+            // Budget check, charged nothing itself: once the query's spend
+            // reaches its cap, every remaining subtree is served as its
+            // internal LoD instead of being descended (DESIGN.md §12). The
+            // unlimited path is one branch — no meter reads, no clock.
+            if bclock.is_limited()
+                && bclock.exhausted(
+                    io_elapsed_us_shared(ctx),
+                    stats.nodes_visited,
+                    stats.vpages_fetched,
+                )
+            {
+                degrade_to_internal_shared(
+                    env,
+                    ctx,
+                    entry.child_ordinal,
+                    ve.dov,
+                    ve.nvo as u64,
+                    DegradeCause::BudgetExhausted,
+                    BUDGET_EXHAUSTED_DETAIL,
+                    skip,
+                    out,
+                )?;
+                continue;
+            }
             // Line 10: descend — absorbing read failures beneath this entry
             // by dropping the subtree's partial answer and serving the
             // child's internal LoD instead.
             let mark = out.mark();
-            if let Err(e) = recurse_shared(env, ctx, entry.child_ordinal, eta, skip, out, stats) {
+            if let Err(e) =
+                recurse_shared(env, ctx, entry.child_ordinal, eta, skip, bclock, out, stats)
+            {
                 out.rollback(mark);
                 degrade_to_internal_shared(
                     env,
@@ -1098,7 +1231,8 @@ fn recurse_shared(
                     entry.child_ordinal,
                     ve.dov,
                     ve.nvo as u64,
-                    &e,
+                    DegradeCause::ReadError,
+                    &e.to_string(),
                     skip,
                     out,
                 )?;

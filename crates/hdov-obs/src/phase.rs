@@ -91,11 +91,21 @@ pub enum Counter {
     DegradedQueries,
     /// Subtrees served as an ancestor's internal LoD after read failures.
     LodFallbacks,
+    /// Subtrees served as internal LoDs because a query budget ran out.
+    BudgetStops,
+    /// η-controller moves toward a coarser (cheaper) threshold.
+    EtaRaises,
+    /// η-controller moves toward a finer (costlier) threshold.
+    EtaDrops,
+    /// Sessions denied admission and served the root's internal LoD.
+    ShedSessions,
+    /// Frames whose simulated frame time exceeded the session deadline.
+    FrameDeadlineMiss,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 20;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -114,6 +124,11 @@ impl Counter {
         Counter::ReadRetries,
         Counter::DegradedQueries,
         Counter::LodFallbacks,
+        Counter::BudgetStops,
+        Counter::EtaRaises,
+        Counter::EtaDrops,
+        Counter::ShedSessions,
+        Counter::FrameDeadlineMiss,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -134,6 +149,11 @@ impl Counter {
             Counter::ReadRetries => "read_retries",
             Counter::DegradedQueries => "degraded_queries",
             Counter::LodFallbacks => "lod_fallbacks",
+            Counter::BudgetStops => "budget_stops",
+            Counter::EtaRaises => "eta_raises",
+            Counter::EtaDrops => "eta_drops",
+            Counter::ShedSessions => "shed_sessions",
+            Counter::FrameDeadlineMiss => "frame_deadline_miss",
         }
     }
 
@@ -154,14 +174,22 @@ pub enum Hist {
     SimFrameUs,
     /// Wall-clock per-query search latency, nanoseconds.
     WallSearchNs,
+    /// Simulated end-to-end frame time, nanoseconds (`sim_` by construction:
+    /// derived from the deterministic cost model, never a wall clock).
+    SimFrameTimeNs,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every histogram, in snapshot order.
-    pub const ALL: [Hist; Hist::COUNT] = [Hist::SimSearchUs, Hist::SimFrameUs, Hist::WallSearchNs];
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::SimSearchUs,
+        Hist::SimFrameUs,
+        Hist::WallSearchNs,
+        Hist::SimFrameTimeNs,
+    ];
 
     /// Stable snake_case name used in snapshot keys.
     pub fn name(self) -> &'static str {
@@ -169,6 +197,7 @@ impl Hist {
             Hist::SimSearchUs => "sim_search_us",
             Hist::SimFrameUs => "sim_frame_us",
             Hist::WallSearchNs => "wall_search_ns",
+            Hist::SimFrameTimeNs => "frame_time_ns",
         }
     }
 

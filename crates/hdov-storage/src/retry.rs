@@ -34,14 +34,34 @@ impl RetryPolicy {
         max_backoff_us: 0.0,
     };
 
+    /// Widest backoff ever returned, even from a pathological policy.
+    ///
+    /// One simulated hour. The cost accumulators downstream are finite
+    /// (`f64` microseconds folded into a `u64` nanosecond counter), so a
+    /// single backoff must never be infinite or large enough that
+    /// `attempts × backoff` overflows them. Callers wanting longer waits
+    /// are modelling an outage, not a retry.
+    pub const BACKOFF_CEILING_US: f64 = 3_600_000_000.0;
+
     /// Simulated backoff before retry `retry` (1-based). Zero for `retry == 0`.
+    ///
+    /// Saturating: the exponent is capped before `powi` so huge retry
+    /// indices cannot wrap to a negative exponent, and the result is
+    /// clamped to a finite ceiling so non-finite or absurd `base`/`max`
+    /// values cannot poison the simulated-cost accumulators.
     #[must_use]
     pub fn backoff_us(&self, retry: u32) -> f64 {
         if retry == 0 {
             return 0.0;
         }
-        let exp = self.base_backoff_us * 2f64.powi(retry as i32 - 1);
-        exp.min(self.max_backoff_us)
+        // 2^1100 > f64::MAX, so cap the exponent: beyond it the doubling
+        // has saturated anyway and `min(max_backoff_us)` takes over.
+        let exp = (retry - 1).min(1100) as i32;
+        let raw = self.base_backoff_us * 2f64.powi(exp);
+        // `f64::min` returns the non-NaN operand, so a NaN base saturates
+        // to the cap instead of propagating; negatives collapse to zero.
+        let capped = raw.min(self.max_backoff_us).min(Self::BACKOFF_CEILING_US);
+        capped.max(0.0)
     }
 
     /// Total attempts, never below one.
@@ -94,6 +114,63 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert_eq!(p.attempts(), 1);
+    }
+
+    #[test]
+    fn extreme_policies_saturate_instead_of_overflowing() {
+        // retry index past i32::MAX used to wrap the powi exponent negative.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_us: 100.0,
+            max_backoff_us: 10_000.0,
+        };
+        assert_eq!(p.backoff_us(u32::MAX), 10_000.0);
+        assert_eq!(p.backoff_us(i32::MAX as u32 + 7), 10_000.0);
+
+        // Non-finite products must clamp to the finite ceiling, never reach
+        // the u64 nanosecond accumulator as inf/NaN.
+        let huge = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_us: f64::MAX,
+            max_backoff_us: f64::INFINITY,
+        };
+        for retry in [1, 2, 64, 2000, u32::MAX] {
+            let b = huge.backoff_us(retry);
+            assert!(b.is_finite(), "retry {retry} gave non-finite backoff {b}");
+            assert!(b <= RetryPolicy::BACKOFF_CEILING_US);
+            // The downstream cast (`us * 1000.0` → u64 ns) must stay in range.
+            assert!(b * 1000.0 <= u64::MAX as f64);
+        }
+
+        // Degenerate bases collapse to zero rather than going negative/NaN.
+        let neg = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: -5.0,
+            max_backoff_us: 10.0,
+        };
+        assert_eq!(neg.backoff_us(3), 0.0);
+        let nan = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: f64::NAN,
+            max_backoff_us: 10.0,
+        };
+        let b = nan.backoff_us(2);
+        assert!(b.is_finite() && b >= 0.0);
+    }
+
+    #[test]
+    fn worst_case_total_backoff_fits_the_accumulator() {
+        // Even u32::MAX attempts of the widest single backoff cannot wrap a
+        // u64 nanosecond counter more than deterministically: the per-retry
+        // cost is bounded, so the sum is bounded by attempts × ceiling.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_us: f64::MAX,
+            max_backoff_us: f64::MAX,
+        };
+        let per_retry_ns = p.backoff_us(u32::MAX) * 1000.0;
+        assert!(per_retry_ns.is_finite());
+        assert!(per_retry_ns <= RetryPolicy::BACKOFF_CEILING_US * 1000.0);
     }
 
     #[test]

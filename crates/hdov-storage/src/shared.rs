@@ -89,6 +89,28 @@ pub struct AtomicIoStats {
 }
 
 impl AtomicIoStats {
+    /// Folds simulated microseconds into the nanosecond accumulator,
+    /// saturating instead of wrapping: the float→int cast already saturates
+    /// (non-finite or oversized costs clamp to `u64::MAX`), and the CAS loop
+    /// pins the running total at `u64::MAX` so a pathological retry storm
+    /// reads as "forever", never as a small wrapped number.
+    fn add_elapsed_us(&self, cost_us: f64) {
+        let add_ns = (cost_us * 1000.0).round() as u64;
+        let mut cur = self.elapsed_ns.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(add_ns);
+            match self.elapsed_ns.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     fn record_miss(&self, sequential: bool, cost_us: f64) {
         self.page_reads.fetch_add(1, Ordering::Relaxed);
         self.pool_misses.fetch_add(1, Ordering::Relaxed);
@@ -97,8 +119,7 @@ impl AtomicIoStats {
         } else {
             self.random_reads.fetch_add(1, Ordering::Relaxed);
         }
-        self.elapsed_ns
-            .fetch_add((cost_us * 1000.0).round() as u64, Ordering::Relaxed);
+        self.add_elapsed_us(cost_us);
     }
 
     fn record_hit(&self) {
@@ -108,8 +129,7 @@ impl AtomicIoStats {
     /// Adds pure simulated time (retry backoff, latency spikes) without
     /// touching any read counter: penalties are time, not I/O.
     fn record_penalty(&self, cost_us: f64) {
-        self.elapsed_ns
-            .fetch_add((cost_us * 1000.0).round() as u64, Ordering::Relaxed);
+        self.add_elapsed_us(cost_us);
     }
 
     /// `(hits, misses)` over all shards since construction.

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod control;
 pub mod frame;
 pub mod metrics;
 pub mod server;
@@ -27,6 +29,8 @@ pub mod session;
 pub mod streaming;
 pub mod system;
 
+pub use admission::{AdmissionConfig, BackpressureStats, SessionSlots};
+pub use control::{EtaAction, EtaControlConfig, EtaController};
 pub use frame::{FrameModel, FrameRecord};
 pub use metrics::{run_session, WalkthroughMetrics};
 pub use server::{ServerConfig, ServerReport, SessionOutcome, SessionServer};

@@ -21,21 +21,58 @@
 //! search *times* under a shared pool depend on session interleaving, which
 //! is the phenomenon the `concurrent_sessions` benchmark measures.
 
+use crate::admission::{AdmissionConfig, BackpressureStats, SessionSlots};
+use crate::control::{EtaAction, EtaControlConfig, EtaController};
+use crate::frame::FrameModel;
 use crate::session::Session;
-use hdov_core::{DeltaSearch, SearchScratch, SharedEnvironment};
+use hdov_core::{DeltaSearch, QueryBudget, ResultKey, SearchScratch, SharedEnvironment};
 use hdov_obs::{Counter, Hist};
 use hdov_storage::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Fidelity-ladder rank of an internal-LoD entry's level 0.
+///
+/// `ResultEntry::level` counts within each key's own chain (0 = finest), but
+/// the chains live on different ladders: a node's internal LoD — even its
+/// finest — replaces its entire subtree's object models, so it is coarser
+/// than any object-level entry. Object chains are at most 4 levels deep
+/// everywhere in this repo, so ranking internal levels from 4 keeps the
+/// mean-served-LoD scale monotone in actual fidelity.
+const INTERNAL_LOD_RANK_BASE: u64 = 4;
+
+/// One result entry's rank on the unified served-LoD ladder.
+fn served_lod_rank(key: ResultKey, level: usize) -> u64 {
+    match key {
+        ResultKey::Object(_) => level as u64,
+        ResultKey::Internal(_) => INTERNAL_LOD_RANK_BASE + level as u64,
+    }
+}
+
 /// Server tuning knobs.
+///
+/// The overload-protection features (DESIGN.md §12) all default *off*:
+/// a default-configured server is byte-identical to one without them.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// DoV threshold `η` for every session.
+    /// DoV threshold `η` for every session. Ignored when
+    /// [`control`](Self::control) is active (the controller's
+    /// `eta_initial` rules then).
     pub eta: f64,
     /// Extrapolate each session's motion vector and warm the predicted
     /// cell's V-pages ahead of arrival.
     pub motion_prefetch: bool,
+    /// Render-cost model for per-frame times in [`SessionOutcome::frame_ms`].
+    pub frame_model: FrameModel,
+    /// Per-frame traversal budget; an exhausted budget serves the remaining
+    /// subtrees as internal LoDs instead of failing or running long.
+    /// [`QueryBudget::UNLIMITED`] (the default) changes nothing.
+    pub budget: QueryBudget,
+    /// Closed-loop AIMD η control per session; `None` (the default) keeps η
+    /// static at [`eta`](Self::eta).
+    pub control: Option<EtaControlConfig>,
+    /// Bounded session admission; `None` (the default) admits everything.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +80,10 @@ impl Default for ServerConfig {
         ServerConfig {
             eta: 0.002,
             motion_prefetch: true,
+            frame_model: FrameModel::PAPER_ERA,
+            budget: QueryBudget::UNLIMITED,
+            control: None,
+            admission: None,
         }
     }
 }
@@ -54,6 +95,9 @@ pub struct SessionOutcome {
     pub session: usize,
     /// Simulated search time per frame (ms).
     pub search_ms: Vec<f64>,
+    /// Simulated end-to-end frame time per frame (ms): search plus the
+    /// configured [`FrameModel`]'s render charge.
+    pub frame_ms: Vec<f64>,
     /// Σ rendered polygons over all frames (deterministic; used to check
     /// that concurrency never changes answers).
     pub total_polygons: u64,
@@ -68,6 +112,39 @@ pub struct SessionOutcome {
     /// unreadable. Failure stays inside this session; other sessions are
     /// unaffected.
     pub failed_frames: u64,
+    /// Subtrees served as internal LoDs because the per-frame
+    /// [`QueryBudget`] ran out, summed over frames.
+    pub budget_stops: u64,
+    /// Frames whose simulated frame time exceeded the η controller's
+    /// deadline (always 0 without [`ServerConfig::control`]).
+    pub deadline_misses: u64,
+    /// η moves toward coarser (cheaper) frames made by the controller.
+    pub eta_raises: u64,
+    /// η moves toward finer (costlier) frames made by the controller.
+    pub eta_drops: u64,
+    /// η used for the session's final frame (the static η without control).
+    pub eta_final: f64,
+    /// True when admission control shed this session: every frame was
+    /// served the root's internal LoD without touching the query path.
+    pub shed: bool,
+    /// Σ served-LoD ranks over every served result entry (0 = finest object
+    /// level; internal LoDs rank coarser than any object level), for
+    /// fidelity accounting.
+    pub lod_level_sum: u64,
+    /// Result entries served, the denominator of the mean served LoD.
+    pub lod_entries: u64,
+}
+
+impl SessionOutcome {
+    /// Mean served LoD level over the session's result entries
+    /// (0 = everything finest; larger = coarser answers).
+    pub fn mean_served_lod(&self) -> f64 {
+        if self.lod_entries == 0 {
+            0.0
+        } else {
+            self.lod_level_sum as f64 / self.lod_entries as f64
+        }
+    }
 }
 
 /// Aggregate result of one server run.
@@ -79,6 +156,9 @@ pub struct ServerReport {
     pub wall_seconds: f64,
     /// Worker threads used.
     pub threads: usize,
+    /// Admission counters for the run (all zero without
+    /// [`ServerConfig::admission`]).
+    pub backpressure: BackpressureStats,
 }
 
 impl ServerReport {
@@ -110,6 +190,68 @@ impl ServerReport {
         all.sort_by(|a, b| a.partial_cmp(b).expect("search times are finite"));
         let rank = ((q.clamp(0.0, 1.0) * all.len() as f64).ceil() as usize).max(1) - 1;
         all[rank.min(all.len() - 1)]
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-frame simulated *frame* time
+    /// (ms) over every session (nearest rank), the overload bench's
+    /// headline number.
+    pub fn frame_ms_quantile(&self, q: f64) -> f64 {
+        let mut all: Vec<f64> = self
+            .sessions
+            .iter()
+            .flat_map(|s| s.frame_ms.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("frame times are finite"));
+        let rank = ((q.clamp(0.0, 1.0) * all.len() as f64).ceil() as usize).max(1) - 1;
+        all[rank.min(all.len() - 1)]
+    }
+
+    /// Mean per-frame simulated frame time (ms).
+    pub fn mean_frame_ms(&self) -> f64 {
+        let n: usize = self.sessions.iter().map(|s| s.frame_ms.len()).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .flat_map(|s| s.frame_ms.iter())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Mean served-LoD rank of the run (0 = everything finest; rises as the
+    /// server degrades under load), weighting each *session* by its frame
+    /// count rather than its entry count: a shed session serves one coarse
+    /// entry per frame where an admitted one serves hundreds of fine ones,
+    /// and fidelity is a per-frame experience, not a per-entry tally.
+    pub fn mean_served_lod(&self) -> f64 {
+        let frames: u64 = self.sessions.iter().map(|s| s.frame_ms.len() as u64).sum();
+        if frames == 0 {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .map(|s| s.mean_served_lod() * s.frame_ms.len() as f64)
+            .sum::<f64>()
+            / frames as f64
+    }
+
+    /// Sessions shed by admission control.
+    pub fn shed_sessions(&self) -> u64 {
+        self.sessions.iter().filter(|s| s.shed).count() as u64
+    }
+
+    /// Σ per-frame deadline misses over all sessions.
+    pub fn deadline_misses(&self) -> u64 {
+        self.sessions.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// Σ budget stops over all sessions.
+    pub fn budget_stops(&self) -> u64 {
+        self.sessions.iter().map(|s| s.budget_stops).sum()
     }
 
     /// Mean per-frame simulated search time (ms).
@@ -180,24 +322,49 @@ impl<'a> SessionServer<'a> {
     /// worker claiming whole sessions from an atomic work queue.
     ///
     /// With one thread this is an ordinary sequential replay; with N it is N
-    /// concurrent visitors sharing the environment's pools.
+    /// concurrent visitors sharing the environment's pools. With
+    /// [`ServerConfig::admission`] set, each claimed session must take a
+    /// slot before driving queries; one that cannot before its queue
+    /// deadline is shed — served the root's internal LoD per frame, never
+    /// an error.
     pub fn run(&self, sessions: &[Session], threads: usize) -> Result<ServerReport> {
         let workers = threads.clamp(1, sessions.len().max(1));
         let next = AtomicUsize::new(0);
+        let slots = self.cfg.admission.map(|a| SessionSlots::new(a.slots));
+        // Rendezvous between each worker's first claim and its first drive:
+        // thread spawn is slow relative to a short session, so without the
+        // barrier early workers can drain the whole queue before late ones
+        // exist — which would make an admission-control load factor of "N
+        // workers racing K slots" meaningless. Resolving the first wave's
+        // admission *before* the rendezvous (while every slot winner is
+        // still parked at it) also makes the shed count a pure function of
+        // (sessions, slots) whenever workers ≥ sessions, instead of a
+        // scheduling race; later waves race slot releases like any live
+        // server.
+        let barrier = std::sync::Barrier::new(workers);
         let start = Instant::now();
 
         let per_worker: Vec<Vec<SessionOutcome>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let slots = slots.as_ref();
+                    let barrier = &barrier;
                     s.spawn(move || {
                         let mut done = Vec::new();
+                        let first = next.fetch_add(1, Ordering::Relaxed);
+                        let admitted = (first < sessions.len()).then(|| self.try_admit(slots));
+                        barrier.wait();
+                        if let Some(adm) = admitted {
+                            done.push(self.finish_claim(adm, slots, first, &sessions[first]));
+                        }
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= sessions.len() {
                                 break done;
                             }
-                            done.push(self.drive(i, &sessions[i]));
+                            let adm = self.try_admit(slots);
+                            done.push(self.finish_claim(adm, slots, i, &sessions[i]));
                         }
                     })
                 })
@@ -218,7 +385,74 @@ impl<'a> SessionServer<'a> {
             sessions: outcomes,
             wall_seconds,
             threads: workers,
+            backpressure: slots.map(|s| s.stats()).unwrap_or_default(),
         })
+    }
+
+    /// Admission decision for one claimed session: `None` when admission is
+    /// off, `Some(got_slot)` otherwise. May wait up to the configured queue
+    /// timeout.
+    fn try_admit(&self, slots: Option<&SessionSlots>) -> Option<bool> {
+        match (slots, self.cfg.admission) {
+            (Some(slots), Some(adm)) => Some(slots.try_acquire(adm.queue_timeout)),
+            _ => None,
+        }
+    }
+
+    /// Drives a claimed session according to its admission decision,
+    /// releasing the slot (if one was taken) afterwards.
+    fn finish_claim(
+        &self,
+        admitted: Option<bool>,
+        slots: Option<&SessionSlots>,
+        index: usize,
+        session: &Session,
+    ) -> SessionOutcome {
+        match admitted {
+            Some(false) => self.drive_shed(index, session),
+            Some(true) => {
+                let out = self.drive(index, session);
+                if let Some(slots) = slots {
+                    slots.release();
+                }
+                out
+            }
+            None => self.drive(index, session),
+        }
+    }
+
+    /// Serves a shed session: every frame gets the root's finest internal
+    /// LoD from the in-memory model directory — no query, no I/O, no way to
+    /// fail — so the visitor keeps a (coarse) picture while the admitted
+    /// sessions keep their frame times.
+    fn drive_shed(&self, index: usize, session: &Session) -> SessionOutcome {
+        let tree = self.env.tree();
+        let root = tree.root_ordinal();
+        let level = tree.internal_store().select_level(root as u64, 1.0);
+        let h = tree.internal_store().handle(root as u64, level);
+        let frames = session.len();
+        let frame_ms = self.cfg.frame_model.frame_time_ms(0.0, h.polygons as u64);
+
+        hdov_obs::add(Counter::ShedSessions, 1);
+        hdov_obs::add(Counter::SessionsCompleted, 1);
+        SessionOutcome {
+            session: index,
+            search_ms: vec![0.0; frames],
+            frame_ms: vec![frame_ms; frames],
+            total_polygons: h.polygons as u64 * frames as u64,
+            page_reads: 0,
+            prefetched_pages: 0,
+            degraded_frames: 0,
+            failed_frames: 0,
+            budget_stops: 0,
+            deadline_misses: 0,
+            eta_raises: 0,
+            eta_drops: 0,
+            eta_final: self.cfg.eta,
+            shed: true,
+            lod_level_sum: (INTERNAL_LOD_RANK_BASE + level as u64) * frames as u64,
+            lod_entries: frames as u64,
+        }
     }
 
     /// Replays one session: delta query per frame, plus motion-vector
@@ -238,25 +472,71 @@ impl<'a> SessionServer<'a> {
         let mut prefetch_ctx = env.session(); // prefetch I/O stays off the books
         let mut scratch = SearchScratch::new();
         let mut delta = DeltaSearch::new();
+        let mut controller = self.cfg.control.map(EtaController::new);
         let mut search_ms = Vec::with_capacity(session.len());
+        let mut frame_ms = Vec::with_capacity(session.len());
         let mut total_polygons = 0u64;
         let mut page_reads = 0u64;
         let mut prefetched_pages = 0u64;
         let mut degraded_frames = 0u64;
         let mut failed_frames = 0u64;
+        let mut budget_stops = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut eta_raises = 0u64;
+        let mut eta_drops = 0u64;
+        let mut lod_level_sum = 0u64;
+        let mut lod_entries = 0u64;
 
         for (i, &vp) in session.viewpoints.iter().enumerate() {
+            let eta = controller.as_ref().map_or(self.cfg.eta, |c| c.eta());
             let wall = hdov_obs::is_enabled().then(Instant::now);
-            match env.query_delta_into(&mut ctx, &mut scratch, vp, self.cfg.eta, &mut delta) {
+            match env.query_delta_into_budgeted(
+                &mut ctx,
+                &mut scratch,
+                vp,
+                eta,
+                &mut delta,
+                self.cfg.budget,
+            ) {
                 Ok((stats, _)) => {
                     if let Some(t0) = wall {
                         hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
                     }
-                    search_ms.push(stats.search_time_ms());
-                    total_polygons += scratch.result().total_polygons();
+                    let search = stats.search_time_ms();
+                    let polygons = scratch.result().total_polygons();
+                    search_ms.push(search);
+                    frame_ms.push(self.cfg.frame_model.frame_time_ms(search, polygons));
+                    total_polygons += polygons;
                     page_reads += stats.total_io().page_reads;
-                    if scratch.result().degrade().is_degraded() {
+                    if scratch.result().degrade().errors_absorbed() > 0 {
                         degraded_frames += 1;
+                    }
+                    budget_stops += scratch.result().degrade().budget_stops();
+                    for e in scratch.result().entries() {
+                        lod_level_sum += served_lod_rank(e.key, e.level);
+                        lod_entries += 1;
+                    }
+                    if let Some(c) = &mut controller {
+                        // Closed loop: this frame's simulated cost moves the
+                        // next frame's η. All inputs are simulated, so the
+                        // new frame metrics stay deterministic and gateable.
+                        let t = self.cfg.frame_model.frame_time_ms(search, polygons);
+                        hdov_obs::observe(Hist::SimFrameTimeNs, (t * 1e6) as u64);
+                        if t > c.target_frame_ms() {
+                            deadline_misses += 1;
+                            hdov_obs::add(Counter::FrameDeadlineMiss, 1);
+                        }
+                        match c.observe(search, polygons) {
+                            EtaAction::Raise => {
+                                eta_raises += 1;
+                                hdov_obs::add(Counter::EtaRaises, 1);
+                            }
+                            EtaAction::Drop => {
+                                eta_drops += 1;
+                                hdov_obs::add(Counter::EtaDrops, 1);
+                            }
+                            EtaAction::Hold => {}
+                        }
                     }
                 }
                 Err(_) => failed_frames += 1,
@@ -282,11 +562,20 @@ impl<'a> SessionServer<'a> {
         SessionOutcome {
             session: index,
             search_ms,
+            frame_ms,
             total_polygons,
             page_reads,
             prefetched_pages,
             degraded_frames,
             failed_frames,
+            budget_stops,
+            deadline_misses,
+            eta_raises,
+            eta_drops,
+            eta_final: controller.as_ref().map_or(self.cfg.eta, |c| c.eta()),
+            shed: false,
+            lod_level_sum,
+            lod_entries,
         }
     }
 }
@@ -400,6 +689,112 @@ mod tests {
         assert!(report.page_reads() > 0);
     }
 
+    /// Defaults must be inert: no budget stops, no controller activity, no
+    /// shedding, and the same answers as always.
+    #[test]
+    fn default_config_leaves_overload_machinery_cold() {
+        let env = shared_env();
+        let sessions = record_sessions(&env, 4, 25);
+        let report = SessionServer::new(&env, ServerConfig::default())
+            .run(&sessions, 2)
+            .unwrap();
+        assert_eq!(report.budget_stops(), 0);
+        assert_eq!(report.deadline_misses(), 0);
+        assert_eq!(report.shed_sessions(), 0);
+        assert_eq!(report.backpressure, BackpressureStats::default());
+        for s in &report.sessions {
+            assert!(!s.shed);
+            assert_eq!((s.eta_raises, s.eta_drops), (0, 0));
+            assert_eq!(s.eta_final, 0.002, "static η must pass through");
+            assert_eq!(s.failed_frames, 0);
+        }
+    }
+
+    /// A starvation-level per-frame budget: queries still never fail, every
+    /// stop is accounted, and fidelity (mean served LoD) degrades instead.
+    #[test]
+    fn tight_budget_degrades_fidelity_not_availability() {
+        let env = shared_env();
+        let sessions = record_sessions(&env, 4, 25);
+        let plain = SessionServer::new(&env, ServerConfig::default())
+            .run(&sessions, 2)
+            .unwrap();
+        let starved = SessionServer::new(
+            &env.fork_with_private_pools(),
+            ServerConfig {
+                budget: QueryBudget::sim_ms(0.001),
+                ..Default::default()
+            },
+        )
+        .run(&sessions, 2)
+        .unwrap();
+        assert!(starved.budget_stops() > 0, "1µs frames must stop descents");
+        for s in &starved.sessions {
+            assert_eq!(s.failed_frames, 0, "budget exhaustion is never an error");
+            assert_eq!(s.search_ms.len(), 25, "every frame still answered");
+        }
+        assert!(
+            starved.mean_served_lod() > plain.mean_served_lod(),
+            "starved run should serve coarser LoDs: {} vs {}",
+            starved.mean_served_lod(),
+            plain.mean_served_lod()
+        );
+    }
+
+    /// The closed loop reacts to an unmeetable deadline by driving η coarser
+    /// and recording every miss and raise.
+    #[test]
+    fn controller_raises_eta_under_unmeetable_deadline() {
+        let env = shared_env();
+        let sessions = record_sessions(&env, 2, 30);
+        let cfg = ServerConfig {
+            control: Some(EtaControlConfig::for_target_ms(0.001)),
+            ..Default::default()
+        };
+        let report = SessionServer::new(&env, cfg).run(&sessions, 1).unwrap();
+        assert!(report.deadline_misses() > 0);
+        for s in &report.sessions {
+            assert!(s.eta_raises > 0, "misses must push η up");
+            assert!(
+                s.eta_final >= EtaControlConfig::for_target_ms(0.001).eta_initial,
+                "η should end at or above its start under overload"
+            );
+            assert_eq!(s.failed_frames, 0);
+        }
+    }
+
+    /// Strict admission with more sessions than slots: the overflow is shed
+    /// — coarse frames, zero I/O, zero errors — and the books balance.
+    #[test]
+    fn admission_sheds_overflow_sessions_without_errors() {
+        let env = shared_env();
+        let sessions = record_sessions(&env, 6, 10);
+        let cfg = ServerConfig {
+            admission: Some(AdmissionConfig::strict(1)),
+            ..Default::default()
+        };
+        let report = SessionServer::new(&env, cfg).run(&sessions, 4).unwrap();
+        let shed = report.shed_sessions();
+        assert!(shed > 0, "4 workers racing 1 slot must shed someone");
+        assert_eq!(report.backpressure.shed, shed);
+        assert_eq!(report.backpressure.admitted + shed, 6);
+        for s in report.sessions.iter().filter(|s| s.shed) {
+            assert_eq!(s.failed_frames, 0, "shedding must never be an error");
+            assert_eq!(s.page_reads, 0, "shed sessions stay off the disks");
+            assert_eq!(s.frame_ms.len(), 10, "every frame still served");
+            assert!(s.total_polygons > 0, "the root LoD is a real picture");
+            assert_eq!(s.lod_entries, 10);
+        }
+        // Plenty of slots: nothing sheds.
+        let cfg = ServerConfig {
+            admission: Some(AdmissionConfig::strict(16)),
+            ..Default::default()
+        };
+        let report = SessionServer::new(&env, cfg).run(&sessions, 4).unwrap();
+        assert_eq!(report.shed_sessions(), 0);
+        assert_eq!(report.backpressure.admitted, 6);
+    }
+
     #[test]
     fn simulated_throughput_scales_with_workers() {
         // A pool far smaller than the working set keeps every session
@@ -429,6 +824,7 @@ mod tests {
             sessions: four.sessions.clone(),
             wall_seconds: four.wall_seconds,
             threads: 1,
+            backpressure: BackpressureStats::default(),
         };
         assert!(one.simulated_makespan_ms() > 0.0);
         assert!(
