@@ -35,9 +35,9 @@ fn main() {
     let n_sessions = if opts.quick { 8 } else { 16 };
     let frames = if opts.quick { 40 } else { 200 };
 
-    let env = eval
-        .environment(StorageScheme::IndexedVertical)
-        .into_shared(PoolConfig::default());
+    let mut built = eval.environment(StorageScheme::IndexedVertical);
+    opts.relocate("concurrent_sessions", &mut built);
+    let env = built.into_shared(PoolConfig::default());
     let sessions: Vec<Session> = (0..n_sessions)
         .map(|i| {
             Session::record(

@@ -16,6 +16,7 @@ fn main() {
     let eval = EvalScene::standard(&opts);
     let viewpoints = eval.random_viewpoints(opts.query_count(), 8);
     let mut env = eval.environment(StorageScheme::IndexedVertical);
+    opts.relocate("fig8_io", &mut env);
 
     // Naïve reference (η-independent).
     let naive_total = mean(viewpoints.iter().map(|&vp| {
@@ -28,13 +29,19 @@ fn main() {
     }));
 
     let mut rows = Vec::new();
+    let mut wall_rows = Vec::new();
     for eta in ETA_SWEEP {
         let (mut total, mut light) = (Vec::new(), Vec::new());
+        let t0 = std::time::Instant::now();
         for &vp in &viewpoints {
             let (_, st) = env.query_with_stats(vp, eta).unwrap();
             total.push(st.total_io().page_reads as f64);
             light.push(st.light_io().page_reads as f64);
         }
+        wall_rows.push(vec![
+            format!("{eta}"),
+            format!("{}", t0.elapsed().as_nanos()),
+        ]);
         rows.push(vec![
             format!("{eta}"),
             format!("{:.1}", mean(total)),
@@ -78,4 +85,8 @@ fn main() {
         ],
         &rows,
     );
+    // Wall-clock I/O of the file-backed run (never gated; see fig7).
+    if opts.backend.is_file() {
+        hdov_bench::write_metrics_snapshot("fig8_io_wall", 1, &["eta", "hdov.wall_ns"], &wall_rows);
+    }
 }

@@ -13,6 +13,7 @@ pub mod report;
 use hdov_core::{HdovBuildConfig, HdovEnvironment, StorageScheme};
 use hdov_geom::Vec3;
 use hdov_scene::{CityConfig, Scene};
+use hdov_storage::{FileMode, StorageBackend};
 use hdov_visibility::{CellGrid, CellGridConfig, DovConfig, DovTable};
 use std::io::Write;
 use std::path::PathBuf;
@@ -28,18 +29,111 @@ pub const TABLE3_ETAS: [f64; 9] = [
     0.0, 0.00005, 0.0001, 0.0002, 0.0003, 0.0005, 0.001, 0.002, 0.004,
 ];
 
+/// Storage-backend axis of the harness (`--backend mem|file|file:pread`).
+///
+/// `mem` serves every frozen store from memory (the deterministic default);
+/// the file variants serialize each built store as a frozen-store file and
+/// serve pages from it, mmap'd or via positioned reads. CSV cells derive
+/// exclusively from the simulated cost model, so they are byte-identical
+/// across backends — the file backends add *wall-clock* I/O measurements as
+/// a separate, never-gated metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchBackend {
+    /// In-memory frozen stores (default).
+    #[default]
+    Mem,
+    /// File-backed stores, read through a shared read-only mapping.
+    FileMmap,
+    /// File-backed stores, read through `pread`-style positioned reads.
+    FilePread,
+}
+
+impl BenchBackend {
+    fn parse(arg: &str) -> Option<Self> {
+        match arg {
+            "mem" => Some(BenchBackend::Mem),
+            "file" | "file:mmap" => Some(BenchBackend::FileMmap),
+            "file:pread" => Some(BenchBackend::FilePread),
+            _ => None,
+        }
+    }
+
+    /// Short stable label (matches [`StorageBackend::label`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchBackend::Mem => "mem",
+            BenchBackend::FileMmap => "file:mmap",
+            BenchBackend::FilePread => "file:pread",
+        }
+    }
+
+    /// Whether pages are served from real files.
+    pub fn is_file(self) -> bool {
+        self != BenchBackend::Mem
+    }
+
+    /// The concrete [`StorageBackend`] for harness binary `bin`. File
+    /// stores go under `results/store/<bin>` (base directory overridable
+    /// via `HDOV_STORE_DIR`); the per-binary subdirectory keeps parallel
+    /// binaries from truncating each other's live mappings.
+    pub fn storage(self, bin: &str) -> StorageBackend {
+        let mode = match self {
+            BenchBackend::Mem => return StorageBackend::Mem,
+            BenchBackend::FileMmap => FileMode::Mmap,
+            BenchBackend::FilePread => FileMode::Pread,
+        };
+        let base = std::env::var_os("HDOV_STORE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/store"));
+        StorageBackend::File {
+            dir: base.join(bin),
+            mode,
+        }
+    }
+}
+
 /// Harness run options.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
     /// Smaller scene, fewer queries (CI / smoke).
     pub quick: bool,
+    /// Where frozen stores live during the run.
+    pub backend: BenchBackend,
 }
 
 impl RunOptions {
-    /// Parses `--quick` from the process arguments.
+    /// Parses `--quick` and `--backend <mem|file|file:mmap|file:pread>`
+    /// (also `--backend=<...>`) from the process arguments.
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
-        RunOptions { quick }
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+        let mut backend = BenchBackend::Mem;
+        for (i, a) in args.iter().enumerate() {
+            let val = if let Some(v) = a.strip_prefix("--backend=") {
+                Some(v.to_string())
+            } else if a == "--backend" {
+                args.get(i + 1).cloned()
+            } else {
+                None
+            };
+            if let Some(v) = val {
+                backend = BenchBackend::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown --backend {v:?}; use mem, file, file:mmap, or file:pread");
+                    std::process::exit(2);
+                });
+            }
+        }
+        RunOptions { quick, backend }
+    }
+
+    /// Relocates `env` onto the selected backend (a no-op on `mem`, so the
+    /// default path is byte-for-byte the historical in-memory run). `bin`
+    /// names the store directory — pass the binary's snapshot name.
+    pub fn relocate(&self, bin: &str, env: &mut HdovEnvironment) {
+        if self.backend.is_file() {
+            env.relocate(&self.backend.storage(bin))
+                .expect("relocate environment onto file backend");
+        }
     }
 
     /// Number of visibility queries for Fig. 7/8-style sweeps.
@@ -279,12 +373,38 @@ mod tests {
 
     #[test]
     fn run_options_defaults() {
-        let o = RunOptions { quick: false };
+        let o = RunOptions {
+            quick: false,
+            backend: BenchBackend::Mem,
+        };
         assert_eq!(o.query_count(), 2000);
         assert_eq!(o.session_frames(), 400);
-        let q = RunOptions { quick: true };
+        let q = RunOptions {
+            quick: true,
+            backend: BenchBackend::Mem,
+        };
         assert!(q.query_count() < o.query_count());
         assert!(q.session_frames() < o.session_frames());
+    }
+
+    #[test]
+    fn backend_axis_parses_and_routes() {
+        assert_eq!(BenchBackend::parse("mem"), Some(BenchBackend::Mem));
+        assert_eq!(BenchBackend::parse("file"), Some(BenchBackend::FileMmap));
+        assert_eq!(
+            BenchBackend::parse("file:pread"),
+            Some(BenchBackend::FilePread)
+        );
+        assert_eq!(BenchBackend::parse("tape"), None);
+        assert!(!BenchBackend::Mem.is_file());
+        assert_eq!(BenchBackend::Mem.storage("fig7"), StorageBackend::Mem);
+        let s = BenchBackend::FileMmap.storage("fig7");
+        assert!(s.is_file());
+        assert_eq!(s.label(), "file:mmap");
+        if let StorageBackend::File { dir, .. } = &s {
+            assert!(dir.ends_with("fig7"));
+        }
+        assert_eq!(BenchBackend::FilePread.storage("x").label(), "file:pread");
     }
 
     /// Heavy smoke test over the shared harness plumbing; run with
@@ -292,7 +412,10 @@ mod tests {
     #[test]
     #[ignore = "builds a full quick-mode evaluation scene (~seconds)"]
     fn eval_scene_smoke() {
-        let opts = RunOptions { quick: true };
+        let opts = RunOptions {
+            quick: true,
+            backend: BenchBackend::Mem,
+        };
         let eval = EvalScene::standard(&opts);
         assert!(eval.scene.len() > 100);
         assert_eq!(eval.table.cell_count(), eval.grid.cell_count());

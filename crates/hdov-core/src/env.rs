@@ -231,6 +231,22 @@ impl HdovEnvironment {
         self.objects.disk.disarm_faults();
     }
 
+    /// Relocates every store of the environment — node pages, internal
+    /// LoDs, object models, and the visibility store's disks — onto
+    /// `backend` (see [`hdov_storage::StorageBackend::freeze`]). Store
+    /// names are prefixed with the scheme label so several schemes can
+    /// share one directory. Answers and simulated I/O costs are
+    /// byte-identical across backends; only the physical residence of the
+    /// pages changes. The environment becomes read-only (in particular
+    /// [`refresh_visibility`](Self::refresh_visibility) rebuilds the
+    /// V-page store in memory again).
+    pub fn relocate(&mut self, backend: &hdov_storage::StorageBackend) -> Result<()> {
+        let prefix = format!("{}_", self.scheme);
+        self.tree.relocate(backend, &prefix)?;
+        self.objects.relocate(backend, &prefix)?;
+        self.vstore.relocate(backend)
+    }
+
     /// The ground-truth total DoV of a cell (denominator of fidelity
     /// metrics).
     pub fn cell_total_dov(&self, cell: CellId) -> f64 {

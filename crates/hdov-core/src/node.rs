@@ -122,9 +122,9 @@ impl HdovNode {
         Page::from_bytes(w.bytes())
     }
 
-    /// Deserializes a node.
-    pub fn decode(page: &Page) -> Result<Self> {
-        let mut r = ByteReader::new(page.bytes());
+    /// Deserializes a node from one page's bytes (owned or file-mapped).
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
         if r.get_u16()? != MAGIC {
             return Err(StorageError::Corrupt("bad HDoV node magic".into()));
         }
@@ -206,7 +206,7 @@ mod tests {
     fn round_trip() {
         for is_leaf in [true, false] {
             let node = sample(is_leaf);
-            let decoded = HdovNode::decode(&node.encode()).unwrap();
+            let decoded = HdovNode::decode(node.encode().bytes()).unwrap();
             assert_eq!(decoded, node);
         }
     }
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn decode_garbage_fails() {
-        assert!(HdovNode::decode(&Page::from_bytes(&[9u8; 100])).is_err());
+        assert!(HdovNode::decode(Page::from_bytes(&[9u8; 100]).bytes()).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::vpage::VEntry;
 use hdov_geom::solid_angle::MAX_DOV;
 use hdov_obs::{Counter, Hist, Phase};
 use hdov_scene::{ModelStore, Scene};
-use hdov_storage::{DiskModel, IoStats, MemPagedFile, Result, SimulatedDisk};
+use hdov_storage::{DiskModel, IoStats, Result, SimulatedDisk, StorageBackend, StoreFile};
 use hdov_visibility::CellId;
 use std::collections::HashMap;
 
@@ -320,13 +320,13 @@ pub struct ObjectModels {
     /// Directory of per-object LoD chains.
     pub store: ModelStore,
     /// The metered model file.
-    pub disk: SimulatedDisk<MemPagedFile>,
+    pub disk: SimulatedDisk<StoreFile>,
 }
 
 impl ObjectModels {
     /// Lays out every scene object's LoD chain on a fresh simulated disk.
     pub fn build(scene: &Scene, model: DiskModel) -> Result<Self> {
-        let mut disk = SimulatedDisk::new(MemPagedFile::new(), model);
+        let mut disk = SimulatedDisk::new(StoreFile::new_mem(), model);
         let chains = scene
             .objects()
             .iter()
@@ -335,6 +335,12 @@ impl ObjectModels {
         disk.reset_stats();
         disk.enable_checksums()?;
         Ok(ObjectModels { store, disk })
+    }
+
+    /// Relocates the model file onto `backend` as `<prefix>models` (see
+    /// [`StorageBackend::freeze`]); the bank becomes read-only.
+    pub fn relocate(&mut self, backend: &StorageBackend, prefix: &str) -> Result<()> {
+        crate::storage::relocate_disk(&mut self.disk, backend, &format!("{prefix}models"))
     }
 }
 

@@ -172,9 +172,7 @@ impl SharedVPageFile {
         let decoded: Arc<Vec<Arc<VPage>>> = frame.overlay(|page| {
             let mut v = Vec::with_capacity(rpp);
             for s in 0..rpp {
-                v.push(Arc::new(VPage::decode(
-                    &page.bytes()[s * rb..(s + 1) * rb],
-                )?));
+                v.push(Arc::new(VPage::decode(&page[s * rb..(s + 1) * rb])?));
             }
             Ok(v)
         })?;
@@ -427,9 +425,21 @@ impl SharedVStore {
         ctx.prefetch_pages.dedup();
         // Speculative warm-up must not displace genuinely hot recency
         // state, so resident pages are probed without promotion; misses
-        // charge and install exactly like a read.
-        for &p in &ctx.prefetch_pages {
-            vpages.pool.warm(&mut ctx.vpage_cur, PageId(p))?;
+        // charge and install exactly like a read. The sorted page list is
+        // coalesced into maximal consecutive runs, each warmed through one
+        // vectored request — on file backends a run costs at most one
+        // physical read (`pread`) or one `madvise(WILLNEED)`.
+        let mut i = 0usize;
+        while i < ctx.prefetch_pages.len() {
+            let first = ctx.prefetch_pages[i];
+            let mut j = i + 1;
+            while j < ctx.prefetch_pages.len() && ctx.prefetch_pages[j] == first + (j - i) as u64 {
+                j += 1;
+            }
+            vpages
+                .pool
+                .warm_run(&mut ctx.vpage_cur, PageId(first), (j - i) as u64)?;
+            i = j;
         }
         Ok(ctx.prefetch_pages.len() as u64)
     }
@@ -655,9 +665,9 @@ impl SharedEnvironment {
         let parts = tree.into_parts();
         let node_model = parts.node_disk.model();
         let internal_model = parts.internal_disk.model();
-        let mk_pool = |file, model| {
+        let mk_pool = |file: hdov_storage::StoreFile, model| {
             SharedCachedFile::with_overlay(
-                hdov_storage::FrozenPages::from_mem(file),
+                file.into_frozen(),
                 model,
                 pool.capacity_pages,
                 pool.shards,

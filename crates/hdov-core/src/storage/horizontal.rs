@@ -10,7 +10,7 @@
 
 use super::{StorageScheme, VPageFile, VisibilityStore};
 use crate::vpage::{VEntry, VPage};
-use hdov_storage::{DiskModel, FaultPlan, IoStats, Result};
+use hdov_storage::{DiskModel, FaultPlan, IoStats, Result, StorageBackend};
 use hdov_visibility::CellId;
 
 /// Horizontal store: record index = `ordinal · c + cell`.
@@ -101,6 +101,10 @@ impl VisibilityStore for HorizontalStore {
 
     fn disarm_faults(&mut self) {
         self.vpages.disarm_faults();
+    }
+
+    fn relocate(&mut self, backend: &StorageBackend) -> Result<()> {
+        self.vpages.relocate(backend, "horizontal_vpages")
     }
 
     fn into_shared(

@@ -7,12 +7,12 @@
 //! `O(N_vnode)` I/Os. A tiny in-memory directory maps each cell to its
 //! segment extent (the "simple one-to-one index").
 
-use super::{StorageScheme, VPageFile, VisibilityStore};
+use super::{relocate_disk, StorageScheme, VPageFile, VisibilityStore};
 use crate::vpage::VPage;
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
-    DiskModel, FaultPlan, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk,
-    PAGE_SIZE,
+    DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
+    StoreFile, PAGE_SIZE,
 };
 use hdov_visibility::CellId;
 
@@ -27,7 +27,7 @@ struct SegmentDir {
 
 /// Indexed-vertical store: sparse segments for visible nodes only.
 pub struct IndexedVerticalStore {
-    index: SimulatedDisk<MemPagedFile>,
+    index: SimulatedDisk<StoreFile>,
     vpages: VPageFile,
     cells: u32,
     n_nodes: u32,
@@ -50,7 +50,7 @@ impl IndexedVerticalStore {
         let c = cells.len() as u32;
         let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
         let mut vpages = VPageFile::new(model, max_entries);
-        let mut index = SimulatedDisk::new(MemPagedFile::new(), model);
+        let mut index = SimulatedDisk::new(StoreFile::new_mem(), model);
 
         let mut raw: Vec<u8> = Vec::new();
         let mut dir = Vec::with_capacity(cells.len());
@@ -167,6 +167,11 @@ impl VisibilityStore for IndexedVerticalStore {
         self.vpages.disarm_faults();
     }
 
+    fn relocate(&mut self, backend: &StorageBackend) -> Result<()> {
+        relocate_disk(&mut self.index, backend, "indexed_vertical_index")?;
+        self.vpages.relocate(backend, "indexed_vertical_vpages")
+    }
+
     fn into_shared(
         self: Box<Self>,
         pool: crate::shared::PoolConfig,
@@ -174,7 +179,7 @@ impl VisibilityStore for IndexedVerticalStore {
         let model = self.index.model();
         crate::shared::SharedVStore::IndexedVertical(crate::shared::SharedIndexedVertical {
             index: hdov_storage::SharedCachedFile::with_overlay(
-                hdov_storage::FrozenPages::from_mem(self.index.into_inner()),
+                self.index.into_inner().into_frozen(),
                 model,
                 pool.capacity_pages,
                 pool.shards,

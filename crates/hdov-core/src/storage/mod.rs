@@ -22,8 +22,8 @@ pub use vertical::VerticalStore;
 
 use crate::vpage::VPage;
 use hdov_storage::{
-    DiskModel, FaultPlan, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk,
-    PAGE_SIZE,
+    DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
+    StoreFile, PAGE_SIZE,
 };
 use hdov_visibility::CellId;
 
@@ -128,6 +128,14 @@ pub trait VisibilityStore: Send {
     /// Disarms any armed fault injection (subsequent reads are clean).
     fn disarm_faults(&mut self);
 
+    /// Relocates every disk of the store onto `backend` (see
+    /// [`StorageBackend::freeze`]): the built pages are serialized as
+    /// frozen-store files and reopened mmap'd or pread-backed (or simply
+    /// frozen in place on the mem backend). Answers and simulated I/O
+    /// charges are byte-identical across backends — only the physical
+    /// residence of the pages changes. The store becomes read-only.
+    fn relocate(&mut self, backend: &StorageBackend) -> Result<()>;
+
     /// Freezes this store into its `&`-shareable counterpart for the
     /// concurrent engine: the same on-disk layout behind lock-striped
     /// buffer pools, with all per-session state (current cell, flipped
@@ -135,6 +143,24 @@ pub trait VisibilityStore: Send {
     /// [`SessionCtx`](crate::shared::SessionCtx).
     fn into_shared(self: Box<Self>, pool: crate::shared::PoolConfig)
         -> crate::shared::SharedVStore;
+}
+
+/// Relocates one built disk onto `backend` under the store name `name`.
+///
+/// The disk's inner [`StoreFile`] is swapped out, frozen through
+/// [`StorageBackend::freeze`] (a no-op beyond freezing on the mem
+/// backend; serialize + reopen on the file backend), and swapped back.
+/// Stats, head position, and the build-time checksum table survive —
+/// relocation guarantees byte-identical pages, so the table stays valid.
+pub(crate) fn relocate_disk(
+    disk: &mut SimulatedDisk<StoreFile>,
+    backend: &StorageBackend,
+    name: &str,
+) -> Result<()> {
+    let built = disk.swap_inner(StoreFile::new_mem());
+    let frozen = backend.freeze(name, built)?;
+    disk.swap_inner(frozen);
+    Ok(())
 }
 
 /// V-page records packed into disk pages (several per page, never
@@ -145,7 +171,7 @@ pub trait VisibilityStore: Send {
 /// fan-out means more V-pages per disk page and proportionally smaller
 /// storage formulas.
 pub(crate) struct VPageFile {
-    disk: SimulatedDisk<MemPagedFile>,
+    disk: SimulatedDisk<StoreFile>,
     records: u64,
     record_bytes: usize,
     records_per_page: u64,
@@ -160,7 +186,7 @@ impl VPageFile {
     pub fn new(model: DiskModel, max_entries: usize) -> Self {
         let record_bytes = vpage_record_bytes(max_entries).min(PAGE_SIZE);
         VPageFile {
-            disk: SimulatedDisk::new(MemPagedFile::new(), model),
+            disk: SimulatedDisk::new(StoreFile::new_mem(), model),
             records: 0,
             record_bytes,
             records_per_page: (PAGE_SIZE / record_bytes) as u64,
@@ -230,13 +256,19 @@ impl VPageFile {
         self.disk.disarm_faults();
     }
 
+    /// Relocates the backing pages onto `backend` under `name` (read-only
+    /// afterwards; see [`relocate_disk`]).
+    pub fn relocate(&mut self, backend: &StorageBackend, name: &str) -> Result<()> {
+        relocate_disk(&mut self.disk, backend, name)
+    }
+
     /// Freezes the file behind a lock-striped shared pool (identical record
     /// layout — the backing pages are moved, not rewritten).
     pub fn into_shared(self, pool: crate::shared::PoolConfig) -> crate::shared::SharedVPageFile {
         let model = self.disk.model();
         crate::shared::SharedVPageFile::new(
             hdov_storage::SharedCachedFile::with_overlay(
-                hdov_storage::FrozenPages::from_mem(self.disk.into_inner()),
+                self.disk.into_inner().into_frozen(),
                 model,
                 pool.capacity_pages,
                 pool.shards,

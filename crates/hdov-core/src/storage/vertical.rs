@@ -7,12 +7,12 @@
 //! scan". Entering a cell "flips" the segment: `⌈N_node · size_ptr /
 //! size_page⌉` sequential page reads; fetches of hidden nodes are then free.
 
-use super::{StorageScheme, VPageFile, VisibilityStore};
+use super::{relocate_disk, StorageScheme, VPageFile, VisibilityStore};
 use crate::vpage::VPage;
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
-    DiskModel, FaultPlan, IoStats, MemPagedFile, Page, PageId, PagedFile, Result, SimulatedDisk,
-    PAGE_SIZE,
+    DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
+    StoreFile, PAGE_SIZE,
 };
 use hdov_visibility::CellId;
 
@@ -21,7 +21,7 @@ const PTRS_PER_PAGE: usize = PAGE_SIZE / 8;
 
 /// Vertical store: dense per-cell pointer segments + clustered V-pages.
 pub struct VerticalStore {
-    index: SimulatedDisk<MemPagedFile>,
+    index: SimulatedDisk<StoreFile>,
     vpages: VPageFile,
     cells: u32,
     n_nodes: u32,
@@ -46,7 +46,7 @@ impl VerticalStore {
 
         let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
         let mut vpages = VPageFile::new(model, max_entries);
-        let mut index = SimulatedDisk::new(MemPagedFile::new(), model);
+        let mut index = SimulatedDisk::new(StoreFile::new_mem(), model);
         for cell in cells {
             let mut segment = vec![NIL; n_nodes as usize];
             // DFS order: input is sorted by ordinal, which is DFS preorder.
@@ -150,6 +150,11 @@ impl VisibilityStore for VerticalStore {
         self.vpages.disarm_faults();
     }
 
+    fn relocate(&mut self, backend: &StorageBackend) -> Result<()> {
+        relocate_disk(&mut self.index, backend, "vertical_index")?;
+        self.vpages.relocate(backend, "vertical_vpages")
+    }
+
     fn into_shared(
         self: Box<Self>,
         pool: crate::shared::PoolConfig,
@@ -157,7 +162,7 @@ impl VisibilityStore for VerticalStore {
         let model = self.index.model();
         crate::shared::SharedVStore::Vertical(crate::shared::SharedVertical {
             index: hdov_storage::SharedCachedFile::with_overlay(
-                hdov_storage::FrozenPages::from_mem(self.index.into_inner()),
+                self.index.into_inner().into_frozen(),
                 model,
                 pool.capacity_pages,
                 pool.shards,

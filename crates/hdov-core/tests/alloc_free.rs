@@ -16,6 +16,7 @@ use hdov_core::{
     search_shared_into, HdovBuildConfig, HdovEnvironment, PoolConfig, SearchScratch, StorageScheme,
 };
 use hdov_scene::CityConfig;
+use hdov_storage::StorageBackend;
 use hdov_visibility::{CellGridConfig, CellId};
 
 struct CountingAlloc;
@@ -55,54 +56,82 @@ fn steady_state_search_shared_allocates_nothing() {
     assert!(!hdov_obs::is_enabled(), "obs must stay disabled here");
     let scene = CityConfig::tiny().seed(5).generate();
     let grid_cfg = CellGridConfig::for_scene(&scene).with_resolution(3, 3);
+    let store_dir = std::env::temp_dir().join(format!("hdov_alloc_free_{}", std::process::id()));
 
     for scheme in [StorageScheme::Vertical, StorageScheme::IndexedVertical] {
-        // Pools big enough that the steady state is all-hits.
-        let env = HdovEnvironment::build(&scene, &grid_cfg, HdovBuildConfig::fast_test(), scheme)
-            .unwrap()
-            .into_shared(PoolConfig {
+        // The contract holds on the mmap backend too: pool misses hand out
+        // frames borrowing file-mapped bytes, still without allocating.
+        for backend in [
+            StorageBackend::Mem,
+            StorageBackend::file(store_dir.join(scheme.to_string())),
+        ] {
+            let label = backend.label();
+            // Pools big enough that the steady state is all-hits.
+            let mut built =
+                HdovEnvironment::build(&scene, &grid_cfg, HdovBuildConfig::fast_test(), scheme)
+                    .unwrap();
+            built.relocate(&backend).unwrap();
+            let env = built.into_shared(PoolConfig {
                 capacity_pages: 4096,
                 shards: 8,
                 ..PoolConfig::default()
             });
-        let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
-        let mut ctx = env.session();
-        let mut scratch = SearchScratch::new();
+            let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
+            let mut ctx = env.session();
+            let mut scratch = SearchScratch::new();
 
-        for prefetch in [false, true] {
-            // Warm-up: two full rounds populate the pools and grow every
-            // reused buffer (segments, staging bytes, prefetch list, result
-            // entries) to its per-workload high-water mark.
-            for _ in 0..2 {
-                for &cell in &cells {
-                    for eta in [0.0, 0.004] {
-                        search_shared_into(&env, &mut ctx, &mut scratch, cell, eta, None, prefetch)
+            for prefetch in [false, true] {
+                // Warm-up: two full rounds populate the pools and grow every
+                // reused buffer (segments, staging bytes, prefetch list,
+                // result entries) to its per-workload high-water mark.
+                for _ in 0..2 {
+                    for &cell in &cells {
+                        for eta in [0.0, 0.004] {
+                            search_shared_into(
+                                &env,
+                                &mut ctx,
+                                &mut scratch,
+                                cell,
+                                eta,
+                                None,
+                                prefetch,
+                            )
                             .unwrap();
+                        }
                     }
                 }
-            }
 
-            // Steady state: the same workload must never touch the
-            // allocator — cell flips, prefetch probes, node and V-page
-            // reads, LoD charging, and result assembly included.
-            let before = allocations();
-            let mut polygons = 0u64;
-            for &cell in &cells {
-                for eta in [0.0, 0.004] {
-                    let stats =
-                        search_shared_into(&env, &mut ctx, &mut scratch, cell, eta, None, prefetch)
-                            .unwrap();
-                    assert!(stats.nodes_visited > 0);
-                    polygons += scratch.result().total_polygons();
+                // Steady state: the same workload must never touch the
+                // allocator — cell flips, prefetch probes, node and V-page
+                // reads, LoD charging, and result assembly included.
+                let before = allocations();
+                let mut polygons = 0u64;
+                for &cell in &cells {
+                    for eta in [0.0, 0.004] {
+                        let stats = search_shared_into(
+                            &env,
+                            &mut ctx,
+                            &mut scratch,
+                            cell,
+                            eta,
+                            None,
+                            prefetch,
+                        )
+                        .unwrap();
+                        assert!(stats.nodes_visited > 0);
+                        polygons += scratch.result().total_polygons();
+                    }
                 }
+                let after = allocations();
+                assert!(polygons > 0, "queries must produce visible polygons");
+                assert_eq!(
+                    after - before,
+                    0,
+                    "steady-state all-hits search_shared_into allocated \
+                     ({scheme}, backend {label}, prefetch {prefetch})"
+                );
             }
-            let after = allocations();
-            assert!(polygons > 0, "queries must produce visible polygons");
-            assert_eq!(
-                after - before,
-                0,
-                "steady-state all-hits search_shared_into allocated ({scheme}, prefetch {prefetch})"
-            );
         }
     }
+    std::fs::remove_dir_all(&store_dir).ok();
 }

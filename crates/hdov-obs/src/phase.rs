@@ -101,11 +101,18 @@ pub enum Counter {
     ShedSessions,
     /// Frames whose simulated frame time exceeded the session deadline.
     FrameDeadlineMiss,
+    /// Coalesced prefetch runs issued (one per maximal contiguous V-page
+    /// run handed to the pool's vectored warm path).
+    PrefetchRuns,
+    /// Physical read operations issued to the OS by a file backend (one
+    /// per `pread` or `madvise(WILLNEED)` call; always 0 on the mem
+    /// backend). With run coalescing, a cold contiguous run costs one.
+    PhysReads,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 22;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -129,6 +136,8 @@ impl Counter {
         Counter::EtaDrops,
         Counter::ShedSessions,
         Counter::FrameDeadlineMiss,
+        Counter::PrefetchRuns,
+        Counter::PhysReads,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -154,6 +163,8 @@ impl Counter {
             Counter::EtaDrops => "eta_drops",
             Counter::ShedSessions => "shed_sessions",
             Counter::FrameDeadlineMiss => "frame_deadline_miss",
+            Counter::PrefetchRuns => "prefetch_runs",
+            Counter::PhysReads => "phys_reads",
         }
     }
 

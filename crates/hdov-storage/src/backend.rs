@@ -1,0 +1,185 @@
+//! Storage-backend selection: where a built environment's frozen stores
+//! live.
+//!
+//! Building always happens in memory (`StoreFile::Mem`); a
+//! [`StorageBackend`] then decides what **relocation** does to each built
+//! store: nothing (the deterministic mem twin), or serialize it as a
+//! frozen-store file and reopen it mmap'd or pread-backed. Answers and
+//! simulated costs are byte-identical across backends by construction —
+//! the file holds exactly the pages the mem store held, verified by the
+//! checksum sidecar at open.
+
+use crate::file::StoreFile;
+use crate::shared::FrozenPages;
+use crate::Result;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a file-backed frozen store is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FileMode {
+    /// Read-only mapping; pooled frames borrow mapped bytes and run
+    /// prefetch issues `madvise(WILLNEED)`.
+    #[default]
+    Mmap,
+    /// Positioned reads on a shared handle; run prefetch issues one
+    /// `pread` per contiguous run.
+    Pread,
+}
+
+/// Where relocated stores live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Keep every store in memory (the deterministic CI twin; default).
+    Mem,
+    /// Serialize each store as `<dir>/<name>.hdov` and reopen it in the
+    /// given [`FileMode`].
+    File {
+        /// Directory holding the store files (created on first freeze).
+        dir: PathBuf,
+        /// How reopened stores are read.
+        mode: FileMode,
+    },
+}
+
+/// Monotonic build counter stamped into store headers as the generation.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+impl StorageBackend {
+    /// The file backend in its default (mmap) mode.
+    pub fn file(dir: impl Into<PathBuf>) -> Self {
+        StorageBackend::File {
+            dir: dir.into(),
+            mode: FileMode::Mmap,
+        }
+    }
+
+    /// Parses a `--backend` argument: `mem`, `file` (= `file:mmap`),
+    /// `file:mmap`, or `file:pread`; file stores go under `dir`.
+    pub fn from_arg(arg: &str, dir: &Path) -> Option<Self> {
+        match arg {
+            "mem" => Some(StorageBackend::Mem),
+            "file" | "file:mmap" => Some(StorageBackend::File {
+                dir: dir.to_path_buf(),
+                mode: FileMode::Mmap,
+            }),
+            "file:pread" => Some(StorageBackend::File {
+                dir: dir.to_path_buf(),
+                mode: FileMode::Pread,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend serves pages from real files.
+    pub fn is_file(&self) -> bool {
+        matches!(self, StorageBackend::File { .. })
+    }
+
+    /// Short stable label (`mem`, `file:mmap`, `file:pread`) for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageBackend::Mem => "mem",
+            StorageBackend::File {
+                mode: FileMode::Mmap,
+                ..
+            } => "file:mmap",
+            StorageBackend::File {
+                mode: FileMode::Pread,
+                ..
+            } => "file:pread",
+        }
+    }
+
+    /// Freezes `file` onto this backend under the store name `name`.
+    ///
+    /// On `Mem` this is a no-op beyond freezing in place. On `File` the
+    /// store is serialized (with its checksum sidecar) to
+    /// `<dir>/<name>.hdov`, then reopened — and thereby fully verified —
+    /// in the backend's [`FileMode`].
+    pub fn freeze(&self, name: &str, file: StoreFile) -> Result<StoreFile> {
+        match self {
+            StorageBackend::Mem => Ok(StoreFile::Frozen(file.into_frozen())),
+            StorageBackend::File { dir, mode } => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{name}.hdov"));
+                let frozen = file.into_frozen();
+                let generation = GENERATION.fetch_add(1, Ordering::Relaxed);
+                frozen.write_store(&path, generation)?;
+                let reopened = match mode {
+                    FileMode::Mmap => FrozenPages::open_mmap(&path)?,
+                    FileMode::Pread => FrozenPages::open_pread(&path)?,
+                };
+                Ok(StoreFile::Frozen(reopened))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemPagedFile, Page, PageId, PagedFile};
+
+    fn built(n: u64) -> StoreFile {
+        let mut f = MemPagedFile::new();
+        for i in 0..n {
+            let id = f.allocate_page().unwrap();
+            let mut p = Page::zeroed();
+            p.bytes_mut()[..8].copy_from_slice(&i.to_le_bytes());
+            f.write_page(id, &p).unwrap();
+        }
+        StoreFile::Mem(f)
+    }
+
+    #[test]
+    fn parse_backend_args() {
+        let d = Path::new("/tmp/stores");
+        assert_eq!(
+            StorageBackend::from_arg("mem", d),
+            Some(StorageBackend::Mem)
+        );
+        assert_eq!(
+            StorageBackend::from_arg("file", d).map(|b| b.label()),
+            Some("file:mmap")
+        );
+        assert_eq!(
+            StorageBackend::from_arg("file:pread", d).map(|b| b.label()),
+            Some("file:pread")
+        );
+        assert_eq!(StorageBackend::from_arg("floppy", d), None);
+        assert!(!StorageBackend::Mem.is_file());
+        assert!(StorageBackend::file("/tmp/x").is_file());
+    }
+
+    #[test]
+    fn freeze_on_every_backend_serves_identical_pages() {
+        let dir = std::env::temp_dir().join(format!("hdov_backend_{}", std::process::id()));
+        let backends = [
+            StorageBackend::Mem,
+            StorageBackend::File {
+                dir: dir.clone(),
+                mode: FileMode::Mmap,
+            },
+            StorageBackend::File {
+                dir: dir.clone(),
+                mode: FileMode::Pread,
+            },
+        ];
+        for b in backends {
+            let mut s = b.freeze("cells", built(4)).unwrap();
+            assert_eq!(s.page_count(), 4);
+            let mut out = Page::zeroed();
+            for i in 0..4u64 {
+                s.read_page(PageId(i), &mut out).unwrap();
+                assert_eq!(&out.bytes()[..8], &i.to_le_bytes(), "{}", b.label());
+            }
+            if b.is_file() {
+                let fp = s.frozen().unwrap();
+                assert!(fp.generation() > 0, "file stores carry a generation");
+                assert!(fp.origin().to_string().contains("cells.hdov"));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

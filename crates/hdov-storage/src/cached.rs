@@ -262,7 +262,7 @@ mod tests {
     fn write_replaces_frame_and_drops_overlay() {
         let mut f = cached(4);
         let before = f.read_frame(PageId(2)).unwrap();
-        let _: std::sync::Arc<u8> = before.overlay(|p| Ok(p.bytes()[0])).unwrap();
+        let _: std::sync::Arc<u8> = before.overlay(|p| Ok(p[0])).unwrap();
         assert!(before.has_overlay());
         f.write_page(PageId(2), &Page::from_bytes(b"fresh"))
             .unwrap();

@@ -182,6 +182,15 @@ impl<F: PagedFile> SimulatedDisk<F> {
         self.inner
     }
 
+    /// Replaces the wrapped backend, returning the old one. Stats, the
+    /// head position, and any enabled checksum table are all kept — this
+    /// is the relocation seam, and relocation guarantees the new backend
+    /// holds byte-identical pages (so the table and the per-page
+    /// `verified` memoization stay valid).
+    pub fn swap_inner(&mut self, inner: F) -> F {
+        std::mem::replace(&mut self.inner, inner)
+    }
+
     fn charge(&mut self, id: PageId, is_read: bool) {
         let sequential =
             self.last_page == Some(id.0.wrapping_sub(1)) || self.last_page == Some(id.0);

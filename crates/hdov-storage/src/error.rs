@@ -2,9 +2,30 @@
 
 use crate::PageId;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Result alias over [`StorageError`].
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Where a page store's bytes live — carried in out-of-bounds errors so a
+/// backend bug ("the file-backed store is one page short") is diagnosable
+/// from the error alone, without reconstructing which store served the read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOrigin {
+    /// An in-memory store (`MemPagedFile` or a mem-frozen snapshot).
+    Mem,
+    /// A real file at this path.
+    File(PathBuf),
+}
+
+impl fmt::Display for StoreOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreOrigin::Mem => write!(f, "mem store"),
+            StoreOrigin::File(p) => write!(f, "file store {}", p.display()),
+        }
+    }
+}
 
 /// Errors produced by the storage layer.
 #[derive(Debug)]
@@ -17,16 +38,28 @@ pub enum StorageError {
         page: PageId,
         /// Number of pages in the file.
         page_count: u64,
+        /// Which store (mem vs file + path) rejected the access.
+        origin: StoreOrigin,
     },
     /// On-disk bytes failed to decode.
     Corrupt(String),
+    /// A frozen-store file failed structural verification at open (bad
+    /// magic/version/length, or a header, sidecar-table, or page checksum
+    /// mismatch). Never transient: the bytes on disk are wrong.
+    InvalidStore {
+        /// The store file that failed verification.
+        path: PathBuf,
+        /// What check failed.
+        reason: String,
+    },
 }
 
 impl StorageError {
     /// Whether retrying the same operation could plausibly succeed.
     ///
     /// Only [`Io`](StorageError::Io) is transient (a timeout or dropped
-    /// request may clear); [`Corrupt`](StorageError::Corrupt) and
+    /// request may clear); [`Corrupt`](StorageError::Corrupt),
+    /// [`InvalidStore`](StorageError::InvalidStore) and
     /// [`PageOutOfBounds`](StorageError::PageOutOfBounds) are properties of
     /// the stored bytes or the request itself and are never retried.
     #[must_use]
@@ -39,10 +72,20 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
-            StorageError::PageOutOfBounds { page, page_count } => {
-                write!(f, "{page} out of bounds (file has {page_count} pages)")
+            StorageError::PageOutOfBounds {
+                page,
+                page_count,
+                origin,
+            } => {
+                write!(
+                    f,
+                    "{page} out of bounds (file has {page_count} pages; {origin})"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::InvalidStore { path, reason } => {
+                write!(f, "invalid frozen store {}: {reason}", path.display())
+            }
         }
     }
 }
@@ -71,11 +114,37 @@ mod tests {
         let e = StorageError::PageOutOfBounds {
             page: PageId(9),
             page_count: 4,
+            origin: StoreOrigin::Mem,
         };
         assert!(e.to_string().contains("page#9"));
         assert!(e.to_string().contains("4 pages"));
+        assert!(e.to_string().contains("mem store"));
         let c = StorageError::Corrupt("bad magic".into());
         assert!(c.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn out_of_bounds_carries_file_origin() {
+        let e = StorageError::PageOutOfBounds {
+            page: PageId(2),
+            page_count: 1,
+            origin: StoreOrigin::File(PathBuf::from("/tmp/scene/vstore.hdov")),
+        };
+        let s = e.to_string();
+        assert!(s.contains("file store"));
+        assert!(s.contains("vstore.hdov"));
+    }
+
+    #[test]
+    fn invalid_store_display_names_path_and_reason() {
+        let e = StorageError::InvalidStore {
+            path: PathBuf::from("/tmp/x.hdov"),
+            reason: "bad magic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("invalid frozen store"));
+        assert!(s.contains("x.hdov"));
+        assert!(s.contains("bad magic"));
     }
 
     #[test]
@@ -85,7 +154,13 @@ mod tests {
         assert!(!StorageError::Corrupt("bad".into()).is_transient());
         assert!(!StorageError::PageOutOfBounds {
             page: PageId(1),
-            page_count: 1
+            page_count: 1,
+            origin: StoreOrigin::Mem,
+        }
+        .is_transient());
+        assert!(!StorageError::InvalidStore {
+            path: PathBuf::from("x"),
+            reason: "truncated".into(),
         }
         .is_transient());
     }

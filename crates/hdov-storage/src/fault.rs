@@ -230,9 +230,11 @@ impl SharedFaultyFile {
     /// count toward [`injected`](Self::injected); like [`FaultyFile`],
     /// failed attempts still increment [`reads`](Self::reads).
     pub fn read_into(&self, id: PageId, out: &mut [u8]) -> Result<f64> {
-        let src = self.data.bytes(id)?;
+        // Bounds precede the fault stream: an out-of-range id is a caller
+        // bug, not a read attempt, and must not advance the plan's draws.
+        self.data.check(id)?;
         if !self.armed.load(Ordering::Relaxed) {
-            out.copy_from_slice(src);
+            self.data.read_into(id, out)?;
             return Ok(0.0);
         }
         let nth = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
@@ -242,7 +244,7 @@ impl SharedFaultyFile {
                 "injected read fault at {id}"
             ))));
         }
-        out.copy_from_slice(src);
+        self.data.read_into(id, out)?;
         if self.plan.corrupt_pages.contains(&id.0) {
             self.injected.fetch_add(1, Ordering::Relaxed);
             for b in out.iter_mut() {

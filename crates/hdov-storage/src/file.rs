@@ -1,9 +1,11 @@
-//! The [`PagedFile`] abstraction and its two backends.
+//! The [`PagedFile`] abstraction and its backends.
 
+use crate::error::StoreOrigin;
+use crate::shared::FrozenPages;
 use crate::{Page, PageId, Result, StorageError, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A file addressed in whole pages.
 ///
@@ -57,6 +59,7 @@ impl MemPagedFile {
             Err(StorageError::PageOutOfBounds {
                 page: id,
                 page_count: self.pages.len() as u64,
+                origin: StoreOrigin::Mem,
             })
         } else {
             Ok(idx)
@@ -65,7 +68,7 @@ impl MemPagedFile {
 
     /// Consumes the file, yielding its raw pages — used to freeze a fully
     /// built store into an immutable, shareable
-    /// [`FrozenPages`](crate::shared::FrozenPages) snapshot.
+    /// [`FrozenPages`] snapshot.
     pub fn into_pages(self) -> Vec<Box<[u8]>> {
         self.pages
     }
@@ -101,6 +104,7 @@ impl PagedFile for MemPagedFile {
 #[derive(Debug)]
 pub struct FilePagedFile {
     file: File,
+    path: PathBuf,
     page_count: u64,
 }
 
@@ -112,9 +116,10 @@ impl FilePagedFile {
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(path.as_ref())?;
         Ok(FilePagedFile {
             file,
+            path: path.as_ref().to_path_buf(),
             page_count: 0,
         })
     }
@@ -124,7 +129,10 @@ impl FilePagedFile {
     /// Returns [`StorageError::Corrupt`] if the file length is not a whole
     /// number of pages.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt(format!(
@@ -133,8 +141,14 @@ impl FilePagedFile {
         }
         Ok(FilePagedFile {
             file,
+            path: path.as_ref().to_path_buf(),
             page_count: len / PAGE_SIZE as u64,
         })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     fn check(&self, id: PageId) -> Result<()> {
@@ -142,6 +156,7 @@ impl FilePagedFile {
             Err(StorageError::PageOutOfBounds {
                 page: id,
                 page_count: self.page_count,
+                origin: StoreOrigin::File(self.path.clone()),
             })
         } else {
             Ok(())
@@ -174,6 +189,100 @@ impl PagedFile for FilePagedFile {
 
     fn page_count(&self) -> u64 {
         self.page_count
+    }
+}
+
+/// The swappable store behind every experiment `SimulatedDisk`: a mutable
+/// in-memory file while a structure is being **built**, or an immutable
+/// [`FrozenPages`] snapshot (possibly file-backed) once it has been
+/// **relocated** to a storage backend.
+///
+/// This is the seam that lets the storage backend change *underneath* a
+/// built environment without touching any index code: every disk in the
+/// engine is a `SimulatedDisk<StoreFile>`, building always starts in
+/// `Mem`, and relocation swaps in a `Frozen` store holding byte-identical
+/// pages. Reads behave identically in both states; writes to a frozen
+/// store fail (the build phase is over).
+#[derive(Debug)]
+pub enum StoreFile {
+    /// A mutable in-memory file (the build phase).
+    Mem(MemPagedFile),
+    /// An immutable frozen snapshot, mem- or file-backed.
+    Frozen(FrozenPages),
+}
+
+impl Default for StoreFile {
+    fn default() -> Self {
+        StoreFile::Mem(MemPagedFile::new())
+    }
+}
+
+impl StoreFile {
+    /// A fresh, empty in-memory store (the state every build starts in).
+    pub fn new_mem() -> Self {
+        Self::default()
+    }
+
+    /// Freezes into an immutable snapshot: an in-memory file is frozen in
+    /// place; an already-frozen store is returned as-is (cheap `Arc`
+    /// clone), preserving whatever backend it lives on.
+    pub fn into_frozen(self) -> FrozenPages {
+        match self {
+            StoreFile::Mem(f) => FrozenPages::from_mem(f),
+            StoreFile::Frozen(fp) => fp,
+        }
+    }
+
+    /// The frozen snapshot behind this store, if already frozen.
+    pub fn frozen(&self) -> Option<&FrozenPages> {
+        match self {
+            StoreFile::Frozen(fp) => Some(fp),
+            StoreFile::Mem(_) => None,
+        }
+    }
+
+    /// Where this store's bytes live.
+    pub fn origin(&self) -> StoreOrigin {
+        match self {
+            StoreFile::Mem(_) => StoreOrigin::Mem,
+            StoreFile::Frozen(fp) => fp.origin(),
+        }
+    }
+}
+
+impl PagedFile for StoreFile {
+    fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
+        match self {
+            StoreFile::Mem(f) => f.read_page(id, out),
+            StoreFile::Frozen(fp) => fp.read_into(id, out.bytes_mut()),
+        }
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
+        match self {
+            StoreFile::Mem(f) => f.write_page(id, page),
+            StoreFile::Frozen(_) => Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "frozen stores are immutable",
+            ))),
+        }
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        match self {
+            StoreFile::Mem(f) => f.allocate_page(),
+            StoreFile::Frozen(_) => Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "frozen stores are immutable",
+            ))),
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        match self {
+            StoreFile::Mem(f) => f.page_count(),
+            StoreFile::Frozen(fp) => fp.page_count(),
+        }
     }
 }
 
@@ -246,5 +355,38 @@ mod tests {
         let mut out = Page::zeroed();
         f.read_page(id, &mut out).unwrap();
         assert_eq!(&out.bytes()[..3], b"xyz");
+    }
+
+    #[test]
+    fn store_file_builds_in_mem_then_freezes_read_only() {
+        let mut s = StoreFile::new_mem();
+        roundtrip(&mut s);
+        assert_eq!(s.origin(), StoreOrigin::Mem);
+        let frozen = s.into_frozen();
+        let mut s = StoreFile::Frozen(frozen);
+        assert_eq!(s.page_count(), 2);
+        let mut out = Page::zeroed();
+        s.read_page(PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..5], b"alpha");
+        // The build phase is over: mutation is rejected.
+        assert!(s.write_page(PageId(0), &out).is_err());
+        assert!(s.allocate_page().is_err());
+        // Refreezing an already-frozen store is the identity.
+        let again = s.into_frozen();
+        assert_eq!(again.page_count(), 2);
+    }
+
+    #[test]
+    fn file_backend_oob_error_names_its_path() {
+        let dir = std::env::temp_dir().join(format!("hdov_test_origin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("named.pages");
+        let mut f = FilePagedFile::create(&path).unwrap();
+        f.allocate_page().unwrap();
+        let mut out = Page::zeroed();
+        let err = f.read_page(PageId(5), &mut out).unwrap_err();
+        assert!(err.to_string().contains("named.pages"), "{err}");
+        assert_eq!(f.path(), path.as_path());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

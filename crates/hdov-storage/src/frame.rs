@@ -5,6 +5,12 @@
 //! its whole pool residency, so any number of sessions may hold clones of
 //! the same `Arc` while the pool retains (or evicts) its own.
 //!
+//! A frame's bytes come in two forms: **owned** (a [`Page`] copied out of
+//! the store at admission — the mem backend and any faulted read) or
+//! **borrowed** (a slice of an [`MappedStore`] mapping — the mmap backend's
+//! miss path, which skips even that one copy; the frame keeps the mapping
+//! alive via `Arc`, see the safety argument in [`crate::mmap`]).
+//!
 //! Each frame also carries a **decoded overlay**: a `OnceLock` slot that
 //! memoizes the result of decoding the page into a typed object (an
 //! `HdovNode`, a vector of V-pages, …). The overlay is populated at most
@@ -17,7 +23,8 @@
 //! stays bit-identical with overlays on or off (the `overlay_residency`
 //! integration test pins this down).
 
-use crate::{Page, PageId, Result, StorageError};
+use crate::mmap::MappedStore;
+use crate::{Page, PageId, Result, StorageError, PAGE_SIZE};
 use std::any::Any;
 use std::sync::{Arc, OnceLock};
 
@@ -26,11 +33,24 @@ use std::sync::{Arc, OnceLock};
 /// failed decode is deterministic and rerunning it would be wasted work.
 type OverlaySlot = OnceLock<std::result::Result<Arc<dyn Any + Send + Sync>, String>>;
 
+/// Where a frame's bytes live.
+#[derive(Debug)]
+enum FrameBytes {
+    /// A page copied out of the store at admission.
+    Owned(Page),
+    /// A borrowed window of an mmap'd frozen store. The `Arc` keeps the
+    /// mapping alive for at least as long as this frame.
+    Mapped {
+        store: Arc<MappedStore>,
+        offset: usize,
+    },
+}
+
 /// One immutable pooled page plus its lazily decoded overlay.
 #[derive(Debug)]
 pub struct Frame {
     id: PageId,
-    page: Page,
+    bytes: FrameBytes,
     cache_overlay: bool,
     overlay: OverlaySlot,
 }
@@ -47,7 +67,20 @@ impl Frame {
     pub fn with_overlay_policy(id: PageId, page: Page, cache_overlay: bool) -> Self {
         Frame {
             id,
-            page,
+            bytes: FrameBytes::Owned(page),
+            cache_overlay,
+            overlay: OnceLock::new(),
+        }
+    }
+
+    /// A frame whose bytes are borrowed straight from an mmap'd store —
+    /// no page copy at all. The caller must have bounds-checked `id`
+    /// against the store.
+    pub fn borrowed(id: PageId, store: Arc<MappedStore>, cache_overlay: bool) -> Self {
+        let offset = MappedStore::page_offset(id);
+        Frame {
+            id,
+            bytes: FrameBytes::Mapped { store, offset },
             cache_overlay,
             overlay: OnceLock::new(),
         }
@@ -58,14 +91,22 @@ impl Frame {
         self.id
     }
 
-    /// The immutable page.
-    pub fn page(&self) -> &Page {
-        &self.page
+    /// Whether this frame borrows mmap'd bytes (as opposed to owning a
+    /// copied page).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.bytes, FrameBytes::Mapped { .. })
     }
 
     /// Raw page bytes.
     pub fn bytes(&self) -> &[u8] {
-        self.page.bytes()
+        match &self.bytes {
+            FrameBytes::Owned(page) => page.bytes(),
+            FrameBytes::Mapped { store, offset } => {
+                // In-bounds by construction: `borrowed` is only called with
+                // a bounds-checked id, and the mapping is immutable.
+                &store.mapped_bytes()[*offset..*offset + PAGE_SIZE]
+            }
+        }
     }
 
     /// Whether this frame memoizes decoded overlays.
@@ -95,16 +136,16 @@ impl Frame {
     pub fn overlay<T, F>(&self, decode: F) -> Result<Arc<T>>
     where
         T: Any + Send + Sync,
-        F: FnOnce(&Page) -> Result<T>,
+        F: FnOnce(&[u8]) -> Result<T>,
     {
         if !self.cache_overlay {
             hdov_obs::add(hdov_obs::Counter::DecodeMisses, 1);
-            return decode(&self.page).map(Arc::new);
+            return decode(self.bytes()).map(Arc::new);
         }
         let mut ran = false;
         let slot = self.overlay.get_or_init(|| {
             ran = true;
-            match decode(&self.page) {
+            match decode(self.bytes()) {
                 Ok(v) => Ok(Arc::new(v) as Arc<dyn Any + Send + Sync>),
                 Err(e) => Err(e.to_string()),
             }
@@ -138,11 +179,12 @@ mod tests {
     fn overlay_decodes_once_and_shares() {
         let f = frame(3);
         assert!(!f.has_overlay());
+        assert!(!f.is_borrowed());
         let mut decodes = 0;
         let a: Arc<u32> = f
             .overlay(|p| {
                 decodes += 1;
-                Ok(u32::from(p.bytes()[0]) * 10)
+                Ok(u32::from(p[0]) * 10)
             })
             .unwrap();
         let b: Arc<u32> = f
@@ -165,7 +207,7 @@ mod tests {
             let v: Arc<u8> = f
                 .overlay(|p| {
                     decodes += 1;
-                    Ok(p.bytes()[0])
+                    Ok(p[0])
                 })
                 .unwrap();
             assert_eq!(*v, 5);
@@ -207,7 +249,7 @@ mod tests {
                     let v: Arc<u32> = f
                         .overlay(|p| {
                             decodes.fetch_add(1, Ordering::Relaxed);
-                            Ok(u32::from(p.bytes()[0]))
+                            Ok(u32::from(p[0]))
                         })
                         .unwrap();
                     assert_eq!(*v, 9);
@@ -215,5 +257,33 @@ mod tests {
             }
         });
         assert_eq!(decodes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn borrowed_frame_reads_mapped_bytes() {
+        use crate::frozen::write_store;
+        let dir = std::env::temp_dir().join(format!("hdov_frame_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.hdov");
+        let pages: Vec<Box<[u8]>> = (0..3u64)
+            .map(|i| {
+                let mut p = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                p[..8].copy_from_slice(&i.to_le_bytes());
+                p
+            })
+            .collect();
+        write_store(&path, &pages, 0).unwrap();
+        let store = Arc::new(MappedStore::open(&path).unwrap());
+        let f = Frame::borrowed(PageId(2), Arc::clone(&store), true);
+        assert!(f.is_borrowed());
+        assert_eq!(&f.bytes()[..8], &2u64.to_le_bytes());
+        let v: Arc<u64> = f
+            .overlay(|b| Ok(u64::from_le_bytes(b[..8].try_into().unwrap())))
+            .unwrap();
+        assert_eq!(*v, 2);
+        // The frame keeps the mapping alive after the caller's Arc drops.
+        drop(store);
+        assert_eq!(&f.bytes()[..8], &2u64.to_le_bytes());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

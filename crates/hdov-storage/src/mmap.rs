@@ -1,0 +1,307 @@
+//! Read-only memory mapping of a verified frozen store.
+//!
+//! This module is the crate's entire `unsafe` surface: three raw syscall
+//! bindings (`mmap`, `munmap`, `madvise`) plus the `Send`/`Sync` claims for
+//! the mapping handle. Everything else in the crate stays `deny(unsafe_code)`.
+//!
+//! # Safety argument (why borrowed frames are sound)
+//!
+//! A [`MappedStore`] maps a frozen-store file `PROT_READ`/`MAP_PRIVATE`:
+//!
+//! * The mapping is never writable, and the store file is written once by
+//!   [`frozen::write_store`] and never mutated
+//!   afterwards (the freeze path creates a fresh file per build generation).
+//!   `MAP_PRIVATE` additionally isolates the mapping from any external
+//!   writer: the kernel gives this process its own copy-on-write view.
+//! * Byte slices handed out by [`page_bytes`](MappedStore::page_bytes)
+//!   borrow the `MappedStore`; frames that borrow mapped bytes hold an
+//!   `Arc<MappedStore>`, so the mapping outlives every reader and `munmap`
+//!   runs only after the last frame is dropped.
+//! * All content was checksum-verified at open, so readers never observe
+//!   torn or partial writes.
+//!
+//! Hence sharing `&MappedStore` across threads is sound (`Sync`), and
+//! moving the owning handle is sound (`Send`): the mapping is immutable
+//! shared memory with a stable address for its whole lifetime.
+
+use crate::error::StoreOrigin;
+use crate::frozen::{self, StoreLayout};
+use crate::{PageId, Result, StorageError, PAGE_SIZE};
+use std::fs::File;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::AsRawFd;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const PROT_READ: c_int = 0x1;
+const MAP_PRIVATE: c_int = 0x02;
+const MADV_WILLNEED: c_int = 3;
+
+#[allow(unsafe_code)]
+mod sys {
+    use super::{c_int, c_void};
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
+    }
+}
+
+/// A whole frozen-store file mapped read-only into the address space.
+///
+/// Created by [`open`](MappedStore::open), which fully verifies the store
+/// (header, length, checksum table, every page) before any bytes are served.
+#[derive(Debug)]
+pub struct MappedStore {
+    base: *mut c_void,
+    len: usize,
+    path: PathBuf,
+    layout: StoreLayout,
+    checksums: Arc<[u64]>,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE over an immutable frozen
+// file — shared, never-mutated memory. See the module-level safety argument.
+#[allow(unsafe_code)]
+unsafe impl Send for MappedStore {}
+// SAFETY: as above; `&MappedStore` only ever reads the mapping.
+#[allow(unsafe_code)]
+unsafe impl Sync for MappedStore {}
+
+impl MappedStore {
+    /// Maps and fully verifies the frozen store at `path`.
+    ///
+    /// # Errors
+    /// [`StorageError::InvalidStore`] on any structural or checksum
+    /// mismatch; [`StorageError::Io`] if the map itself fails.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let layout = frozen::read_layout(&file, path)?;
+        let checksums: Arc<[u64]> = frozen::read_checksum_table(&file, path, &layout)?.into();
+        let len = layout.expected_len() as usize;
+        // SAFETY: fd is a valid open file of exactly `len` bytes (verified
+        // by `read_layout`), len > 0 (a store always has a header page),
+        // and we request a fresh read-only private mapping.
+        #[allow(unsafe_code)]
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if base as isize == -1 {
+            return Err(StorageError::Io(std::io::Error::last_os_error()));
+        }
+        let store = MappedStore {
+            base,
+            len,
+            path: path.to_path_buf(),
+            layout,
+            checksums,
+        };
+        for i in 0..layout.page_count {
+            frozen::verify_page(
+                path,
+                i,
+                store.page_bytes_unchecked(i),
+                store.checksums[i as usize],
+            )?;
+        }
+        Ok(store)
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> u64 {
+        self.layout.page_count
+    }
+
+    /// Build generation recorded in the header.
+    pub fn generation(&self) -> u64 {
+        self.layout.generation
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The origin carried in this store's errors.
+    pub fn origin(&self) -> StoreOrigin {
+        StoreOrigin::File(self.path.clone())
+    }
+
+    /// The verified per-page checksum sidecar.
+    pub fn checksums(&self) -> &Arc<[u64]> {
+        &self.checksums
+    }
+
+    /// The whole mapped file (header + pages + sidecar) as one slice.
+    pub(crate) fn mapped_bytes(&self) -> &[u8] {
+        // SAFETY: [base, base+len) is exactly the live mapping; immutable
+        // for the mapping's lifetime, and the slice borrows `self`.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts(self.base as *const u8, self.len)
+        }
+    }
+
+    fn page_bytes_unchecked(&self, i: u64) -> &[u8] {
+        let off = StoreLayout::page_offset(i) as usize;
+        debug_assert!(off + PAGE_SIZE <= self.len);
+        // SAFETY: the mapping covers the whole verified file; page i lives
+        // at [off, off + PAGE_SIZE) which `read_layout` proved in-bounds.
+        // The memory is immutable for the mapping's lifetime, and the
+        // returned slice borrows `self`, so it cannot outlive the mapping.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts((self.base as *const u8).add(off), PAGE_SIZE)
+        }
+    }
+
+    /// Raw bytes of data page `id`.
+    pub fn page_bytes(&self, id: PageId) -> Result<&[u8]> {
+        if id.0 >= self.layout.page_count {
+            return Err(StorageError::PageOutOfBounds {
+                page: id,
+                page_count: self.layout.page_count,
+                origin: self.origin(),
+            });
+        }
+        Ok(self.page_bytes_unchecked(id.0))
+    }
+
+    /// Byte offset of page `id` within the mapping (for borrowed frames).
+    pub fn page_offset(id: PageId) -> usize {
+        StoreLayout::page_offset(id.0) as usize
+    }
+
+    /// Advises the kernel that the `len`-page run starting at `first` will
+    /// be needed soon (`madvise(MADV_WILLNEED)`), triggering one readahead
+    /// for the whole run instead of a page fault per page.
+    ///
+    /// Best-effort: advice failures are ignored (the data is still mapped
+    /// and correct; only the prefetch hint is lost).
+    pub fn advise_willneed(&self, first: PageId, len: u64) {
+        if len == 0 || first.0 >= self.layout.page_count {
+            return;
+        }
+        let len = len.min(self.layout.page_count - first.0);
+        let off = StoreLayout::page_offset(first.0) as usize;
+        hdov_obs::add(hdov_obs::Counter::PhysReads, 1);
+        // SAFETY: [off, off + len·PAGE_SIZE) is inside the mapping (bounds
+        // clamped above) and PAGE_SIZE-aligned; madvise does not invalidate
+        // any memory, it is purely advisory.
+        #[allow(unsafe_code)]
+        unsafe {
+            let _ = sys::madvise(
+                (self.base as *mut u8).add(off) as *mut c_void,
+                len as usize * PAGE_SIZE,
+                MADV_WILLNEED,
+            );
+        }
+    }
+}
+
+impl Drop for MappedStore {
+    fn drop(&mut self) {
+        // SAFETY: base/len are exactly the mapping created in `open`, and
+        // Drop runs once; borrowed slices cannot outlive `self` by the
+        // borrow rules, and `Arc<MappedStore>` holders keep `self` alive.
+        #[allow(unsafe_code)]
+        unsafe {
+            let _ = sys::munmap(self.base, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::write_store;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdov_mmap_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("store.hdov")
+    }
+
+    fn pages(n: u64) -> Vec<Box<[u8]>> {
+        (0..n)
+            .map(|i| {
+                let mut p = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                p[..8].copy_from_slice(&i.to_le_bytes());
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_maps_verified_pages() {
+        let path = tmp("open");
+        write_store(&path, &pages(4), 11).unwrap();
+        let m = MappedStore::open(&path).unwrap();
+        assert_eq!(m.page_count(), 4);
+        assert_eq!(m.generation(), 11);
+        for i in 0..4u64 {
+            assert_eq!(&m.page_bytes(PageId(i)).unwrap()[..8], &i.to_le_bytes());
+        }
+        let err = m.page_bytes(PageId(4)).unwrap_err();
+        assert!(err.to_string().contains("file store"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupted_page_fails_open() {
+        let path = tmp("corrupt");
+        write_store(&path, &pages(3), 0).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[2 * PAGE_SIZE + 17] ^= 0x40; // inside data page 1
+        std::fs::write(&path, &raw).unwrap();
+        let err = MappedStore::open(&path).unwrap_err();
+        assert!(matches!(err, StorageError::InvalidStore { .. }), "{err}");
+        assert!(err.to_string().contains("page 1 checksum"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn advise_is_best_effort_and_clamped() {
+        let path = tmp("advise");
+        write_store(&path, &pages(2), 0).unwrap();
+        let m = MappedStore::open(&path).unwrap();
+        m.advise_willneed(PageId(0), 2);
+        m.advise_willneed(PageId(1), 100); // clamped to the store end
+        m.advise_willneed(PageId(9), 1); // out of range: no-op
+        m.advise_willneed(PageId(0), 0); // empty run: no-op
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = tmp("threads");
+        write_store(&path, &pages(8), 0).unwrap();
+        let m = Arc::new(MappedStore::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let b = m.page_bytes(PageId((i + t) % 8)).unwrap();
+                        assert_eq!(&b[..8], &(((i + t) % 8).to_le_bytes()));
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -24,10 +24,14 @@
 //! so a single session over a cold shared pool sees the same simulated
 //! timings as one over a private pool of the same capacity.
 
+use crate::error::StoreOrigin;
+use crate::mmap::MappedStore;
+use crate::pread::PreadStore;
 use crate::{
     page_checksum, DiskModel, FaultPlan, Frame, IoStats, LruCache, MemPagedFile, Page, PageId,
     Result, RetryPolicy, SharedFaultyFile, StorageError, PAGE_SIZE,
 };
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -43,33 +47,181 @@ fn lock_shard<T>(shard: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// An immutable snapshot of a paged file, cheap to share across threads.
+///
+/// Three backends hide behind the same handle:
+///
+/// * **mem** — the pages of a fully built [`MemPagedFile`], `Arc`-shared.
+///   The deterministic CI twin; every simulated-cost figure is defined
+///   against it.
+/// * **mmap** — a frozen-store file mapped read-only ([`MappedStore`]);
+///   [`bytes`](Self::bytes) serves slices straight out of the mapping, and
+///   pooled frames can borrow them without a copy.
+/// * **pread** — a frozen-store file read with positioned reads
+///   ([`PreadStore`]); no resident bytes, so reads go through
+///   [`read_into`](Self::read_into).
+///
+/// All three serve byte-identical pages for the same built store (a CI
+/// gate and proptests pin this), so the choice changes wall-clock behavior
+/// only — never answers, never simulated costs.
 #[derive(Debug, Clone)]
 pub struct FrozenPages {
-    pages: Arc<[Box<[u8]>]>,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Mem { pages: Arc<[Box<[u8]>]> },
+    Mapped { store: Arc<MappedStore> },
+    Pread { store: Arc<PreadStore> },
 }
 
 impl FrozenPages {
     /// Freezes a fully built in-memory file.
     pub fn from_mem(file: MemPagedFile) -> Self {
         FrozenPages {
-            pages: file.into_pages().into(),
+            repr: Repr::Mem {
+                pages: file.into_pages().into(),
+            },
         }
+    }
+
+    /// Opens a frozen-store file via a fully verified read-only mapping.
+    pub fn open_mmap(path: &Path) -> Result<Self> {
+        Ok(FrozenPages {
+            repr: Repr::Mapped {
+                store: Arc::new(MappedStore::open(path)?),
+            },
+        })
+    }
+
+    /// Opens a frozen-store file for fully verified positioned reads.
+    pub fn open_pread(path: &Path) -> Result<Self> {
+        Ok(FrozenPages {
+            repr: Repr::Pread {
+                store: Arc::new(PreadStore::open(path)?),
+            },
+        })
     }
 
     /// Number of pages.
     pub fn page_count(&self) -> u64 {
-        self.pages.len() as u64
+        match &self.repr {
+            Repr::Mem { pages } => pages.len() as u64,
+            Repr::Mapped { store } => store.page_count(),
+            Repr::Pread { store } => store.page_count(),
+        }
     }
 
-    /// Raw bytes of page `id`.
-    pub fn bytes(&self, id: PageId) -> Result<&[u8]> {
-        self.pages
-            .get(id.0 as usize)
-            .map(|p| &p[..])
-            .ok_or(StorageError::PageOutOfBounds {
+    /// Where this store's bytes live (mem vs file + path) — carried in
+    /// every out-of-bounds error this store produces.
+    pub fn origin(&self) -> StoreOrigin {
+        match &self.repr {
+            Repr::Mem { .. } => StoreOrigin::Mem,
+            Repr::Mapped { store } => store.origin(),
+            Repr::Pread { store } => store.origin(),
+        }
+    }
+
+    /// Build generation recorded in the store header (0 for mem stores,
+    /// which are never serialized).
+    pub fn generation(&self) -> u64 {
+        match &self.repr {
+            Repr::Mem { .. } => 0,
+            Repr::Mapped { store } => store.generation(),
+            Repr::Pread { store } => store.generation(),
+        }
+    }
+
+    /// Bounds-checks `id` without touching any bytes.
+    pub fn check(&self, id: PageId) -> Result<()> {
+        if id.0 >= self.page_count() {
+            return Err(StorageError::PageOutOfBounds {
                 page: id,
-                page_count: self.pages.len() as u64,
-            })
+                page_count: self.page_count(),
+                origin: self.origin(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Raw bytes of page `id`, for backends with resident bytes (mem and
+    /// mmap).
+    ///
+    /// # Errors
+    /// Out-of-bounds ids carry this store's [`origin`](Self::origin); a
+    /// pread store has no resident bytes and returns an `Unsupported` I/O
+    /// error — use [`read_into`](Self::read_into) instead.
+    pub fn bytes(&self, id: PageId) -> Result<&[u8]> {
+        self.check(id)?;
+        match &self.repr {
+            Repr::Mem { pages } => Ok(&pages[id.0 as usize]),
+            Repr::Mapped { store } => store.page_bytes(id),
+            Repr::Pread { .. } => Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "pread store has no resident bytes; use read_into",
+            ))),
+        }
+    }
+
+    /// Copies page `id` into `out` (all backends).
+    pub fn read_into(&self, id: PageId, out: &mut [u8]) -> Result<()> {
+        self.check(id)?;
+        match &self.repr {
+            Repr::Mem { pages } => {
+                out[..PAGE_SIZE].copy_from_slice(&pages[id.0 as usize]);
+                Ok(())
+            }
+            Repr::Mapped { store } => {
+                out[..PAGE_SIZE].copy_from_slice(store.page_bytes(id)?);
+                Ok(())
+            }
+            Repr::Pread { store } => store.read_into(id, out),
+        }
+    }
+
+    /// The per-page FNV checksum table: computed fresh for mem stores,
+    /// returned from the verified on-disk sidecar for file stores.
+    pub fn checksum_table(&self) -> Arc<[u64]> {
+        match &self.repr {
+            Repr::Mem { pages } => pages.iter().map(|p| page_checksum(p)).collect(),
+            Repr::Mapped { store } => Arc::clone(store.checksums()),
+            Repr::Pread { store } => Arc::clone(store.checksums()),
+        }
+    }
+
+    /// Serializes this store (whatever its backend) as a frozen-store file
+    /// at `path`.
+    pub fn write_store(&self, path: &Path, generation: u64) -> Result<()> {
+        match &self.repr {
+            Repr::Mem { pages } => crate::frozen::write_store(path, pages, generation),
+            _ => {
+                let mut all = Vec::with_capacity(self.page_count() as usize);
+                let mut buf = vec![0u8; PAGE_SIZE];
+                for i in 0..self.page_count() {
+                    self.read_into(PageId(i), &mut buf)?;
+                    all.push(buf.clone().into_boxed_slice());
+                }
+                crate::frozen::write_store(path, &all, generation)
+            }
+        }
+    }
+
+    /// The mmap store behind this handle, when the mmap backend is active
+    /// (the borrowed-frame and `madvise` fast paths key off this).
+    pub fn mapped(&self) -> Option<&Arc<MappedStore>> {
+        match &self.repr {
+            Repr::Mapped { store } => Some(store),
+            _ => None,
+        }
+    }
+
+    /// The pread store behind this handle, when the pread backend is
+    /// active (the single-`pread` run-read fast path keys off this).
+    pub fn pread_store(&self) -> Option<&Arc<PreadStore>> {
+        match &self.repr {
+            Repr::Pread { store } => Some(store),
+            _ => None,
+        }
     }
 }
 
@@ -266,9 +418,7 @@ impl SharedCachedFile {
         assert!(capacity > 0, "pool capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
         let per_shard = capacity.div_ceil(shards);
-        let checksums: Arc<[u64]> = (0..data.page_count())
-            .map(|i| page_checksum(data.bytes(PageId(i)).expect("page in range")))
-            .collect();
+        let checksums = data.checksum_table();
         SharedCachedFile {
             data,
             model,
@@ -414,10 +564,7 @@ impl SharedCachedFile {
         loop {
             let outcome = match self.faults.get() {
                 Some(f) => f.read_into(id, out.bytes_mut()),
-                None => {
-                    out.bytes_mut().copy_from_slice(self.data.bytes(id)?);
-                    Ok(0.0)
-                }
+                None => self.data.read_into(id, out.bytes_mut()).map(|()| 0.0),
             };
             match outcome {
                 Ok(spike_us) => {
@@ -465,10 +612,34 @@ impl SharedCachedFile {
         Ok(frame)
     }
 
+    /// Builds the frame a miss admits, before any charging.
+    ///
+    /// The mmap fast path: with no faults armed, a mapped store's frame
+    /// *borrows* the mapping's bytes (zero copies; the frame's `Arc` keeps
+    /// the mapping alive) after the same sidecar-checksum verification a
+    /// copying fetch performs. Every other configuration — mem, pread, or
+    /// any armed fault injector — copies through [`fetch_into`](Self::fetch_into)
+    /// so fault/retry semantics are byte-for-byte the historical ones.
+    fn build_frame(&self, cursor: &mut IoCursor, id: PageId) -> Result<Frame> {
+        if self.faults.get().is_none() {
+            if let Some(store) = self.data.mapped() {
+                let bytes = store.page_bytes(id)?;
+                if page_checksum(bytes) != self.checksums[id.0 as usize] {
+                    hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                    return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+                }
+                return Ok(Frame::borrowed(id, Arc::clone(store), self.cache_overlay));
+            }
+        }
+        let mut page = Page::zeroed();
+        self.fetch_into(cursor, id, &mut page)?;
+        Ok(Frame::with_overlay_policy(id, page, self.cache_overlay))
+    }
+
     fn read_frame_inner(&self, cursor: &mut IoCursor, id: PageId) -> Result<Arc<Frame>> {
         let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
         // Bounds-check before any accounting: errors are never charged.
-        self.data.bytes(id)?;
+        self.data.check(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
         let mut pool = lock_shard(shard);
         if let Some(frame) = pool.get(&id.0) {
@@ -479,9 +650,7 @@ impl SharedCachedFile {
         }
         // A failed or corrupt fetch returns here before any read is
         // counted or any frame built: poison never enters the pool.
-        let mut page = Page::zeroed();
-        self.fetch_into(cursor, id, &mut page)?;
-        let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
+        let frame = Arc::new(self.build_frame(cursor, id)?);
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
         hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
@@ -510,7 +679,7 @@ impl SharedCachedFile {
     /// is charged and installed exactly like [`read_frame`](Self::read_frame).
     pub fn warm(&self, cursor: &mut IoCursor, id: PageId) -> Result<()> {
         let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
-        self.data.bytes(id)?;
+        self.data.check(id)?;
         let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
         let mut pool = lock_shard(shard);
         if pool.probe(&id.0).is_some() {
@@ -518,13 +687,88 @@ impl SharedCachedFile {
             hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
             return Ok(());
         }
-        let mut page = Page::zeroed();
-        self.fetch_into(cursor, id, &mut page)?;
-        let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
+        let frame = Arc::new(self.build_frame(cursor, id)?);
         let (sequential, cost) = cursor.charge_read(id, self.model);
         self.stats.record_miss(sequential, cost);
         hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
         pool.insert(id.0, frame);
+        Ok(())
+    }
+
+    /// Warms the contiguous `len`-page run starting at `first` — the
+    /// vectored half of motion prefetch.
+    ///
+    /// Per-page *simulated* accounting is exactly a loop of
+    /// [`warm`](Self::warm) calls in ascending order (hit/miss sequence,
+    /// cursor charging, pool counters — all identical, so simulated-cost
+    /// figures cannot depend on the backend). What changes is the
+    /// *physical* I/O: when any page of the run is missing, the file
+    /// backends issue **one** operation for the whole run — a single
+    /// `madvise(WILLNEED)` readahead on the mmap path, a single `pread` of
+    /// the run's byte range on the pread path (misses are then installed
+    /// from that buffer, not re-read page by page). The mem backend issues
+    /// none. Each call bumps `prefetch_runs`; the physical operations bump
+    /// `phys_reads` at the syscall wrappers, so on a cold file backend
+    /// `phys_reads` counts exactly one per run.
+    ///
+    /// With a fault injector armed the run falls back to plain per-page
+    /// warms so every attempt draws from the deterministic fault stream.
+    pub fn warm_run(&self, cursor: &mut IoCursor, first: PageId, len: u64) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        hdov_obs::add(hdov_obs::Counter::PrefetchRuns, 1);
+        if self.faults.get().is_some() {
+            for k in 0..len {
+                self.warm(cursor, PageId(first.0 + k))?;
+            }
+            return Ok(());
+        }
+        let missing = (0..len).any(|k| !self.contains(PageId(first.0 + k)));
+        if missing {
+            if let Some(store) = self.data.mapped() {
+                store.advise_willneed(first, len);
+            }
+        }
+        let run_buf = match (missing, self.data.pread_store()) {
+            (true, Some(store)) => {
+                let mut buf = vec![0u8; len as usize * PAGE_SIZE];
+                store.read_run(first, len, &mut buf)?;
+                Some(buf)
+            }
+            _ => None,
+        };
+        let Some(buf) = run_buf else {
+            for k in 0..len {
+                self.warm(cursor, PageId(first.0 + k))?;
+            }
+            return Ok(());
+        };
+        // Pread path: install misses from the single run read. Counter and
+        // charging order per page mirrors `warm` exactly.
+        for k in 0..len {
+            let id = PageId(first.0 + k);
+            let _probe = hdov_obs::span(hdov_obs::Phase::CacheProbe);
+            let shard = &self.shards[(id.0 % self.shards.len() as u64) as usize];
+            let mut pool = lock_shard(shard);
+            if pool.probe(&id.0).is_some() {
+                self.stats.record_hit();
+                hdov_obs::add(hdov_obs::Counter::PoolHits, 1);
+                continue;
+            }
+            let bytes = &buf[k as usize * PAGE_SIZE..(k as usize + 1) * PAGE_SIZE];
+            if page_checksum(bytes) != self.checksums[id.0 as usize] {
+                hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+            }
+            let mut page = Page::zeroed();
+            page.bytes_mut().copy_from_slice(bytes);
+            let frame = Arc::new(Frame::with_overlay_policy(id, page, self.cache_overlay));
+            let (sequential, cost) = cursor.charge_read(id, self.model);
+            self.stats.record_miss(sequential, cost);
+            hdov_obs::add(hdov_obs::Counter::PoolMisses, 1);
+            pool.insert(id.0, frame);
+        }
         Ok(())
     }
 
@@ -679,7 +923,7 @@ mod tests {
         let mut cur = IoCursor::new();
         let frame = pool.read_frame(&mut cur, PageId(0)).unwrap();
         let overlay: Arc<u64> = frame
-            .overlay(|p| Ok(u64::from_le_bytes(p.bytes()[..8].try_into().unwrap())))
+            .overlay(|p| Ok(u64::from_le_bytes(p[..8].try_into().unwrap())))
             .unwrap();
         assert_eq!(*overlay, 0);
         let weak = Arc::downgrade(&frame);
