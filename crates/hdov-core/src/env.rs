@@ -61,6 +61,32 @@ impl HdovEnvironment {
         })
     }
 
+    /// Builds the environment over an existing R-tree backbone whose leaf
+    /// payloads resolve through `remap` to dense ids of `scene` — the
+    /// mutable write path's per-epoch derived rebuild (see
+    /// [`HdovTree::build_from_backbone`]).
+    pub fn build_from_backbone<F: hdov_storage::PagedFile>(
+        scene: &Scene,
+        grid: Arc<CellGrid>,
+        cfg: HdovBuildConfig,
+        scheme: StorageScheme,
+        table: Arc<DovTable>,
+        rtree: &mut hdov_rtree::RTree<F>,
+        remap: &dyn Fn(u64) -> u64,
+    ) -> Result<Self> {
+        let (tree, cells) = HdovTree::build_from_backbone(scene, &cfg, &table, rtree, remap)?;
+        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk)?;
+        let objects = ObjectModels::build(scene, cfg.disk)?;
+        Ok(HdovEnvironment {
+            tree,
+            vstore,
+            objects,
+            grid,
+            table,
+            scheme,
+        })
+    }
+
     /// The viewing cell containing (or nearest to) `viewpoint`.
     pub fn cell_of(&self, viewpoint: Vec3) -> CellId {
         self.grid.clamped_cell_of(viewpoint)

@@ -30,6 +30,7 @@ pub mod budget;
 pub mod build;
 pub mod delta;
 pub mod env;
+pub mod mutable;
 pub mod node;
 pub mod priority;
 pub mod search;
@@ -41,6 +42,7 @@ pub use budget::QueryBudget;
 pub use build::{HdovBuildConfig, HdovTree, TerminationHeuristic};
 pub use delta::DeltaSearch;
 pub use env::HdovEnvironment;
+pub use mutable::{MutableScene, ObjectHandle, ObjectInfo, SCENE_FILES};
 pub use node::{HdovEntry, HdovNode};
 pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutcome};
 pub use search::{

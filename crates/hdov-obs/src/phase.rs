@@ -108,11 +108,19 @@ pub enum Counter {
     /// per `pread` or `madvise(WILLNEED)` call; always 0 on the mem
     /// backend). With run coalescing, a cold contiguous run costs one.
     PhysReads,
+    /// WAL records appended (page images and commit markers).
+    WalAppends,
+    /// Transactions durably committed through the write path.
+    Commits,
+    /// Pages copied into the shadow area by copy-on-write commits.
+    CowPages,
+    /// DoV cells recomputed by incremental visibility re-patching.
+    DovRepatches,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 26;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -138,6 +146,10 @@ impl Counter {
         Counter::FrameDeadlineMiss,
         Counter::PrefetchRuns,
         Counter::PhysReads,
+        Counter::WalAppends,
+        Counter::Commits,
+        Counter::CowPages,
+        Counter::DovRepatches,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -165,6 +177,10 @@ impl Counter {
             Counter::FrameDeadlineMiss => "frame_deadline_miss",
             Counter::PrefetchRuns => "prefetch_runs",
             Counter::PhysReads => "phys_reads",
+            Counter::WalAppends => "wal_appends",
+            Counter::Commits => "commits",
+            Counter::CowPages => "cow_pages",
+            Counter::DovRepatches => "dov_repatches",
         }
     }
 

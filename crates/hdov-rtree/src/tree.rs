@@ -89,8 +89,10 @@ impl<F: PagedFile> RTree<F> {
         })
     }
 
-    /// Builds a tree around an existing root (used by the bulk loader).
-    pub(crate) fn from_parts(
+    /// Builds a tree around an existing root: the bulk loader's assembly
+    /// step, and how a persisted backbone (pages + metadata stored by the
+    /// mutable write path) is re-adopted at open without re-inserting.
+    pub fn from_parts(
         file: F,
         root: PageId,
         height: u32,

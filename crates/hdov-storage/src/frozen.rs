@@ -76,6 +76,12 @@ fn invalid(path: &Path, reason: impl Into<String>) -> StorageError {
 /// Serializes `pages` (each exactly one page of bytes) as a frozen store at
 /// `path`, overwriting any existing file. The per-page checksum sidecar is
 /// computed and persisted alongside the data.
+///
+/// The store is written to a temporary sibling file and renamed into place
+/// once fully synced, so a crash mid-serialize can never leave a
+/// half-written store at `path` — the target either holds the previous
+/// complete store or the new one, and a stale `.tmp` is simply overwritten
+/// by the next writer.
 pub fn write_store<P: AsRef<[u8]>>(path: &Path, pages: &[P], generation: u64) -> Result<()> {
     let mut header = [0u8; PAGE_SIZE];
     header[0..8].copy_from_slice(&STORE_MAGIC);
@@ -86,13 +92,16 @@ pub fn write_store<P: AsRef<[u8]>>(path: &Path, pages: &[P], generation: u64) ->
     let hsum = page_checksum(&header[..HEADER_BODY]);
     header[32..40].copy_from_slice(&hsum.to_le_bytes());
 
-    let file = File::create(path)?;
+    let tmp = temp_sibling(path);
+    let file = File::create(&tmp)?;
     let mut w = BufWriter::new(file);
     w.write_all(&header)?;
     let mut table = Vec::with_capacity((pages.len() + 1) * 8);
     for p in pages {
         let bytes = p.as_ref();
         if bytes.len() != PAGE_SIZE {
+            drop(w);
+            std::fs::remove_file(&tmp).ok();
             return Err(StorageError::Corrupt(format!(
                 "frozen-store writer given a {}-byte page (expected {PAGE_SIZE})",
                 bytes.len()
@@ -108,7 +117,24 @@ pub fn write_store<P: AsRef<[u8]>>(path: &Path, pages: &[P], generation: u64) ->
         .into_inner()
         .map_err(|e| StorageError::Io(e.into_error()))?;
     file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; ignore platforms/filesystems where
+        // directories cannot be opened for sync.
+        if let Ok(d) = File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
     Ok(())
+}
+
+/// Temporary path in the same directory as `path` (rename must not cross a
+/// filesystem boundary).
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// Reads and verifies the header page of an open store file: magic,
@@ -315,6 +341,41 @@ mod tests {
         let path = tmp("ragged");
         let err = write_store(&path, &[vec![0u8; 100]], 0).unwrap_err();
         assert!(err.to_string().contains("100-byte page"));
+        // The aborted write never touched the target path and cleaned up
+        // its temp file.
+        assert!(!path.exists());
+        assert!(!temp_sibling(&path).exists());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn rewrite_is_atomic_and_leaves_no_temp() {
+        let path = tmp("atomic");
+        write_store(&path, &pages(2), 1).unwrap();
+        // Overwrite with a different store; the temp sibling must be gone
+        // and the target must verify cleanly end to end.
+        write_store(&path, &pages(4), 2).unwrap();
+        assert!(!temp_sibling(&path).exists());
+        let file = File::open(&path).unwrap();
+        let layout = read_layout(&file, &path).unwrap();
+        assert_eq!(layout.page_count, 4);
+        assert_eq!(layout.generation, 2);
+        read_checksum_table(&file, &path, &layout).unwrap();
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn stale_temp_from_crashed_writer_is_harmless() {
+        let path = tmp("stale");
+        write_store(&path, &pages(3), 5).unwrap();
+        // Simulate a writer that died mid-serialize: a garbage temp file
+        // sits next to a valid store. Opening the store ignores it, and the
+        // next writer overwrites it.
+        std::fs::write(temp_sibling(&path), b"half-written junk").unwrap();
+        let file = File::open(&path).unwrap();
+        assert_eq!(read_layout(&file, &path).unwrap().generation, 5);
+        write_store(&path, &pages(1), 6).unwrap();
+        assert!(!temp_sibling(&path).exists());
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 }

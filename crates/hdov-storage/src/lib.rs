@@ -31,11 +31,13 @@ pub mod frame;
 pub mod frozen;
 pub mod lru;
 pub mod mmap;
+pub mod mutable;
 pub mod page;
 pub mod pread;
 pub mod retry;
 pub mod shared;
 pub mod stats;
+pub mod wal;
 
 pub use backend::{FileMode, StorageBackend};
 pub use cached::CachedFile;
@@ -47,8 +49,10 @@ pub use file::{FilePagedFile, MemPagedFile, PagedFile, StoreFile};
 pub use frame::Frame;
 pub use lru::LruCache;
 pub use mmap::MappedStore;
+pub use mutable::{MutTxn, MutableStore, PageLoc, PageTable, StoreSnapshot};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pread::PreadStore;
 pub use retry::RetryPolicy;
 pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};
 pub use stats::IoStats;
+pub use wal::{RecoveredTxn, Wal};

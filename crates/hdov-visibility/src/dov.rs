@@ -168,6 +168,30 @@ impl DovTable {
         }
     }
 
+    /// Assembles a table from per-cell `(object, DoV)` lists — the durable
+    /// write path reconstructs tables from its own storage this way.
+    ///
+    /// Each list must be strictly sorted by object id with DoVs in `(0, 1]`
+    /// and `rays_per_viewpoint` positive (the invariants
+    /// [`decode`](Self::decode) enforces); returns `None` otherwise.
+    pub fn from_parts(cells: Vec<Vec<(u32, f32)>>, rays_per_viewpoint: usize) -> Option<DovTable> {
+        if rays_per_viewpoint == 0 {
+            return None;
+        }
+        for cell in &cells {
+            if cell.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return None;
+            }
+            if cell.iter().any(|&(_, d)| !(d > 0.0 && d <= 1.0)) {
+                return None;
+            }
+        }
+        Some(DovTable {
+            cells,
+            rays_per_viewpoint,
+        })
+    }
+
     /// The `(object, DoV)` list of `cell`, sorted by object id. Only objects
     /// with `DoV > 0` appear.
     pub fn cell(&self, cell: CellId) -> &[(u32, f32)] {
@@ -204,6 +228,11 @@ impl DovTable {
     /// The smallest non-zero DoV the estimator can resolve.
     pub fn resolution(&self) -> f64 {
         1.0 / self.rays_per_viewpoint as f64
+    }
+
+    /// Rays cast per sample viewpoint when this table was estimated.
+    pub fn rays_per_viewpoint(&self) -> usize {
+        self.rays_per_viewpoint
     }
 
     /// Total DoV mass of a cell (≤ 1 by construction: first-hit rays

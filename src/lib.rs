@@ -60,7 +60,8 @@ pub use hdov_walkthrough as walkthrough;
 /// Convenient glob-import surface covering the common entry points.
 pub mod prelude {
     pub use hdov_core::{
-        HdovBuildConfig, HdovEnvironment, HdovTree, QueryResult, SearchStats, StorageScheme,
+        HdovBuildConfig, HdovEnvironment, HdovTree, MutableScene, ObjectHandle, ObjectInfo,
+        QueryResult, SearchStats, StorageScheme,
     };
     pub use hdov_geom::{Aabb, Frustum, Ray, Vec3};
     pub use hdov_mesh::{LodChain, TriMesh};
