@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Gate the decode microbench against ci/decode_budget.toml.
+#
+# Usage: ci/check_decode_budget.sh <bench output file>
+#
+# The bench output is the criterion shim's one-line-per-bench format:
+#   decode/vpage_batch/delta    median     4.02 µs  min    3.29 µs
+# Every `"<bench id>" = <ns>` entry in the budget file must have a matching
+# line whose median converts to at most that many nanoseconds.
+set -euo pipefail
+
+out="${1:?usage: check_decode_budget.sh <bench output file>}"
+budget_file="$(dirname "$0")/decode_budget.toml"
+fail=0
+
+while IFS='=' read -r id budget; do
+    id="$(echo "$id" | tr -d ' "')"
+    budget="$(echo "$budget" | sed 's/#.*//' | tr -d ' ')"
+    [ -n "$id" ] && [ -n "$budget" ] || continue
+    line="$(grep -F "$id " "$out" || true)"
+    if [ -z "$line" ]; then
+        echo "FAIL: bench '$id' missing from $out"
+        fail=1
+        continue
+    fi
+    # "median <value> <unit>" -> nanoseconds.
+    ns="$(echo "$line" | awk '{
+        for (i = 1; i <= NF; i++) if ($i == "median") { v = $(i+1); u = $(i+2) }
+        if (u == "ns") m = 1; else if (u == "µs") m = 1000;
+        else if (u == "ms") m = 1000000; else m = 1000000000;
+        printf "%d", v * m
+    }')"
+    if [ "$ns" -gt "$budget" ]; then
+        echo "FAIL: $id median ${ns} ns exceeds budget ${budget} ns"
+        fail=1
+    else
+        echo "ok: $id median ${ns} ns within budget ${budget} ns"
+    fi
+done < <(grep '^"' "$budget_file")
+
+exit "$fail"

@@ -17,10 +17,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdov_core::{
     search_shared_into, HdovBuildConfig, HdovEnvironment, PoolConfig, SearchScratch,
-    SharedEnvironment, StorageScheme,
+    SharedEnvironment, StorageScheme, VEntry, VPage, VPageCodec,
 };
 use hdov_scene::CityConfig;
-use hdov_storage::{IoCursor, Page, PageId};
+use hdov_storage::{IoCursor, Page, PageId, PAGE_SIZE};
 use hdov_visibility::{CellGridConfig, CellId};
 use std::hint::black_box;
 
@@ -116,9 +116,57 @@ fn search_shared_steady(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch decode of one disk page worth of V-page records — the per-frame
+/// CPU the codec adds on a pool miss (the decoded-overlay closure's loop).
+/// `decode/vpage_batch/delta` is gated by the CI perf job against the
+/// checked-in budget in `ci/decode_budget.toml`.
+fn vpage_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/vpage_batch");
+    for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+        // Paper-regime pages: ascending NVOs with small gaps, all visible.
+        let pages: Vec<VPage> = (0..128u32)
+            .map(|p| {
+                let mut nvo = 0u32;
+                VPage::new(
+                    (0..12u32)
+                        .map(|i| {
+                            nvo += 1 + (p + i) % 7;
+                            VEntry {
+                                dov: 0.3 + i as f32 * 0.01,
+                                nvo,
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let record_bytes = pages.iter().map(|vp| codec.record_len(vp)).max().unwrap();
+        let rpp = (PAGE_SIZE / record_bytes).max(1).min(pages.len());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for (slot, vp) in pages.iter().take(rpp).enumerate() {
+            let rec = codec.encode_record(vp, record_bytes).unwrap();
+            buf[slot * record_bytes..(slot + 1) * record_bytes].copy_from_slice(&rec);
+        }
+        group.bench_function(BenchmarkId::from_parameter(codec.label()), |b| {
+            b.iter(|| {
+                let mut entries = 0usize;
+                for slot in 0..rpp {
+                    entries += codec
+                        .decode_record(&buf[slot * record_bytes..(slot + 1) * record_bytes])
+                        .unwrap()
+                        .entries
+                        .len();
+                }
+                black_box(entries)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = frame_vs_copy, node_overlay, search_shared_steady
+    targets = frame_vs_copy, node_overlay, search_shared_steady, vpage_batch
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! horizontal scheme is worst (scattered V-pages); vertical ≈
 //! indexed-vertical with the latter marginally better.
 
-use hdov_bench::{mean, print_table, write_csv, EvalScene, RunOptions, ETA_SWEEP};
+use hdov_bench::{answers_digest, mean, print_table, write_csv, EvalScene, RunOptions, ETA_SWEEP};
 use hdov_core::StorageScheme;
 
 fn main() {
@@ -14,11 +14,12 @@ fn main() {
     let eval = EvalScene::standard(&opts);
     let viewpoints = eval.random_viewpoints(opts.query_count(), 7);
     println!(
-        "{} visibility queries per point, {} objects, {} cells, backend {}",
+        "{} visibility queries per point, {} objects, {} cells, backend {}, codec {}",
         viewpoints.len(),
         eval.scene.len(),
         eval.grid.cell_count(),
-        opts.backend.label()
+        opts.backend.label(),
+        opts.codec.label()
     );
 
     let mut envs: Vec<_> = StorageScheme::all()
@@ -32,30 +33,39 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut wall_rows = Vec::new();
+    let mut answer_rows = Vec::new();
     for eta in ETA_SWEEP {
         let mut row = vec![format!("{eta}")];
         let mut wall_row = vec![format!("{eta}")];
+        let mut answer_row = vec![format!("{eta}")];
         for (_, env) in envs.iter_mut() {
             let t0 = std::time::Instant::now();
+            let mut digest = 0u64;
             let t = mean(viewpoints.iter().map(|&vp| {
-                let (_, st) = env.query_with_stats(vp, eta).unwrap();
+                let (r, st) = env.query_with_stats(vp, eta).unwrap();
+                digest = digest.rotate_left(1) ^ answers_digest(&r, &st);
                 st.search_time_ms()
             }));
             wall_row.push(format!("{}", t0.elapsed().as_nanos()));
             row.push(format!("{t:.2}"));
+            answer_row.push(format!("{digest:016x}"));
         }
         // Naïve baseline (storage-agnostic per-object access; run against
         // the indexed store whose sparse segments model its per-cell lists).
         let naive_env = &mut envs[2].1;
         let t0 = std::time::Instant::now();
+        let mut digest = 0u64;
         let tn = mean(viewpoints.iter().map(|&vp| {
-            let (_, st) = naive_env.query_naive(vp).unwrap();
+            let (r, st) = naive_env.query_naive(vp).unwrap();
+            digest = digest.rotate_left(1) ^ answers_digest(&r, &st);
             st.search_time_ms()
         }));
         wall_row.push(format!("{}", t0.elapsed().as_nanos()));
         row.push(format!("{tn:.2}"));
+        answer_row.push(format!("{digest:016x}"));
         rows.push(row);
         wall_rows.push(wall_row);
+        answer_rows.push(answer_row);
     }
     print_table(
         "Figure 7: average search time (ms) vs eta",
@@ -73,6 +83,13 @@ fn main() {
             "naive_ms",
         ],
         &rows,
+    );
+    // Codec-invariant answer digests: the CI codec-equivalence job compares
+    // this file byte-for-byte between `--codec raw` and `--codec delta`.
+    write_csv(
+        "fig7_answers",
+        &["eta", "horizontal", "vertical", "indexed", "naive"],
+        &answer_rows,
     );
     hdov_bench::write_metrics_snapshot(
         "fig7_search_time",

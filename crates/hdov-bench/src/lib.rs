@@ -10,7 +10,10 @@
 
 pub mod report;
 
-use hdov_core::{HdovBuildConfig, HdovEnvironment, StorageScheme};
+use hdov_core::{
+    HdovBuildConfig, HdovEnvironment, QueryResult, ResultKey, SearchStats, StorageScheme,
+    VPageCodec,
+};
 use hdov_geom::Vec3;
 use hdov_scene::{CityConfig, Scene};
 use hdov_storage::{FileMode, StorageBackend};
@@ -20,8 +23,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Paper η sweep of Figs. 7–8 (the text: "η values in [0, 0.008]"), plus
-/// two extended points showing where our scaled scene's light-I/O crossover
-/// lands (see EXPERIMENTS.md).
+/// two extended points showing where our scaled scene's curves flatten
+/// past the paper's endpoint (see EXPERIMENTS.md).
 pub const ETA_SWEEP: [f64; 8] = [0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.012, 0.016];
 
 /// Table 3's η column.
@@ -99,15 +102,20 @@ pub struct RunOptions {
     pub quick: bool,
     /// Where frozen stores live during the run.
     pub backend: BenchBackend,
+    /// V-page wire format (`--codec raw|delta`). Answers are byte-identical
+    /// across codecs; simulated I/O and storage footprints are not.
+    pub codec: VPageCodec,
 }
 
 impl RunOptions {
-    /// Parses `--quick` and `--backend <mem|file|file:mmap|file:pread>`
-    /// (also `--backend=<...>`) from the process arguments.
+    /// Parses `--quick`, `--backend <mem|file|file:mmap|file:pread>`, and
+    /// `--codec <raw|delta>` (also the `--flag=<...>` forms) from the
+    /// process arguments.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick" || a == "-q");
         let mut backend = BenchBackend::Mem;
+        let mut codec = VPageCodec::default();
         for (i, a) in args.iter().enumerate() {
             let val = if let Some(v) = a.strip_prefix("--backend=") {
                 Some(v.to_string())
@@ -122,8 +130,25 @@ impl RunOptions {
                     std::process::exit(2);
                 });
             }
+            let cval = if let Some(v) = a.strip_prefix("--codec=") {
+                Some(v.to_string())
+            } else if a == "--codec" {
+                args.get(i + 1).cloned()
+            } else {
+                None
+            };
+            if let Some(v) = cval {
+                codec = VPageCodec::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown --codec {v:?}; use raw or delta");
+                    std::process::exit(2);
+                });
+            }
         }
-        RunOptions { quick, backend }
+        RunOptions {
+            quick,
+            backend,
+            codec,
+        }
     }
 
     /// Relocates `env` onto the selected backend (a no-op on `mem`, so the
@@ -195,6 +220,7 @@ impl EvalScene {
         };
         let build_cfg = HdovBuildConfig {
             dov,
+            codec: opts.codec,
             ..Default::default()
         };
         let table = DovTable::compute(&scene, &grid, &dov, 0);
@@ -343,6 +369,35 @@ pub fn write_metrics_snapshot(
     }
 }
 
+/// Codec-invariant digest of one query's outcome: an FNV-1a hash (the
+/// storage layer's `page_checksum`) over the serialized result entries and
+/// the traversal counters. Simulated I/O charges are deliberately excluded —
+/// they legitimately shrink under the Delta codec — so this digest must be
+/// byte-identical between `--codec raw` and `--codec delta` runs; the CI
+/// `codec-equivalence` job compares the `*_answers.csv` files built from it.
+pub fn answers_digest(r: &QueryResult, st: &SearchStats) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + r.entries().len() * 37);
+    for e in r.entries() {
+        match e.key {
+            ResultKey::Object(h) => {
+                bytes.push(0);
+                bytes.extend_from_slice(&h.to_le_bytes());
+            }
+            ResultKey::Internal(o) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&u64::from(o).to_le_bytes());
+            }
+        }
+        bytes.extend_from_slice(&(e.level as u64).to_le_bytes());
+        bytes.extend_from_slice(&e.polygons.to_le_bytes());
+        bytes.extend_from_slice(&e.bytes.to_le_bytes());
+        bytes.extend_from_slice(&e.dov.to_bits().to_le_bytes());
+    }
+    bytes.extend_from_slice(&st.nodes_visited.to_le_bytes());
+    bytes.extend_from_slice(&st.vpages_fetched.to_le_bytes());
+    hdov_storage::page_checksum(&bytes)
+}
+
 /// Mean of an iterator.
 pub fn mean(it: impl IntoIterator<Item = f64>) -> f64 {
     let v: Vec<f64> = it.into_iter().collect();
@@ -376,12 +431,14 @@ mod tests {
         let o = RunOptions {
             quick: false,
             backend: BenchBackend::Mem,
+            codec: VPageCodec::Delta,
         };
         assert_eq!(o.query_count(), 2000);
         assert_eq!(o.session_frames(), 400);
         let q = RunOptions {
             quick: true,
             backend: BenchBackend::Mem,
+            codec: VPageCodec::Delta,
         };
         assert!(q.query_count() < o.query_count());
         assert!(q.session_frames() < o.session_frames());
@@ -415,6 +472,7 @@ mod tests {
         let opts = RunOptions {
             quick: true,
             backend: BenchBackend::Mem,
+            codec: VPageCodec::Delta,
         };
         let eval = EvalScene::standard(&opts);
         assert!(eval.scene.len() > 100);

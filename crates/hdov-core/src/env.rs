@@ -23,6 +23,7 @@ pub struct HdovEnvironment {
     grid: Arc<CellGrid>,
     table: Arc<DovTable>,
     scheme: StorageScheme,
+    codec: crate::vpage::VPageCodec,
 }
 
 impl HdovEnvironment {
@@ -49,7 +50,7 @@ impl HdovEnvironment {
         table: Arc<DovTable>,
     ) -> Result<Self> {
         let (tree, cells) = HdovTree::build_with_table(scene, &cfg, &table)?;
-        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk)?;
+        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk, cfg.codec)?;
         let objects = ObjectModels::build(scene, cfg.disk)?;
         Ok(HdovEnvironment {
             tree,
@@ -58,6 +59,7 @@ impl HdovEnvironment {
             grid,
             table,
             scheme,
+            codec: cfg.codec,
         })
     }
 
@@ -75,7 +77,7 @@ impl HdovEnvironment {
         remap: &dyn Fn(u64) -> u64,
     ) -> Result<Self> {
         let (tree, cells) = HdovTree::build_from_backbone(scene, &cfg, &table, rtree, remap)?;
-        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk)?;
+        let vstore = scheme.build(tree.entry_counts(), &cells, cfg.disk, cfg.codec)?;
         let objects = ObjectModels::build(scene, cfg.disk)?;
         Ok(HdovEnvironment {
             tree,
@@ -84,6 +86,7 @@ impl HdovEnvironment {
             grid,
             table,
             scheme,
+            codec: cfg.codec,
         })
     }
 
@@ -294,7 +297,9 @@ impl HdovEnvironment {
         disk: hdov_storage::DiskModel,
     ) -> Result<()> {
         let cells = self.tree.aggregate_from_table(&table)?;
-        self.vstore = self.scheme.build(self.tree.entry_counts(), &cells, disk)?;
+        self.vstore = self
+            .scheme
+            .build(self.tree.entry_counts(), &cells, disk, self.codec)?;
         self.table = Arc::new(table);
         Ok(())
     }
@@ -382,6 +387,11 @@ impl HdovEnvironment {
     /// The active storage scheme.
     pub fn scheme(&self) -> StorageScheme {
         self.scheme
+    }
+
+    /// The V-page codec the visibility store was built with.
+    pub fn codec(&self) -> crate::vpage::VPageCodec {
+        self.codec
     }
 
     /// The visibility store (for storage-size accounting).

@@ -54,4 +54,4 @@ pub use shared::{
     CursorFile, PoolConfig, SearchScratch, SessionCtx, SharedEnvironment, SharedVStore,
 };
 pub use storage::{StorageScheme, VisibilityStore};
-pub use vpage::{VEntry, VPage, VPAGE_SIZE};
+pub use vpage::{VEntry, VPage, VPageCodec, VPAGE_SIZE};

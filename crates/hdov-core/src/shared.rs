@@ -132,6 +132,7 @@ pub struct SharedVPageFile {
     records: u64,
     record_bytes: usize,
     records_per_page: u64,
+    codec: crate::vpage::VPageCodec,
 }
 
 impl SharedVPageFile {
@@ -140,12 +141,14 @@ impl SharedVPageFile {
         records: u64,
         record_bytes: usize,
         records_per_page: u64,
+        codec: crate::vpage::VPageCodec,
     ) -> Self {
         SharedVPageFile {
             pool,
             records,
             record_bytes,
             records_per_page,
+            codec,
         }
     }
 
@@ -169,10 +172,15 @@ impl SharedVPageFile {
             .read_frame(cursor, PageId(self.disk_page_of(idx)))?;
         let rb = self.record_bytes;
         let rpp = self.records_per_page as usize;
+        let codec = self.codec;
+        // Batch decode: one pass materializes every record of the page into
+        // the frame's OnceLock overlay slot, so the whole page pays decode
+        // at most once per pool residency regardless of codec.
         let decoded: Arc<Vec<Arc<VPage>>> = frame.overlay(|page| {
+            hdov_obs::add(hdov_obs::Counter::CodecDecodes, rpp as u64);
             let mut v = Vec::with_capacity(rpp);
             for s in 0..rpp {
-                v.push(Arc::new(VPage::decode(&page[s * rb..(s + 1) * rb])?));
+                v.push(Arc::new(codec.decode_record(&page[s * rb..(s + 1) * rb])?));
             }
             Ok(v)
         })?;
@@ -195,6 +203,7 @@ impl SharedVPageFile {
             records: self.records,
             record_bytes: self.record_bytes,
             records_per_page: self.records_per_page,
+            codec: self.codec,
         }
     }
 }

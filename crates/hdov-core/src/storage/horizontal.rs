@@ -8,8 +8,8 @@
 //! layout is node-major, the V-pages touched by one cell's query are
 //! scattered (extra seeks: the paper's Fig. 7 worst case).
 
-use super::{StorageScheme, VPageFile, VisibilityStore};
-use crate::vpage::{VEntry, VPage};
+use super::{record_bytes_for, StorageScheme, VPageFile, VisibilityStore};
+use crate::vpage::{VEntry, VPage, VPageCodec};
 use hdov_storage::{DiskModel, FaultPlan, IoStats, Result, StorageBackend};
 use hdov_visibility::CellId;
 
@@ -29,11 +29,15 @@ impl HorizontalStore {
         entry_counts: &[u16],
         cells: &[Vec<(u32, VPage)>],
         model: DiskModel,
+        codec: VPageCodec,
     ) -> Result<Self> {
         let n_nodes = entry_counts.len() as u32;
         let c = cells.len() as u32;
         let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
-        let mut vpages = VPageFile::new(model, max_entries);
+        // Hidden placeholders are stored too, so they participate in slot
+        // sizing under the delta codec.
+        let record_bytes = record_bytes_for(codec, max_entries, entry_counts, cells, true);
+        let mut vpages = VPageFile::new(model, codec, record_bytes);
         // Node-major: for each node, a run of `c` V-pages indexed by cell.
         for n in 0..n_nodes {
             // Sparse lookup per cell.
@@ -126,48 +130,81 @@ mod tests {
 
     #[test]
     fn conformance() {
-        let (counts, cells) = testutil::sample_cells(12);
-        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        testutil::conformance(&mut s, &cells, 12);
+        for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+            let (counts, cells) = testutil::sample_cells(12);
+            let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            testutil::conformance(&mut s, &cells, 12);
+        }
     }
 
     #[test]
-    fn every_fetch_costs_one_page() {
-        let (counts, cells) = testutil::sample_cells(12);
-        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+    fn reads_are_charged_per_distinct_disk_page() {
+        let (counts, cells) = testutil::sample_cells(120);
+        let mut s =
+            HorizontalStore::build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Raw).unwrap();
         s.enter_cell(0).unwrap();
         s.reset_stats();
-        for n in 0..12 {
+        // Raw records here are 4 + 8·4 = 36 bytes → 113 per 4 KiB disk
+        // page. Fetching every node in cell 0 walks records 0, 3, …, 357
+        // (stride = cell count): four distinct disk pages, and the
+        // one-page read buffer makes every same-page fetch after the
+        // first one free.
+        for n in 0..120 {
             let _ = s.fetch(n).unwrap();
         }
-        assert_eq!(s.stats().page_reads, 12);
+        assert_eq!(s.stats().page_reads, 4);
+        // Re-fetching a record on the buffered page is free…
+        let _ = s.fetch(119).unwrap();
+        assert_eq!(s.stats().page_reads, 4);
+        // …while jumping back to the first page is a real read again.
+        let _ = s.fetch(0).unwrap();
+        assert_eq!(s.stats().page_reads, 5);
     }
 
     #[test]
     fn hidden_nodes_return_hidden_pages() {
-        let (counts, cells) = testutil::sample_cells(12);
-        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        s.enter_cell(2).unwrap(); // nothing visible
-        for n in 0..12 {
-            let vp = s.fetch(n).unwrap().unwrap();
-            assert!(!vp.any_visible());
-            assert_eq!(vp.entries.len(), counts[n as usize] as usize);
+        for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+            let (counts, cells) = testutil::sample_cells(12);
+            let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            s.enter_cell(2).unwrap(); // nothing visible
+            for n in 0..12 {
+                let vp = s.fetch(n).unwrap().unwrap();
+                assert!(!vp.any_visible());
+                assert_eq!(vp.entries.len(), counts[n as usize] as usize);
+            }
         }
     }
 
     #[test]
     fn storage_matches_formula() {
         let (counts, cells) = testutil::sample_cells(10);
-        let s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let s = HorizontalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
         let vpage = 4 + 8 * *counts.iter().max().unwrap() as u64;
         assert_eq!(s.storage_bytes(), vpage * 3 * 10);
+    }
+
+    #[test]
+    fn delta_codec_shrinks_storage_with_identical_answers() {
+        let (counts, cells) = testutil::sample_cells(10);
+        let raw =
+            HorizontalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
+        let mut delta =
+            HorizontalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta).unwrap();
+        assert!(
+            delta.storage_bytes() < raw.storage_bytes(),
+            "delta {} !< raw {}",
+            delta.storage_bytes(),
+            raw.storage_bytes()
+        );
+        testutil::conformance(&mut delta, &cells, 10);
     }
 
     #[test]
     #[should_panic]
     fn fetch_before_enter_panics() {
         let (counts, cells) = testutil::sample_cells(4);
-        let mut s = HorizontalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let mut s =
+            HorizontalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta).unwrap();
         let _ = s.fetch(0);
     }
 }

@@ -7,8 +7,8 @@
 //! `O(N_vnode)` I/Os. A tiny in-memory directory maps each cell to its
 //! segment extent (the "simple one-to-one index").
 
-use super::{relocate_disk, StorageScheme, VPageFile, VisibilityStore};
-use crate::vpage::VPage;
+use super::{record_bytes_for, relocate_disk, StorageScheme, VPageFile, VisibilityStore};
+use crate::vpage::{VPage, VPageCodec};
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
     DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
@@ -45,11 +45,14 @@ impl IndexedVerticalStore {
         entry_counts: &[u16],
         cells: &[Vec<(u32, VPage)>],
         model: DiskModel,
+        codec: VPageCodec,
     ) -> Result<Self> {
         let n_nodes = entry_counts.len() as u32;
         let c = cells.len() as u32;
         let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
-        let mut vpages = VPageFile::new(model, max_entries);
+        // Only visible pages are stored — no hidden placeholders.
+        let record_bytes = record_bytes_for(codec, max_entries, entry_counts, cells, false);
+        let mut vpages = VPageFile::new(model, codec, record_bytes);
         let mut index = SimulatedDisk::new(StoreFile::new_mem(), model);
 
         let mut raw: Vec<u8> = Vec::new();
@@ -207,9 +210,12 @@ mod tests {
 
     #[test]
     fn conformance() {
-        let (counts, cells) = testutil::sample_cells(12);
-        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        testutil::conformance(&mut s, &cells, 12);
+        for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+            let (counts, cells) = testutil::sample_cells(12);
+            let mut s =
+                IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            testutil::conformance(&mut s, &cells, 12);
+        }
     }
 
     #[test]
@@ -220,9 +226,20 @@ mod tests {
         let (counts, cells) = testutil::sample_cells(n);
         // Keep only cell 1 (3 visible nodes) replicated.
         let sparse_cells = vec![cells[1].clone(), cells[1].clone()];
-        let mut iv =
-            IndexedVerticalStore::build(&counts, &sparse_cells, DiskModel::PAPER_ERA).unwrap();
-        let mut v = VerticalStore::build(&counts, &sparse_cells, DiskModel::PAPER_ERA).unwrap();
+        let mut iv = IndexedVerticalStore::build(
+            &counts,
+            &sparse_cells,
+            DiskModel::PAPER_ERA,
+            VPageCodec::Delta,
+        )
+        .unwrap();
+        let mut v = VerticalStore::build(
+            &counts,
+            &sparse_cells,
+            DiskModel::PAPER_ERA,
+            VPageCodec::Delta,
+        )
+        .unwrap();
         iv.enter_cell(0).unwrap();
         v.enter_cell(0).unwrap();
         let iv_flip = iv.stats().page_reads;
@@ -234,25 +251,42 @@ mod tests {
 
     #[test]
     fn storage_smaller_than_vertical() {
-        let (counts, cells) = testutil::sample_cells(500);
-        let iv = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        let v = VerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        assert!(iv.storage_bytes() < v.storage_bytes());
+        for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+            let (counts, cells) = testutil::sample_cells(500);
+            let iv = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            let v = VerticalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            assert!(iv.storage_bytes() < v.storage_bytes());
+        }
     }
 
     #[test]
     fn storage_matches_formula() {
         let (counts, cells) = testutil::sample_cells(10);
-        let s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let s =
+            IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
         let vnode_total: u64 = cells.iter().map(|c| c.len() as u64).sum();
         let vpage = 4 + 8 * *counts.iter().max().unwrap() as u64;
         assert_eq!(s.storage_bytes(), (12 + vpage) * vnode_total);
     }
 
     #[test]
+    fn delta_codec_shrinks_storage_with_identical_answers() {
+        let (counts, cells) = testutil::sample_cells(10);
+        let raw =
+            IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
+        let mut delta =
+            IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta)
+                .unwrap();
+        assert!(delta.storage_bytes() < raw.storage_bytes());
+        testutil::conformance(&mut delta, &cells, 10);
+    }
+
+    #[test]
     fn empty_cell_flip_is_free_after_dir_lookup() {
         let (counts, cells) = testutil::sample_cells(12);
-        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        let mut s =
+            IndexedVerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+                .unwrap();
         s.enter_cell(2).unwrap(); // empty cell: zero records
         assert_eq!(s.stats().page_reads, 0);
         assert!(s.fetch(0).unwrap().is_none());
@@ -278,7 +312,9 @@ mod tests {
             (0..500).map(mk).collect::<Vec<_>>(),
             (300..800).map(mk).collect::<Vec<_>>(),
         ];
-        let mut s = IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let mut s =
+            IndexedVerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta)
+                .unwrap();
         for cid in 0..2u32 {
             s.enter_cell(cid).unwrap();
             for &(o, ref vp) in &cells[cid as usize] {

@@ -20,7 +20,8 @@ pub use horizontal::HorizontalStore;
 pub use indexed_vertical::IndexedVerticalStore;
 pub use vertical::VerticalStore;
 
-use crate::vpage::VPage;
+use crate::vpage::{VPage, VPageCodec, MIN_DELTA_RECORD_BYTES};
+use hdov_obs::Counter;
 use hdov_storage::{
     DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
     StoreFile, PAGE_SIZE,
@@ -54,21 +55,28 @@ impl StorageScheme {
     ///   placeholders in the horizontal scheme),
     /// * `cells[c]` — the visible nodes of cell `c` as `(ordinal, VPage)`,
     ///   sorted by ordinal (DFS preorder),
-    /// * `model` — disk cost model for the store's files.
+    /// * `model` — disk cost model for the store's files,
+    /// * `codec` — wire format for V-page records (see [`VPageCodec`]).
     pub fn build(
         self,
         entry_counts: &[u16],
         cells: &[Vec<(u32, VPage)>],
         model: DiskModel,
+        codec: VPageCodec,
     ) -> Result<Box<dyn VisibilityStore>> {
         Ok(match self {
             StorageScheme::Horizontal => {
-                Box::new(HorizontalStore::build(entry_counts, cells, model)?)
+                Box::new(HorizontalStore::build(entry_counts, cells, model, codec)?)
             }
-            StorageScheme::Vertical => Box::new(VerticalStore::build(entry_counts, cells, model)?),
-            StorageScheme::IndexedVertical => {
-                Box::new(IndexedVerticalStore::build(entry_counts, cells, model)?)
+            StorageScheme::Vertical => {
+                Box::new(VerticalStore::build(entry_counts, cells, model, codec)?)
             }
+            StorageScheme::IndexedVertical => Box::new(IndexedVerticalStore::build(
+                entry_counts,
+                cells,
+                model,
+                codec,
+            )?),
         })
     }
 }
@@ -157,8 +165,19 @@ pub(crate) fn relocate_disk(
     backend: &StorageBackend,
     name: &str,
 ) -> Result<()> {
+    relocate_disk_flagged(disk, backend, name, 0)
+}
+
+/// [`relocate_disk`] with an explicit frozen-store header `flags` word
+/// (V-page files record their codec; other stores pass 0).
+pub(crate) fn relocate_disk_flagged(
+    disk: &mut SimulatedDisk<StoreFile>,
+    backend: &StorageBackend,
+    name: &str,
+    flags: u32,
+) -> Result<()> {
     let built = disk.swap_inner(StoreFile::new_mem());
-    let frozen = backend.freeze(name, built)?;
+    let frozen = backend.freeze_flagged(name, built, flags)?;
     disk.swap_inner(frozen);
     Ok(())
 }
@@ -166,30 +185,80 @@ pub(crate) fn relocate_disk(
 /// V-page records packed into disk pages (several per page, never
 /// straddling), addressed by record index.
 ///
-/// The record size is `4 + 8 · M` bytes where `M` is the tree's fan-out —
-/// a V-page holds exactly one node's V-entries (paper §4.1), so a smaller
-/// fan-out means more V-pages per disk page and proportionally smaller
-/// storage formulas.
+/// Under the raw codec the record size is `4 + 8 · M` bytes where `M` is
+/// the tree's fan-out — a V-page holds exactly one node's V-entries (paper
+/// §4.1), so a smaller fan-out means more V-pages per disk page and
+/// proportionally smaller storage formulas. Under the delta codec the
+/// record size is the exact maximum encoded length over the records the
+/// store will hold (computed up front by [`record_bytes_for`]), which is
+/// never larger and usually much smaller — shrinking the paper's
+/// `size_vpage` term in every §4 formula at identical answers.
 pub(crate) struct VPageFile {
     disk: SimulatedDisk<StoreFile>,
     records: u64,
     record_bytes: usize,
     records_per_page: u64,
+    codec: VPageCodec,
+    /// One-page read buffer: the most recently read disk page, as any
+    /// paging client would hold while copying records out. Consecutive
+    /// reads of records packed into the same disk page charge a single
+    /// simulated page read — which is exactly how the Delta codec's denser
+    /// packing (more records per 4 KiB page) turns into strictly fewer
+    /// fig8 I/Os at identical answers. Invalidated on writes, relocation,
+    /// and fault arming so mutation and chaos tests always hit the disk.
+    read_buf: Option<(u64, Page)>,
 }
 
-/// V-page record size for nodes holding at most `max_entries` entries.
+/// Raw-codec V-page record size for nodes holding at most `max_entries`
+/// entries.
 pub(crate) fn vpage_record_bytes(max_entries: usize) -> usize {
     4 + 8 * max_entries.max(1)
 }
 
+/// Fixed record-slot size for a store's V-page file under `codec`.
+///
+/// Raw preserves the historical `4 + 8 · max_entries` slot. Delta sizes
+/// the slot to the largest actual encoded record: every visible page in
+/// `cells`, plus (when `hidden_placeholders` is set — the horizontal
+/// scheme) an all-hidden placeholder per distinct node entry count. The
+/// floor of [`MIN_DELTA_RECORD_BYTES`] keeps zeroed padding slots
+/// decodable as empty pages.
+pub(crate) fn record_bytes_for(
+    codec: VPageCodec,
+    max_entries: usize,
+    entry_counts: &[u16],
+    cells: &[Vec<(u32, VPage)>],
+    hidden_placeholders: bool,
+) -> usize {
+    match codec {
+        VPageCodec::Raw => vpage_record_bytes(max_entries).min(PAGE_SIZE),
+        VPageCodec::Delta => {
+            let mut rb = MIN_DELTA_RECORD_BYTES;
+            for cell in cells {
+                for (_, vp) in cell {
+                    rb = rb.max(vp.delta_len());
+                }
+            }
+            if hidden_placeholders {
+                for &c in entry_counts {
+                    rb = rb.max(codec.hidden_record_len(c as usize));
+                }
+            }
+            rb.min(PAGE_SIZE)
+        }
+    }
+}
+
 impl VPageFile {
-    pub fn new(model: DiskModel, max_entries: usize) -> Self {
-        let record_bytes = vpage_record_bytes(max_entries).min(PAGE_SIZE);
+    pub fn new(model: DiskModel, codec: VPageCodec, record_bytes: usize) -> Self {
+        let record_bytes = record_bytes.min(PAGE_SIZE);
         VPageFile {
             disk: SimulatedDisk::new(StoreFile::new_mem(), model),
             records: 0,
             record_bytes,
             records_per_page: (PAGE_SIZE / record_bytes) as u64,
+            codec,
+            read_buf: None,
         }
     }
 
@@ -198,13 +267,19 @@ impl VPageFile {
         self.record_bytes
     }
 
-    /// Appends a V-page, returning its record index.
-    ///
-    /// # Panics
-    /// Panics if `vpage` holds more entries than the configured record size
-    /// admits (a build invariant).
+    /// Appends a V-page, returning its record index. Errors with a typed
+    /// [`StorageError::VPageOverflow`](hdov_storage::StorageError::VPageOverflow)
+    /// if the page does not fit the configured record slot (a build
+    /// invariant; [`record_bytes_for`] sizes slots so it cannot fire).
     pub fn append(&mut self, vpage: &VPage) -> Result<u64> {
-        let bytes = vpage.encode_sized(self.record_bytes);
+        let bytes = self.codec.encode_record(vpage, self.record_bytes)?;
+        if hdov_obs::is_enabled() {
+            hdov_obs::add(Counter::VpageBytesRaw, (4 + 8 * vpage.entries.len()) as u64);
+            hdov_obs::add(
+                Counter::VpageBytesEncoded,
+                self.codec.record_len(vpage) as u64,
+            );
+        }
         let idx = self.records;
         let page_id = idx / self.records_per_page;
         let slot = (idx % self.records_per_page) as usize;
@@ -217,17 +292,26 @@ impl VPageFile {
         page.bytes_mut()[slot * self.record_bytes..(slot + 1) * self.record_bytes]
             .copy_from_slice(&bytes);
         self.disk.write_page(PageId(page_id), &page)?;
+        self.read_buf = None;
         self.records += 1;
         Ok(idx)
     }
 
-    /// Reads record `idx` (one page I/O).
+    /// Reads record `idx`: one simulated page I/O unless `idx` lives on the
+    /// page already held in the one-page read buffer, in which case the
+    /// read is free and only the decode is charged.
     pub fn read(&mut self, idx: u64) -> Result<VPage> {
         let page_id = idx / self.records_per_page;
         let slot = (idx % self.records_per_page) as usize;
-        let mut page = Page::zeroed();
-        self.disk.read_page(PageId(page_id), &mut page)?;
-        VPage::decode(&page.bytes()[slot * self.record_bytes..(slot + 1) * self.record_bytes])
+        if self.read_buf.as_ref().map(|(id, _)| *id) != Some(page_id) {
+            let mut page = Page::zeroed();
+            self.disk.read_page(PageId(page_id), &mut page)?;
+            self.read_buf = Some((page_id, page));
+        }
+        let page = &self.read_buf.as_ref().expect("buffer just filled").1;
+        hdov_obs::add(Counter::CodecDecodes, 1);
+        self.codec
+            .decode_record(&page.bytes()[slot * self.record_bytes..(slot + 1) * self.record_bytes])
     }
 
     pub fn records(&self) -> u64 {
@@ -249,6 +333,7 @@ impl VPageFile {
     }
 
     pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.read_buf = None;
         self.disk.arm_faults(plan);
     }
 
@@ -257,9 +342,11 @@ impl VPageFile {
     }
 
     /// Relocates the backing pages onto `backend` under `name` (read-only
-    /// afterwards; see [`relocate_disk`]).
+    /// afterwards; see [`relocate_disk`]). The frozen-store header records
+    /// this file's codec.
     pub fn relocate(&mut self, backend: &StorageBackend, name: &str) -> Result<()> {
-        relocate_disk(&mut self.disk, backend, name)
+        self.read_buf = None;
+        relocate_disk_flagged(&mut self.disk, backend, name, self.codec.store_flags())
     }
 
     /// Freezes the file behind a lock-striped shared pool (identical record
@@ -278,6 +365,7 @@ impl VPageFile {
             self.records,
             self.record_bytes,
             self.records_per_page,
+            self.codec,
         )
     }
 }

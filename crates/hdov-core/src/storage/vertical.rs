@@ -7,8 +7,8 @@
 //! scan". Entering a cell "flips" the segment: `⌈N_node · size_ptr /
 //! size_page⌉` sequential page reads; fetches of hidden nodes are then free.
 
-use super::{relocate_disk, StorageScheme, VPageFile, VisibilityStore};
-use crate::vpage::VPage;
+use super::{record_bytes_for, relocate_disk, StorageScheme, VPageFile, VisibilityStore};
+use crate::vpage::{VPage, VPageCodec};
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
     DiskModel, FaultPlan, IoStats, Page, PageId, PagedFile, Result, SimulatedDisk, StorageBackend,
@@ -39,13 +39,16 @@ impl VerticalStore {
         entry_counts: &[u16],
         cells: &[Vec<(u32, VPage)>],
         model: DiskModel,
+        codec: VPageCodec,
     ) -> Result<Self> {
         let n_nodes = entry_counts.len() as u32;
         let c = cells.len() as u32;
         let seg_pages = (n_nodes as u64 * 8).div_ceil(PAGE_SIZE as u64).max(1);
 
         let max_entries = entry_counts.iter().copied().max().unwrap_or(1) as usize;
-        let mut vpages = VPageFile::new(model, max_entries);
+        // Only visible pages are stored — no hidden placeholders.
+        let record_bytes = record_bytes_for(codec, max_entries, entry_counts, cells, false);
+        let mut vpages = VPageFile::new(model, codec, record_bytes);
         let mut index = SimulatedDisk::new(StoreFile::new_mem(), model);
         for cell in cells {
             let mut segment = vec![NIL; n_nodes as usize];
@@ -184,15 +187,18 @@ mod tests {
 
     #[test]
     fn conformance() {
-        let (counts, cells) = testutil::sample_cells(12);
-        let mut s = VerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
-        testutil::conformance(&mut s, &cells, 12);
+        for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+            let (counts, cells) = testutil::sample_cells(12);
+            let mut s = VerticalStore::build(&counts, &cells, DiskModel::FREE, codec).unwrap();
+            testutil::conformance(&mut s, &cells, 12);
+        }
     }
 
     #[test]
     fn flip_costs_segment_pages_and_hidden_fetches_are_free() {
         let (counts, cells) = testutil::sample_cells(12);
-        let mut s = VerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        let mut s =
+            VerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta).unwrap();
         s.enter_cell(2).unwrap(); // empty cell
         let flip_reads = s.stats().page_reads;
         assert_eq!(flip_reads, 1, "12 pointers fit one segment page");
@@ -209,7 +215,8 @@ mod tests {
     #[test]
     fn sequential_vpage_scan_in_dfs_order() {
         let (counts, cells) = testutil::sample_cells(40);
-        let mut s = VerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        let mut s =
+            VerticalStore::build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta).unwrap();
         s.enter_cell(0).unwrap();
         s.reset_stats();
         // Fetch visible nodes in DFS (ordinal) order: V-pages are clustered,
@@ -228,16 +235,27 @@ mod tests {
     #[test]
     fn storage_matches_formula() {
         let (counts, cells) = testutil::sample_cells(10);
-        let s = VerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let s = VerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
         let vnode_total: u64 = cells.iter().map(|c| c.len() as u64).sum();
         let vpage = 4 + 8 * *counts.iter().max().unwrap() as u64;
         assert_eq!(s.storage_bytes(), 8 * 10 * 3 + vpage * vnode_total);
     }
 
     #[test]
+    fn delta_codec_shrinks_storage_with_identical_answers() {
+        let (counts, cells) = testutil::sample_cells(10);
+        let raw = VerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw).unwrap();
+        let mut delta =
+            VerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta).unwrap();
+        assert!(delta.storage_bytes() < raw.storage_bytes());
+        testutil::conformance(&mut delta, &cells, 10);
+    }
+
+    #[test]
     fn flip_between_cells_changes_answers() {
         let (counts, cells) = testutil::sample_cells(6);
-        let mut s = VerticalStore::build(&counts, &cells, DiskModel::FREE).unwrap();
+        let mut s =
+            VerticalStore::build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta).unwrap();
         s.enter_cell(0).unwrap();
         assert!(s.fetch(1).unwrap().is_none()); // odd node hidden in cell 0
         s.enter_cell(1).unwrap();

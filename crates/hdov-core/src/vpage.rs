@@ -5,8 +5,22 @@
 //! size, sized to the node capacity; several V-pages pack into one disk
 //! page, and a V-page never straddles a disk-page boundary, so fetching a
 //! V-page costs exactly one page I/O.
+//!
+//! Two wire formats exist behind [`VPageCodec`] (see `DESIGN.md` §15):
+//!
+//! * **Raw** — the original layout: `u32` count + `count` × 8-byte
+//!   `(f32 DoV, u32 NVO)` pairs, zero-padded to the record slot.
+//! * **Delta** — a 1-byte record flag, then struct-of-arrays columns:
+//!   varint count, a DoV presence bitmap with the nonzero `f32` bit
+//!   patterns packed densely behind it (hidden entries cost one bit), and
+//!   the NVO column as zigzag varints of consecutive differences. Records
+//!   whose delta form would exceed the raw form fall back to a flagged raw
+//!   payload, so a delta record is never more than one byte larger than
+//!   raw — and the flag byte means raw-fallback pages remain readable
+//!   forever, whatever the codec evolves into.
 
-use hdov_storage::codec::{ByteReader, ByteWriter};
+use hdov_storage::codec::{read_varint, unzigzag, varint_len, zigzag, ByteReader, ByteWriter};
+use hdov_storage::frozen::STORE_FLAG_VPAGE_DELTA;
 use hdov_storage::{Result, StorageError, PAGE_SIZE};
 
 /// Maximum entries per HDoV node (must match [`crate::node::MAX_ENTRIES`]).
@@ -18,6 +32,96 @@ pub const VPAGE_SIZE: usize = 4 + VPAGE_CAPACITY * 8;
 
 /// V-pages per disk page.
 pub const VPAGES_PER_DISK_PAGE: usize = PAGE_SIZE / VPAGE_SIZE;
+
+/// Record flag announcing a raw `(count, entries…)` payload behind it.
+const RECORD_FLAG_RAW: u8 = 0x00;
+
+/// Record flag announcing a delta-encoded column payload behind it.
+const RECORD_FLAG_DELTA: u8 = 0x01;
+
+/// Smallest usable delta record slot: flag + the 4-byte count of a
+/// raw-fallback payload. Slots this size also make an all-zero padding
+/// slot decode as an empty page (flag `0x00`, raw count 0).
+pub const MIN_DELTA_RECORD_BYTES: usize = 5;
+
+/// Which wire format V-page records use inside a store.
+///
+/// The codec is a *build-time* choice threaded through
+/// [`crate::storage::StorageScheme::build`]; every record in a delta store
+/// still carries its own format flag, so readers never guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VPageCodec {
+    /// The original fixed-layout format: `u32` count + 8-byte entries.
+    Raw,
+    /// Delta/varint column format with per-record raw fallback.
+    #[default]
+    Delta,
+}
+
+impl VPageCodec {
+    /// Parses a `--codec` axis value (`raw` | `delta`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "raw" => Some(VPageCodec::Raw),
+            "delta" => Some(VPageCodec::Delta),
+            _ => None,
+        }
+    }
+
+    /// Short stable label for reports and store names.
+    pub fn label(self) -> &'static str {
+        match self {
+            VPageCodec::Raw => "raw",
+            VPageCodec::Delta => "delta",
+        }
+    }
+
+    /// Frozen-store header flags recording this codec.
+    pub fn store_flags(self) -> u32 {
+        match self {
+            VPageCodec::Raw => 0,
+            VPageCodec::Delta => STORE_FLAG_VPAGE_DELTA,
+        }
+    }
+
+    /// Encodes `vpage` into exactly `record_bytes` bytes under this codec.
+    pub fn encode_record(self, vpage: &VPage, record_bytes: usize) -> Result<Vec<u8>> {
+        match self {
+            VPageCodec::Raw => vpage.encode_sized(record_bytes),
+            VPageCodec::Delta => vpage.encode_delta_sized(record_bytes),
+        }
+    }
+
+    /// Decodes one record slot under this codec.
+    pub fn decode_record(self, bytes: &[u8]) -> Result<VPage> {
+        match self {
+            VPageCodec::Raw => VPage::decode(bytes),
+            VPageCodec::Delta => VPage::decode_flagged(bytes),
+        }
+    }
+
+    /// Exact pre-padding encoded length of `vpage` under this codec.
+    pub fn record_len(self, vpage: &VPage) -> usize {
+        match self {
+            VPageCodec::Raw => 4 + 8 * vpage.entries.len(),
+            VPageCodec::Delta => vpage.delta_len(),
+        }
+    }
+
+    /// Exact pre-padding encoded length of an all-hidden page with `count`
+    /// entries (closed form — no page is materialized). Horizontal stores
+    /// use this to size slots for their hidden placeholders.
+    pub fn hidden_record_len(self, count: usize) -> usize {
+        match self {
+            VPageCodec::Raw => 4 + 8 * count,
+            // flag + varint count + all-zero presence bitmap + no DoV words
+            // + `count` single-byte zero deltas, capped by the raw fallback.
+            VPageCodec::Delta => {
+                (1 + varint_len(count as u64) + count.div_ceil(8) + count).min(1 + 4 + 8 * count)
+            }
+        }
+    }
+}
 
 /// The view-variant data of one node entry: `VD = (DoV, NVO)` (paper §3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -71,22 +175,25 @@ impl VPage {
         self.entries.iter().any(VEntry::visible)
     }
 
-    /// Serializes into exactly [`VPAGE_SIZE`] bytes.
+    /// Serializes into exactly [`VPAGE_SIZE`] bytes (raw format).
     pub fn encode(&self) -> Vec<u8> {
         self.encode_sized(VPAGE_SIZE)
+            .expect("VPage::new enforces VPAGE_CAPACITY, which fits VPAGE_SIZE")
     }
 
-    /// Serializes into exactly `record_bytes` bytes (`4 + 8·M` for fan-out
-    /// `M` V-pages).
-    ///
-    /// # Panics
-    /// Panics when the entries do not fit the record.
-    pub fn encode_sized(&self, record_bytes: usize) -> Vec<u8> {
-        assert!(
-            4 + 8 * self.entries.len() <= record_bytes,
-            "{} entries exceed a {record_bytes}-byte V-page record",
-            self.entries.len()
-        );
+    /// Serializes the raw format into exactly `record_bytes` bytes
+    /// (`4 + 8·M` for fan-out `M` V-pages), or a typed
+    /// [`StorageError::VPageOverflow`] when the entries do not fit — never
+    /// a silent truncation.
+    pub fn encode_sized(&self, record_bytes: usize) -> Result<Vec<u8>> {
+        let needed = 4 + 8 * self.entries.len();
+        if needed > record_bytes {
+            return Err(StorageError::VPageOverflow {
+                entries: self.entries.len(),
+                needed,
+                record_bytes,
+            });
+        }
         let mut w = ByteWriter::with_capacity(record_bytes);
         w.put_u32(self.entries.len() as u32);
         for e in &self.entries {
@@ -95,10 +202,10 @@ impl VPage {
         }
         let mut bytes = w.into_bytes();
         bytes.resize(record_bytes, 0);
-        bytes
+        Ok(bytes)
     }
 
-    /// Decodes a V-page from a [`VPAGE_SIZE`]-byte record.
+    /// Decodes a raw-format V-page record.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         let count = r.get_u32()? as usize;
@@ -116,6 +223,212 @@ impl VPage {
         }
         Ok(VPage { entries })
     }
+
+    /// Exact pre-padding length of this page's delta record (flag byte
+    /// included), accounting for the per-record raw fallback.
+    pub fn delta_len(&self) -> usize {
+        (1 + self.delta_body_len()).min(1 + 4 + 8 * self.entries.len())
+    }
+
+    /// Length of the delta column payload (everything after the flag byte).
+    fn delta_body_len(&self) -> usize {
+        let n = self.entries.len();
+        let mut len = varint_len(n as u64) + n.div_ceil(8);
+        let mut prev = 0i64;
+        for e in &self.entries {
+            if e.dov.to_bits() != 0 {
+                len += 4;
+            }
+            let v = e.nvo as i64;
+            len += varint_len(zigzag(v - prev));
+            prev = v;
+        }
+        len
+    }
+
+    /// Serializes the flagged delta format into exactly `record_bytes`
+    /// bytes, falling back to a flagged raw payload when delta would be
+    /// larger. Returns [`StorageError::VPageOverflow`] when even the
+    /// smaller form does not fit.
+    pub fn encode_delta_sized(&self, record_bytes: usize) -> Result<Vec<u8>> {
+        let n = self.entries.len();
+        let body = self.delta_body_len();
+        let raw_payload = 4 + 8 * n;
+        let needed = 1 + body.min(raw_payload);
+        if needed > record_bytes {
+            return Err(StorageError::VPageOverflow {
+                entries: n,
+                needed,
+                record_bytes,
+            });
+        }
+        let mut w = ByteWriter::with_capacity(record_bytes);
+        if body <= raw_payload {
+            w.put_u8(RECORD_FLAG_DELTA);
+            self.encode_delta_body(&mut w);
+        } else {
+            w.put_u8(RECORD_FLAG_RAW);
+            w.put_u32(n as u32);
+            for e in &self.entries {
+                w.put_f32(e.dov);
+                w.put_u32(e.nvo);
+            }
+        }
+        debug_assert_eq!(w.len(), needed, "delta_len closed form drifted");
+        let mut bytes = w.into_bytes();
+        bytes.resize(record_bytes, 0);
+        Ok(bytes)
+    }
+
+    /// Writes the delta column payload: varint count, DoV presence bitmap,
+    /// packed nonzero DoV bit patterns, then the NVO column as zigzag
+    /// varints of consecutive differences.
+    fn encode_delta_body(&self, w: &mut ByteWriter) {
+        let n = self.entries.len();
+        w.put_varint(n as u64);
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.dov.to_bits() != 0 {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.put_slice(&bitmap);
+        for e in &self.entries {
+            if e.dov.to_bits() != 0 {
+                w.put_slice(&e.dov.to_le_bytes());
+            }
+        }
+        let mut prev = 0i64;
+        for e in &self.entries {
+            let v = e.nvo as i64;
+            w.put_varint(zigzag(v - prev));
+            prev = v;
+        }
+    }
+
+    /// Decodes a flagged record slot: the first byte selects raw or delta.
+    /// Trailing slot padding is ignored by both payloads, and an all-zero
+    /// slot (flag `0x00`, raw count 0) decodes as the empty page.
+    pub fn decode_flagged(bytes: &[u8]) -> Result<Self> {
+        let Some((&flag, rest)) = bytes.split_first() else {
+            return Err(StorageError::Corrupt(
+                "empty V-page record (no format flag)".into(),
+            ));
+        };
+        match flag {
+            RECORD_FLAG_RAW => Self::decode(rest),
+            RECORD_FLAG_DELTA => Self::decode_delta(rest),
+            other => Err(StorageError::Corrupt(format!(
+                "unknown V-page record flag {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Decodes the delta column payload (`bytes` excludes the flag byte).
+    ///
+    /// Both columns decode in tight per-column loops over the
+    /// struct-of-arrays payload: the DoV column is driven by bitmap
+    /// popcounts with a straight-line 4-wide unrolled path for fully
+    /// visible bitmap bytes (mirroring the 4-lane FNV checksum), and the
+    /// NVO column has a branch-light quad path for four consecutive
+    /// single-byte varints — the dominant case for sorted small deltas.
+    fn decode_delta(bytes: &[u8]) -> Result<Self> {
+        let truncated = || StorageError::Corrupt("truncated delta V-page record".into());
+        let (count, mut pos) = read_varint(bytes, 0)?;
+        let n = count as usize;
+        if count > VPAGE_CAPACITY as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "V-page count {count} exceeds capacity {VPAGE_CAPACITY}"
+            )));
+        }
+        let bm_len = n.div_ceil(8);
+        let bitmap = bytes.get(pos..pos + bm_len).ok_or_else(truncated)?;
+        pos += bm_len;
+        if !n.is_multiple_of(8) && bitmap[bm_len - 1] >> (n % 8) != 0 {
+            return Err(StorageError::Corrupt(
+                "V-page DoV bitmap sets bits beyond the entry count".into(),
+            ));
+        }
+        let nnz: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        let dov_bytes = bytes.get(pos..pos + 4 * nnz).ok_or_else(truncated)?;
+        pos += 4 * nnz;
+
+        let mut entries = vec![VEntry::HIDDEN; n];
+
+        // DoV column. `k` walks the densely packed nonzero words; bitmap
+        // invariants above guarantee every computed index is in bounds.
+        let mut k = 0usize;
+        for (byte_idx, &b) in bitmap.iter().enumerate() {
+            let base = byte_idx * 8;
+            if b == 0xFF {
+                // Fully visible byte: copy 8 words straight-line as two
+                // 4-wide groups, no per-bit control flow.
+                let src = &dov_bytes[4 * k..4 * k + 32];
+                entries[base].dov = f32::from_le_bytes(src[0..4].try_into().unwrap());
+                entries[base + 1].dov = f32::from_le_bytes(src[4..8].try_into().unwrap());
+                entries[base + 2].dov = f32::from_le_bytes(src[8..12].try_into().unwrap());
+                entries[base + 3].dov = f32::from_le_bytes(src[12..16].try_into().unwrap());
+                entries[base + 4].dov = f32::from_le_bytes(src[16..20].try_into().unwrap());
+                entries[base + 5].dov = f32::from_le_bytes(src[20..24].try_into().unwrap());
+                entries[base + 6].dov = f32::from_le_bytes(src[24..28].try_into().unwrap());
+                entries[base + 7].dov = f32::from_le_bytes(src[28..32].try_into().unwrap());
+                k += 8;
+                continue;
+            }
+            let mut bits = b;
+            while bits != 0 {
+                let i = base + bits.trailing_zeros() as usize;
+                let d: [u8; 4] = dov_bytes[4 * k..4 * k + 4].try_into().unwrap();
+                entries[i].dov = f32::from_le_bytes(d);
+                k += 1;
+                bits &= bits - 1;
+            }
+        }
+
+        // NVO column: zigzag varint deltas over the remaining bytes.
+        let nv = bytes.get(pos..).ok_or_else(truncated)?;
+        let mut p = 0usize;
+        let mut prev = 0i64;
+        let mut i = 0usize;
+        while i < n {
+            if i + 4 <= n {
+                if let Some(q) = nv.get(p..p + 4) {
+                    if (q[0] | q[1] | q[2] | q[3]) & 0x80 == 0 {
+                        // Four single-byte varints: decode straight-line.
+                        // `prev` is u32-bounded after every entry, and each
+                        // single-byte delta is within ±63, so the prefix
+                        // sums cannot overflow i64.
+                        let v0 = prev + unzigzag(u64::from(q[0]));
+                        let v1 = v0 + unzigzag(u64::from(q[1]));
+                        let v2 = v1 + unzigzag(u64::from(q[2]));
+                        let v3 = v2 + unzigzag(u64::from(q[3]));
+                        entries[i].nvo = nvo_in_range(v0)?;
+                        entries[i + 1].nvo = nvo_in_range(v1)?;
+                        entries[i + 2].nvo = nvo_in_range(v2)?;
+                        entries[i + 3].nvo = nvo_in_range(v3)?;
+                        prev = v3;
+                        p += 4;
+                        i += 4;
+                        continue;
+                    }
+                }
+            }
+            let (u, used) = read_varint(nv, p)?;
+            p += used;
+            let v = prev
+                .checked_add(unzigzag(u))
+                .ok_or_else(|| StorageError::Corrupt("V-page NVO delta chain overflows".into()))?;
+            entries[i].nvo = nvo_in_range(v)?;
+            prev = v;
+            i += 1;
+        }
+        Ok(VPage { entries })
+    }
+}
+
+fn nvo_in_range(v: i64) -> Result<u32> {
+    u32::try_from(v)
+        .map_err(|_| StorageError::Corrupt(format!("decoded NVO {v} outside u32 range")))
 }
 
 #[cfg(test)]
@@ -166,5 +479,181 @@ mod tests {
     #[should_panic]
     fn overflow_panics() {
         let _ = VPage::new(vec![VEntry::HIDDEN; VPAGE_CAPACITY + 1]);
+    }
+
+    #[test]
+    fn encode_sized_overflow_is_typed_error_not_truncation() {
+        let vp = VPage::new(vec![VEntry { dov: 0.5, nvo: 2 }; 3]);
+        let err = vp.encode_sized(4 + 8 * 2).unwrap_err();
+        match err {
+            StorageError::VPageOverflow {
+                entries,
+                needed,
+                record_bytes,
+            } => {
+                assert_eq!(entries, 3);
+                assert_eq!(needed, 4 + 8 * 3);
+                assert_eq!(record_bytes, 4 + 8 * 2);
+            }
+            other => panic!("expected VPageOverflow, got {other}"),
+        }
+        // The exact fit still works.
+        assert!(vp.encode_sized(4 + 8 * 3).is_ok());
+    }
+
+    fn delta_round_trip(vp: &VPage) -> usize {
+        let len = vp.delta_len();
+        let bytes = vp.encode_delta_sized(len).unwrap();
+        assert_eq!(bytes.len(), len);
+        assert_eq!(&VPage::decode_flagged(&bytes).unwrap(), vp);
+        // Slot padding must not change the answer.
+        let padded = vp.encode_delta_sized(len + 17).unwrap();
+        assert_eq!(&VPage::decode_flagged(&padded).unwrap(), vp);
+        len
+    }
+
+    #[test]
+    fn delta_round_trips_representative_shapes() {
+        // Empty.
+        delta_round_trip(&VPage::default());
+        // All hidden (the horizontal scheme's placeholder shape).
+        let hidden = VPage::new(vec![VEntry::HIDDEN; 17]);
+        let len = delta_round_trip(&hidden);
+        assert_eq!(len, VPageCodec::Delta.hidden_record_len(17));
+        assert!(len < 4 + 8 * 17);
+        // Fully visible with small sorted NVO runs: the common real shape.
+        let sorted = VPage::new(
+            (0..VPAGE_CAPACITY)
+                .map(|i| VEntry {
+                    dov: 0.01 + i as f32 / 100.0,
+                    nvo: (3 * i) as u32,
+                })
+                .collect(),
+        );
+        delta_round_trip(&sorted);
+        // Mixed visibility, decreasing NVO (negative deltas).
+        let mixed = VPage::new(
+            (0..23)
+                .map(|i| VEntry {
+                    dov: if i % 3 == 0 { 0.5 } else { 0.0 },
+                    nvo: (1000 - 40 * i) as u32,
+                })
+                .collect(),
+        );
+        delta_round_trip(&mixed);
+        // Negative zero DoV has a nonzero bit pattern and must survive.
+        let neg_zero = VPage::new(vec![VEntry { dov: -0.0, nvo: 7 }]);
+        let got = VPage::decode_flagged(&neg_zero.encode_delta_sized(32).unwrap()).unwrap();
+        assert_eq!(got.entries[0].dov.to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn delta_never_exceeds_raw_plus_flag() {
+        // Adversarial NVO jumps force maximal varints; the raw fallback
+        // caps the record at raw + 1 flag byte.
+        let wild = VPage::new(
+            (0..20)
+                .map(|i| VEntry {
+                    dov: 1.0,
+                    nvo: if i % 2 == 0 { 0 } else { u32::MAX },
+                })
+                .collect(),
+        );
+        let len = wild.delta_len();
+        assert_eq!(len, 1 + 4 + 8 * 20);
+        let bytes = wild.encode_delta_sized(len).unwrap();
+        assert_eq!(bytes[0], RECORD_FLAG_RAW);
+        assert_eq!(VPage::decode_flagged(&bytes).unwrap(), wild);
+    }
+
+    #[test]
+    fn delta_record_len_matches_encoding_exactly() {
+        let vp = VPage::new(
+            (0..31)
+                .map(|i| VEntry {
+                    dov: if i % 2 == 0 { 0.25 } else { 0.0 },
+                    nvo: i as u32 * 2,
+                })
+                .collect(),
+        );
+        let len = VPageCodec::Delta.record_len(&vp);
+        assert_eq!(len, vp.delta_len());
+        assert!(vp.encode_delta_sized(len).is_ok());
+        let err = vp.encode_delta_sized(len - 1).unwrap_err();
+        assert!(matches!(err, StorageError::VPageOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn zeroed_padding_slot_decodes_as_empty_page() {
+        let vp = VPage::decode_flagged(&[0u8; MIN_DELTA_RECORD_BYTES]).unwrap();
+        assert!(vp.entries.is_empty());
+    }
+
+    #[test]
+    fn delta_decode_rejects_corruption_fast() {
+        // Unknown record flag.
+        let err = VPage::decode_flagged(&[0x7F, 0, 0, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("unknown V-page record flag"));
+        // Empty record.
+        assert!(VPage::decode_flagged(&[]).is_err());
+        // Count beyond capacity.
+        let mut w = ByteWriter::new();
+        w.put_u8(RECORD_FLAG_DELTA);
+        w.put_varint(VPAGE_CAPACITY as u64 + 1);
+        assert!(VPage::decode_flagged(w.bytes()).is_err());
+        // Truncated mid-columns: chop a valid record anywhere and decode
+        // must error, never panic or fabricate entries.
+        let vp = VPage::new(
+            (0..9)
+                .map(|i| VEntry {
+                    dov: 0.125,
+                    nvo: 100 + i as u32,
+                })
+                .collect(),
+        );
+        let bytes = vp.encode_delta_sized(vp.delta_len()).unwrap();
+        for cut in 1..bytes.len() {
+            assert!(
+                VPage::decode_flagged(&bytes[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+        // Bitmap bits beyond the entry count.
+        let one = VPage::new(vec![VEntry::HIDDEN; 3]);
+        let mut enc = one.encode_delta_sized(one.delta_len()).unwrap();
+        assert_eq!(enc[0], RECORD_FLAG_DELTA);
+        enc[2] |= 0b1000; // bit 3 of the bitmap, but only 3 entries exist
+        assert!(VPage::decode_flagged(&enc)
+            .unwrap_err()
+            .to_string()
+            .contains("beyond the entry count"));
+    }
+
+    #[test]
+    fn codec_axis_parses_and_labels() {
+        assert_eq!(VPageCodec::parse("raw"), Some(VPageCodec::Raw));
+        assert_eq!(VPageCodec::parse("delta"), Some(VPageCodec::Delta));
+        assert_eq!(VPageCodec::parse("zstd"), None);
+        assert_eq!(VPageCodec::Raw.label(), "raw");
+        assert_eq!(VPageCodec::Delta.label(), "delta");
+        assert_eq!(VPageCodec::default(), VPageCodec::Delta);
+        assert_eq!(VPageCodec::Raw.store_flags(), 0);
+        assert_eq!(VPageCodec::Delta.store_flags(), STORE_FLAG_VPAGE_DELTA);
+    }
+
+    #[test]
+    fn hidden_record_len_closed_form_matches_real_pages() {
+        for count in [0usize, 1, 7, 8, 9, VPAGE_CAPACITY] {
+            let page = VPage::new(vec![VEntry::HIDDEN; count]);
+            assert_eq!(
+                VPageCodec::Delta.hidden_record_len(count),
+                page.delta_len(),
+                "count {count}"
+            );
+            assert_eq!(
+                VPageCodec::Raw.hidden_record_len(count),
+                VPageCodec::Raw.record_len(&page)
+            );
+        }
     }
 }

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use hdov_core::{
     search_shared_into, HdovBuildConfig, HdovEnvironment, PoolConfig, SearchScratch, StorageScheme,
+    VPageCodec,
 };
 use hdov_scene::CityConfig;
 use hdov_storage::StorageBackend;
@@ -58,36 +59,64 @@ fn steady_state_search_shared_allocates_nothing() {
     let grid_cfg = CellGridConfig::for_scene(&scene).with_resolution(3, 3);
     let store_dir = std::env::temp_dir().join(format!("hdov_alloc_free_{}", std::process::id()));
 
-    for scheme in [StorageScheme::Vertical, StorageScheme::IndexedVertical] {
-        // The contract holds on the mmap backend too: pool misses hand out
-        // frames borrowing file-mapped bytes, still without allocating.
-        for backend in [
-            StorageBackend::Mem,
-            StorageBackend::file(store_dir.join(scheme.to_string())),
-        ] {
-            let label = backend.label();
-            // Pools big enough that the steady state is all-hits.
-            let mut built =
-                HdovEnvironment::build(&scene, &grid_cfg, HdovBuildConfig::fast_test(), scheme)
-                    .unwrap();
-            built.relocate(&backend).unwrap();
-            let env = built.into_shared(PoolConfig {
-                capacity_pages: 4096,
-                shards: 8,
-                ..PoolConfig::default()
-            });
-            let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
-            let mut ctx = env.session();
-            let mut scratch = SearchScratch::new();
+    // Both wire formats: the Delta codec's batch decode lands in the
+    // OnceLock overlay exactly once per pool residency, so an all-hits
+    // steady state never decodes (and never allocates) either way.
+    for codec in [VPageCodec::Raw, VPageCodec::Delta] {
+        for scheme in [StorageScheme::Vertical, StorageScheme::IndexedVertical] {
+            // The contract holds on the mmap backend too: pool misses hand
+            // out frames borrowing file-mapped bytes, still without
+            // allocating.
+            for backend in [
+                StorageBackend::Mem,
+                StorageBackend::file(store_dir.join(format!("{scheme}_{codec:?}"))),
+            ] {
+                let label = backend.label();
+                let cfg = HdovBuildConfig {
+                    codec,
+                    ..HdovBuildConfig::fast_test()
+                };
+                // Pools big enough that the steady state is all-hits.
+                let mut built = HdovEnvironment::build(&scene, &grid_cfg, cfg, scheme).unwrap();
+                built.relocate(&backend).unwrap();
+                let env = built.into_shared(PoolConfig {
+                    capacity_pages: 4096,
+                    shards: 8,
+                    ..PoolConfig::default()
+                });
+                let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();
+                let mut ctx = env.session();
+                let mut scratch = SearchScratch::new();
 
-            for prefetch in [false, true] {
-                // Warm-up: two full rounds populate the pools and grow every
-                // reused buffer (segments, staging bytes, prefetch list,
-                // result entries) to its per-workload high-water mark.
-                for _ in 0..2 {
+                for prefetch in [false, true] {
+                    // Warm-up: two full rounds populate the pools and grow every
+                    // reused buffer (segments, staging bytes, prefetch list,
+                    // result entries) to its per-workload high-water mark.
+                    for _ in 0..2 {
+                        for &cell in &cells {
+                            for eta in [0.0, 0.004] {
+                                search_shared_into(
+                                    &env,
+                                    &mut ctx,
+                                    &mut scratch,
+                                    cell,
+                                    eta,
+                                    None,
+                                    prefetch,
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+
+                    // Steady state: the same workload must never touch the
+                    // allocator — cell flips, prefetch probes, node and V-page
+                    // reads, LoD charging, and result assembly included.
+                    let before = allocations();
+                    let mut polygons = 0u64;
                     for &cell in &cells {
                         for eta in [0.0, 0.004] {
-                            search_shared_into(
+                            let stats = search_shared_into(
                                 &env,
                                 &mut ctx,
                                 &mut scratch,
@@ -97,39 +126,19 @@ fn steady_state_search_shared_allocates_nothing() {
                                 prefetch,
                             )
                             .unwrap();
+                            assert!(stats.nodes_visited > 0);
+                            polygons += scratch.result().total_polygons();
                         }
                     }
+                    let after = allocations();
+                    assert!(polygons > 0, "queries must produce visible polygons");
+                    assert_eq!(
+                        after - before,
+                        0,
+                        "steady-state all-hits search_shared_into allocated \
+                         ({scheme}, {codec:?}, backend {label}, prefetch {prefetch})"
+                    );
                 }
-
-                // Steady state: the same workload must never touch the
-                // allocator — cell flips, prefetch probes, node and V-page
-                // reads, LoD charging, and result assembly included.
-                let before = allocations();
-                let mut polygons = 0u64;
-                for &cell in &cells {
-                    for eta in [0.0, 0.004] {
-                        let stats = search_shared_into(
-                            &env,
-                            &mut ctx,
-                            &mut scratch,
-                            cell,
-                            eta,
-                            None,
-                            prefetch,
-                        )
-                        .unwrap();
-                        assert!(stats.nodes_visited > 0);
-                        polygons += scratch.result().total_polygons();
-                    }
-                }
-                let after = allocations();
-                assert!(polygons > 0, "queries must produce visible polygons");
-                assert_eq!(
-                    after - before,
-                    0,
-                    "steady-state all-hits search_shared_into allocated \
-                     ({scheme}, backend {label}, prefetch {prefetch})"
-                );
             }
         }
     }

@@ -1,0 +1,153 @@
+//! Property-based tests of the V-page wire codecs: arbitrary pages —
+//! including empty, all-hidden, and capacity-width ones — must survive a
+//! Delta encode/decode round trip bit-exactly, the Delta encoding must
+//! never beat the raw layout by less than it claims (`delta_len` is exact),
+//! sorted-run pages must compress to at most the raw size, and truncated or
+//! corrupted records must fail decoding fast instead of yielding a page.
+
+use hdov_core::{VEntry, VPage, VPageCodec};
+use proptest::prelude::*;
+
+/// `MAX_ENTRIES` of the HDoV node layout (the V-page capacity).
+const CAPACITY: usize = 56;
+
+/// An arbitrary V-page: entries mix hidden (`dov == 0`) and visible ones,
+/// NVOs span the whole `u32` range (worst-case varint deltas).
+fn vpage_strategy() -> impl Strategy<Value = VPage> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just(0.0f32), 1e-6f32..1.0f32],
+            prop_oneof![0u32..64, 0u32..u32::MAX],
+        ),
+        0..CAPACITY,
+    )
+    .prop_map(|raw| {
+        VPage::new(
+            raw.into_iter()
+                .map(|(dov, nvo)| VEntry { dov, nvo })
+                .collect(),
+        )
+    })
+}
+
+/// A "sorted run" page in the paper's regime: NVOs ascend with small gaps,
+/// most entries visible — the case the delta/varint columns are built for.
+fn sorted_run_strategy() -> impl Strategy<Value = VPage> {
+    prop::collection::vec(
+        (prop_oneof![Just(0.0f32), 0.01f32..1.0f32], 1u32..32),
+        0..CAPACITY,
+    )
+    .prop_map(|raw| {
+        let mut nvo = 0u32;
+        VPage::new(
+            raw.into_iter()
+                .map(|(dov, gap)| {
+                    nvo += gap;
+                    VEntry { dov, nvo }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_round_trip_is_bit_exact(vp in vpage_strategy()) {
+        let tight = VPageCodec::Delta.encode_record(&vp, vp.delta_len()).unwrap();
+        prop_assert_eq!(tight.len(), vp.delta_len(), "delta_len must be exact");
+        prop_assert_eq!(VPageCodec::Delta.decode_record(&tight).unwrap(), vp.clone());
+
+        // A padded record slot (as the fixed-slot V-page file uses) decodes
+        // to the same page: trailing zeros are ignored.
+        let padded = VPageCodec::Delta.encode_record(&vp, vp.delta_len() + 17).unwrap();
+        prop_assert_eq!(padded.len(), vp.delta_len() + 17);
+        prop_assert_eq!(VPageCodec::Delta.decode_record(&padded).unwrap(), vp.clone());
+
+        // The Raw codec stays its own round-trip inverse.
+        let n = vp.entries.len();
+        let raw = VPageCodec::Raw.encode_record(&vp, 4 + 8 * n).unwrap();
+        prop_assert_eq!(VPageCodec::Raw.decode_record(&raw).unwrap(), vp);
+    }
+
+    #[test]
+    fn delta_never_exceeds_raw_by_more_than_the_flag(vp in vpage_strategy()) {
+        // The raw-fallback bound: any page costs at most the raw record
+        // plus the one-byte page flag, even with adversarial NVO deltas.
+        prop_assert!(vp.delta_len() <= 1 + 4 + 8 * vp.entries.len());
+    }
+
+    #[test]
+    fn sorted_runs_compress_to_at_most_raw(vp in sorted_run_strategy()) {
+        // In the paper's regime (ascending NVOs, small gaps) the delta
+        // encoding is never larger than the raw layout, and strictly
+        // smaller once a page holds a couple of entries.
+        let raw_len = 4 + 8 * vp.entries.len();
+        prop_assert!(vp.delta_len() <= raw_len);
+        if vp.entries.len() >= 2 {
+            prop_assert!(vp.delta_len() < raw_len);
+        }
+    }
+
+    #[test]
+    fn truncated_records_fail_fast(vp in vpage_strategy()) {
+        let tight = VPageCodec::Delta.encode_record(&vp, vp.delta_len()).unwrap();
+        for cut in 0..tight.len() {
+            prop_assert!(
+                VPageCodec::Delta.decode_record(&tight[..cut]).is_err(),
+                "decode must reject a record truncated to {} of {} bytes",
+                cut,
+                tight.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_flag_and_bitmap_fail_fast(vp in vpage_strategy(), flag in 2u8..255) {
+        let mut bad = VPageCodec::Delta.encode_record(&vp, vp.delta_len()).unwrap();
+        bad[0] = flag; // neither RAW (0x00) nor DELTA (0x01)
+        prop_assert!(VPageCodec::Delta.decode_record(&bad).is_err());
+
+        // Setting a padding bit in the presence bitmap past the entry count
+        // must be rejected, not silently decoded.
+        let n = vp.entries.len();
+        if n > 0 && n % 8 != 0 {
+            let mut bad = VPageCodec::Delta.encode_record(&vp, vp.delta_len()).unwrap();
+            if bad[0] == 0x01 {
+                // flag + count varint, then the bitmap's last byte.
+                let count_len = if n < 128 { 1 } else { 2 };
+                let last_bm = 1 + count_len + n.div_ceil(8) - 1;
+                bad[last_bm] |= 0x80;
+                prop_assert!(
+                    VPageCodec::Delta.decode_record(&bad).is_err(),
+                    "padding bit past entry {} must be corrupt",
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_record_len_matches_all_hidden_pages(n in 0usize..CAPACITY) {
+        let vp = VPage::new(vec![VEntry::HIDDEN; n]);
+        prop_assert_eq!(VPageCodec::Delta.hidden_record_len(n), vp.delta_len());
+        prop_assert_eq!(VPageCodec::Raw.hidden_record_len(n), 4 + 8 * n);
+    }
+}
+
+#[test]
+fn capacity_width_page_round_trips() {
+    let vp = VPage::new(
+        (0..CAPACITY)
+            .map(|i| VEntry {
+                dov: (i as f32 + 1.0) / CAPACITY as f32,
+                nvo: u32::MAX - i as u32,
+            })
+            .collect(),
+    );
+    let enc = VPageCodec::Delta
+        .encode_record(&vp, vp.delta_len())
+        .unwrap();
+    assert_eq!(VPageCodec::Delta.decode_record(&enc).unwrap(), vp);
+}

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use hdov_core::{
     search_shared, HdovBuildConfig, HdovEnvironment, PoolConfig, SessionCtx, SharedEnvironment,
-    StorageScheme, VEntry, VPage,
+    StorageScheme, VEntry, VPage, VPageCodec,
 };
 use hdov_scene::{CityConfig, Scene};
 use hdov_storage::{DiskModel, IoCursor, PageId, PAGE_SIZE};
@@ -61,12 +61,37 @@ fn one_record_per_page_store(n: u32) -> (Vec<u16>, Vec<Vec<(u32, VPage)>>) {
     (counts, vec![cell])
 }
 
+/// Delta-codec store: every node carries a full-width 56-entry V-page with
+/// spread-out NVOs, so the fixed Delta record slot is a few hundred bytes
+/// and several records share each disk page (unlike the Raw helper above,
+/// Delta records can never fill a whole page — the raw-fallback bound caps
+/// them at `1 + 4 + 8·n` bytes).
+fn wide_delta_store(n: u32) -> (Vec<u16>, Vec<Vec<(u32, VPage)>>) {
+    let counts = vec![56u16; n as usize];
+    let cell = (0..n)
+        .map(|o| {
+            (
+                o,
+                VPage::new(
+                    (0..56)
+                        .map(|i| VEntry {
+                            dov: 0.5 + (i as f32) * 0.001,
+                            nvo: o.wrapping_mul(977).wrapping_add(i * 31) % 100_000,
+                        })
+                        .collect(),
+                ),
+            )
+        })
+        .collect();
+    (counts, vec![cell])
+}
+
 #[test]
 fn overlay_dropped_exactly_on_frame_eviction() {
     let _g = serial();
     let (counts, cells) = one_record_per_page_store(8);
     let store = StorageScheme::Vertical
-        .build(&counts, &cells, DiskModel::PAPER_ERA)
+        .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Raw)
         .unwrap();
     // A single-shard two-frame V-page pool: reading three distinct pages is
     // guaranteed to evict the oldest.
@@ -117,6 +142,73 @@ fn overlay_dropped_exactly_on_frame_eviction() {
         "a re-pooled frame starts with an empty overlay slot"
     );
     assert_eq!(*v0, *v0_redecoded, "re-decode must agree");
+}
+
+#[test]
+fn overlay_eviction_semantics_hold_under_delta_codec() {
+    let _g = serial();
+    let (counts, cells) = wide_delta_store(120);
+    let store = StorageScheme::Vertical
+        .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+        .unwrap();
+    let vs = store.into_shared(PoolConfig {
+        capacity_pages: 2,
+        shards: 1,
+        ..PoolConfig::default()
+    });
+
+    let mut ctx = SessionCtx::new();
+    vs.enter_cell(&mut ctx, 0).unwrap();
+    // Vertical append order == ordinal here (one cell, all visible), so
+    // record index k lives on disk page `disk_page_of(k)`.
+    let v0 = vs.fetch(&mut ctx, 0).unwrap().unwrap();
+    assert_eq!(*v0, cells[0][0].1, "batch decode must reproduce the page");
+
+    let frame = vs
+        .vpages()
+        .pool()
+        .read_frame(&mut ctx.vpage_cur, PageId(vs.vpages().disk_page_of(0)))
+        .unwrap();
+    assert!(
+        frame.has_overlay(),
+        "fetch must have batch-decoded the overlay"
+    );
+    let weak = Arc::downgrade(&frame);
+    drop(frame);
+    let v0_again = vs.fetch(&mut ctx, 0).unwrap().unwrap();
+    assert!(
+        Arc::ptr_eq(&v0, &v0_again),
+        "repeat fetch of a resident record must share the decoded Arc"
+    );
+    // A neighbouring record on the same disk page shares the one batch
+    // decode: no per-record decode work while the frame is resident.
+    let same_page_neighbour = (1..120u32)
+        .find(|&o| vs.vpages().disk_page_of(o as u64) == vs.vpages().disk_page_of(0))
+        .expect("several delta records share a page");
+    let vn = vs.fetch(&mut ctx, same_page_neighbour).unwrap().unwrap();
+    assert_eq!(*vn, cells[0][same_page_neighbour as usize].1);
+
+    // Stream records from four other disk pages through the two-frame pool:
+    // page 0's frame — and its decoded overlay — dies at eviction.
+    let mut seen = std::collections::HashSet::new();
+    for o in 1..120u32 {
+        let p = vs.vpages().disk_page_of(o as u64);
+        if p != vs.vpages().disk_page_of(0) && seen.insert(p) {
+            let got = vs.fetch(&mut ctx, o).unwrap().unwrap();
+            assert_eq!(*got, cells[0][o as usize].1);
+        }
+        if seen.len() >= 4 {
+            break;
+        }
+    }
+    assert!(seen.len() >= 4, "store too small to steer eviction");
+    assert!(
+        weak.upgrade().is_none(),
+        "evicted frame (and its overlay) must be dropped at eviction"
+    );
+    let v0_redecoded = vs.fetch(&mut ctx, 0).unwrap().unwrap();
+    assert!(!Arc::ptr_eq(&v0, &v0_redecoded));
+    assert_eq!(*v0, *v0_redecoded, "delta re-decode must agree");
 }
 
 #[test]

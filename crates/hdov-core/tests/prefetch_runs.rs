@@ -6,7 +6,7 @@
 //! Lives in its own integration-test binary because it asserts on the
 //! process-global observability recorder (like `obs_wiring`).
 
-use hdov_core::{PoolConfig, SessionCtx, StorageScheme, VEntry, VPage};
+use hdov_core::{PoolConfig, SessionCtx, StorageScheme, VEntry, VPage, VPageCodec};
 use hdov_storage::{DiskModel, FileMode, StorageBackend};
 
 /// Visibility data wide enough that one cell's V-pages span several disk
@@ -41,7 +41,9 @@ fn cold_prefetch_issues_one_physical_read_per_run() {
                 dir: dir.join(format!("{scheme}_{mode:?}")),
                 mode,
             };
-            let mut store = scheme.build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+            let mut store = scheme
+                .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+                .unwrap();
             store.relocate(&backend).unwrap();
             let shared = store.into_shared(PoolConfig::default());
             let mut ctx = SessionCtx::new();
@@ -73,7 +75,9 @@ fn cold_prefetch_issues_one_physical_read_per_run() {
         }
 
         // Mem backend: same prefetch, zero physical reads by definition.
-        let mut store = scheme.build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+        let mut store = scheme
+            .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+            .unwrap();
         store.relocate(&StorageBackend::Mem).unwrap();
         let shared = store.into_shared(PoolConfig::default());
         let mut ctx = SessionCtx::new();

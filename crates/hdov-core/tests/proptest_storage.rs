@@ -2,7 +2,7 @@
 //! observationally equivalent on arbitrary sparse visibility data, and
 //! their storage formulas stay ordered in the sparse regime.
 
-use hdov_core::{StorageScheme, VEntry, VPage};
+use hdov_core::{StorageScheme, VEntry, VPage, VPageCodec};
 use hdov_storage::{DiskModel, FileMode, StorageBackend};
 use proptest::prelude::*;
 
@@ -38,7 +38,7 @@ proptest! {
         let entry_counts: Vec<u16> = (0..60u32).map(|n| ((n % 7) + 2) as u16).collect();
         let mut stores: Vec<_> = StorageScheme::all()
             .into_iter()
-            .map(|s| s.build(&entry_counts, &cells, DiskModel::FREE).unwrap())
+            .map(|s| s.build(&entry_counts, &cells, DiskModel::FREE, VPageCodec::Delta).unwrap())
             .collect();
         for (cid, cell) in cells.iter().enumerate() {
             for store in stores.iter_mut() {
@@ -83,7 +83,7 @@ proptest! {
     fn revisiting_cells_is_stable(cells in cells_strategy(40, 6), order in prop::collection::vec(0usize..6, 1..20)) {
         let entry_counts: Vec<u16> = (0..40u32).map(|n| ((n % 7) + 2) as u16).collect();
         let mut store = StorageScheme::IndexedVertical
-            .build(&entry_counts, &cells, DiskModel::FREE)
+            .build(&entry_counts, &cells, DiskModel::FREE, VPageCodec::Delta)
             .unwrap();
         for &raw in &order {
             let cid = raw % cells.len();
@@ -110,14 +110,14 @@ proptest! {
                 // Fresh twin per mode: simulated charges depend on the disk
                 // head, which moves as the reference store is queried.
                 let mut mem = scheme
-                    .build(&entry_counts, &cells, DiskModel::PAPER_ERA)
+                    .build(&entry_counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
                     .unwrap();
                 let backend = StorageBackend::File {
                     dir: dir.join(format!("{scheme}_{mode:?}")),
                     mode,
                 };
                 let mut filed = scheme
-                    .build(&entry_counts, &cells, DiskModel::PAPER_ERA)
+                    .build(&entry_counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
                     .unwrap();
                 filed.relocate(&backend).unwrap();
                 mem.reset_stats();
@@ -149,17 +149,17 @@ proptest! {
         let c = cells.len() as u64;
 
         let h = StorageScheme::Horizontal
-            .build(&entry_counts, &cells, DiskModel::FREE)
+            .build(&entry_counts, &cells, DiskModel::FREE, VPageCodec::Raw)
             .unwrap();
         prop_assert_eq!(h.storage_bytes(), vpage * c * 80);
 
         let v = StorageScheme::Vertical
-            .build(&entry_counts, &cells, DiskModel::FREE)
+            .build(&entry_counts, &cells, DiskModel::FREE, VPageCodec::Raw)
             .unwrap();
         prop_assert_eq!(v.storage_bytes(), 8 * 80 * c + vpage * vnode_total);
 
         let iv = StorageScheme::IndexedVertical
-            .build(&entry_counts, &cells, DiskModel::FREE)
+            .build(&entry_counts, &cells, DiskModel::FREE, VPageCodec::Raw)
             .unwrap();
         prop_assert_eq!(iv.storage_bytes(), (12 + vpage) * vnode_total);
     }

@@ -4,6 +4,7 @@
 
 use hdov_core::{
     DeltaSearch, HdovBuildConfig, HdovEnvironment, QueryResult, ResultKey, StorageScheme,
+    VPageCodec,
 };
 use hdov_geom::Vec3;
 use hdov_scene::{CityConfig, Scene};
@@ -203,10 +204,10 @@ fn light_io_cheaper_for_indexed_than_horizontal() {
     use hdov_storage::DiskModel;
     let (counts, cells) = sparse_store_data();
     let mut h = StorageScheme::Horizontal
-        .build(&counts, &cells, DiskModel::PAPER_ERA)
+        .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
         .unwrap();
     let mut iv = StorageScheme::IndexedVertical
-        .build(&counts, &cells, DiskModel::PAPER_ERA)
+        .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
         .unwrap();
     let (mut us_h, mut us_iv) = (0.0f64, 0.0f64);
     for (c, cell) in cells.iter().enumerate() {
@@ -233,7 +234,7 @@ fn storage_sizes_ordered_like_table2() {
     let bytes: Vec<u64> = StorageScheme::all()
         .into_iter()
         .map(|s| {
-            s.build(&counts, &cells, DiskModel::FREE)
+            s.build(&counts, &cells, DiskModel::FREE, VPageCodec::Raw)
                 .unwrap()
                 .storage_bytes()
         })

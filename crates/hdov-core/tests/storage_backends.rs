@@ -6,7 +6,7 @@
 
 use hdov_core::{
     search_shared_into, HdovBuildConfig, HdovEnvironment, PoolConfig, SearchScratch, StorageScheme,
-    VEntry, VPage,
+    VEntry, VPage, VPageCodec,
 };
 use hdov_scene::CityConfig;
 use hdov_storage::{DiskModel, FileMode, FrozenPages, StorageBackend};
@@ -68,8 +68,12 @@ fn every_scheme_answers_identically_on_file_backends() {
         for backend in file_backends(&dir.join(scheme.to_string())) {
             // Fresh twin per backend: simulated charges depend on the disk
             // head, which moves as the reference store is queried.
-            let mut mem = scheme.build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
-            let mut filed = scheme.build(&counts, &cells, DiskModel::PAPER_ERA).unwrap();
+            let mut mem = scheme
+                .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+                .unwrap();
+            let mut filed = scheme
+                .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)
+                .unwrap();
             filed.relocate(&backend).unwrap();
             mem.reset_stats();
             filed.reset_stats();
@@ -157,7 +161,9 @@ fn corrupted_store_files_fail_fast_for_every_scheme() {
     let (counts, cells) = sample(24);
     for scheme in StorageScheme::all() {
         let store_dir = dir.join(scheme.to_string());
-        let mut s = scheme.build(&counts, &cells, DiskModel::FREE).unwrap();
+        let mut s = scheme
+            .build(&counts, &cells, DiskModel::FREE, VPageCodec::Delta)
+            .unwrap();
         s.relocate(&StorageBackend::file(&store_dir)).unwrap();
         let mut files = 0;
         for entry in std::fs::read_dir(&store_dir).unwrap() {

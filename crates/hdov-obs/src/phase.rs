@@ -116,11 +116,20 @@ pub enum Counter {
     CowPages,
     /// DoV cells recomputed by incremental visibility re-patching.
     DovRepatches,
+    /// Raw (uncompressed) bytes of V-page records appended to stores:
+    /// `4 + 8·entries` per record, before codec and slot padding.
+    VpageBytesRaw,
+    /// Encoded bytes of V-page records appended to stores (pre-padding).
+    /// Equals `VpageBytesRaw` under the raw codec; smaller under delta.
+    VpageBytesEncoded,
+    /// V-page record decodes executed (single-record reads and batch
+    /// overlay decodes both count per record decoded).
+    CodecDecodes,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -150,6 +159,9 @@ impl Counter {
         Counter::Commits,
         Counter::CowPages,
         Counter::DovRepatches,
+        Counter::VpageBytesRaw,
+        Counter::VpageBytesEncoded,
+        Counter::CodecDecodes,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -181,6 +193,9 @@ impl Counter {
             Counter::Commits => "commits",
             Counter::CowPages => "cow_pages",
             Counter::DovRepatches => "dov_repatches",
+            Counter::VpageBytesRaw => "vpage_bytes_raw",
+            Counter::VpageBytesEncoded => "vpage_bytes_encoded",
+            Counter::CodecDecodes => "codec_decodes",
         }
     }
 

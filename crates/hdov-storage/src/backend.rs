@@ -98,6 +98,12 @@ impl StorageBackend {
     /// `<dir>/<name>.hdov`, then reopened — and thereby fully verified —
     /// in the backend's [`FileMode`].
     pub fn freeze(&self, name: &str, file: StoreFile) -> Result<StoreFile> {
+        self.freeze_flagged(name, file, 0)
+    }
+
+    /// [`freeze`](Self::freeze) with an explicit frozen-store header `flags`
+    /// word (see [`crate::frozen::STORE_FLAG_VPAGE_DELTA`]).
+    pub fn freeze_flagged(&self, name: &str, file: StoreFile, flags: u32) -> Result<StoreFile> {
         match self {
             StorageBackend::Mem => Ok(StoreFile::Frozen(file.into_frozen())),
             StorageBackend::File { dir, mode } => {
@@ -105,7 +111,7 @@ impl StorageBackend {
                 let path = dir.join(format!("{name}.hdov"));
                 let frozen = file.into_frozen();
                 let generation = GENERATION.fetch_add(1, Ordering::Relaxed);
-                frozen.write_store(&path, generation)?;
+                frozen.write_store_flagged(&path, generation, flags)?;
                 let reopened = match mode {
                     FileMode::Mmap => FrozenPages::open_mmap(&path)?,
                     FileMode::Pread => FrozenPages::open_pread(&path)?,

@@ -80,6 +80,57 @@ impl ByteWriter {
     pub fn put_slice(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
+
+    /// Appends a LEB128 varint (7 bits per byte, high bit = continuation).
+    pub fn put_varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+}
+
+/// Encoded byte length of `v` as a LEB128 varint (1..=10).
+pub const fn varint_len(v: u64) -> usize {
+    // ceil(bits/7) with a 0 → 1 floor; branch-free.
+    (64 - (v | 1).leading_zeros()).div_ceil(7) as usize
+}
+
+/// ZigZag-maps a signed delta to an unsigned varint payload, so small
+/// negative deltas stay small.
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub const fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Decodes one LEB128 varint from `buf[pos..]`, returning the value and the
+/// number of bytes consumed. Rejects truncated input and non-canonical
+/// encodings longer than 10 bytes.
+pub fn read_varint(buf: &[u8], pos: usize) -> Result<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    let mut used = 0usize;
+    loop {
+        let Some(&b) = buf.get(pos + used) else {
+            return Err(StorageError::Corrupt(
+                "truncated record: varint ran past end of buffer".into(),
+            ));
+        };
+        used += 1;
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, used));
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint longer than 10 bytes".into()));
+        }
+    }
 }
 
 /// Sequential bounds-checked reader over a byte slice.
@@ -201,6 +252,55 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         assert!(r.get_slice(4).is_err());
         assert_eq!(r.get_slice(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn varint_round_trip_and_lengths() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut w = ByteWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), varint_len(v), "len mismatch for {v}");
+            let (back, used) = read_varint(w.bytes(), 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, w.len());
+        }
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag broke for {v}");
+        }
+        // Small magnitudes map to small codes: the whole point.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlength() {
+        // Continuation bit set on the last byte: truncated.
+        let err = read_varint(&[0x80, 0x80], 0).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+        // 10 continuation bytes: longer than any canonical u64.
+        let err = read_varint(&[0xFF; 11], 0).unwrap_err();
+        assert!(err.to_string().contains("longer than 10"));
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub enum StorageError {
         /// What check failed.
         reason: String,
     },
+    /// A V-page's encoded form does not fit the fixed record slot it was
+    /// given. Raised by the encoder instead of silently truncating entries;
+    /// indicates a record-sizing bug in the store builder, never bad disk
+    /// bytes.
+    VPageOverflow {
+        /// Entries in the page being encoded.
+        entries: usize,
+        /// Encoded length the page required.
+        needed: usize,
+        /// The fixed record slot it had to fit.
+        record_bytes: usize,
+    },
 }
 
 impl StorageError {
@@ -59,8 +71,9 @@ impl StorageError {
     ///
     /// Only [`Io`](StorageError::Io) is transient (a timeout or dropped
     /// request may clear); [`Corrupt`](StorageError::Corrupt),
-    /// [`InvalidStore`](StorageError::InvalidStore) and
-    /// [`PageOutOfBounds`](StorageError::PageOutOfBounds) are properties of
+    /// [`InvalidStore`](StorageError::InvalidStore),
+    /// [`PageOutOfBounds`](StorageError::PageOutOfBounds) and
+    /// [`VPageOverflow`](StorageError::VPageOverflow) are properties of
     /// the stored bytes or the request itself and are never retried.
     #[must_use]
     pub fn is_transient(&self) -> bool {
@@ -85,6 +98,17 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::InvalidStore { path, reason } => {
                 write!(f, "invalid frozen store {}: {reason}", path.display())
+            }
+            StorageError::VPageOverflow {
+                entries,
+                needed,
+                record_bytes,
+            } => {
+                write!(
+                    f,
+                    "v-page with {entries} entries encodes to {needed} bytes, \
+                     exceeding the {record_bytes}-byte record slot"
+                )
             }
         }
     }
@@ -163,6 +187,25 @@ mod tests {
             reason: "truncated".into(),
         }
         .is_transient());
+        assert!(!StorageError::VPageOverflow {
+            entries: 3,
+            needed: 28,
+            record_bytes: 12,
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn vpage_overflow_display_names_sizes() {
+        let e = StorageError::VPageOverflow {
+            entries: 5,
+            needed: 44,
+            record_bytes: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5 entries"));
+        assert!(s.contains("44 bytes"));
+        assert!(s.contains("20-byte record slot"));
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! ```text
 //! offset 0                      header page (one full PAGE_SIZE page)
 //!   [0..8)    magic  b"HDOVFRZ1"
-//!   [8..12)   format version        u32  (currently 1)
+//!   [8..12)   format version        u32  (currently 2)
 //!   [12..16)  page size             u32  (must equal PAGE_SIZE)
 //!   [16..24)  page count            u64
 //!   [24..32)  generation            u64  (monotonic store build counter)
-//!   [32..40)  header checksum       u64  (page_checksum over bytes [0..32))
-//!   [40..)    zero padding to PAGE_SIZE
+//!   [32..36)  flags                 u32  (bit 0: V-page records are
+//!                                   delta-encoded; see `DESIGN.md` §15)
+//!   [36..44)  header checksum       u64  (page_checksum over bytes [0..36))
+//!   [44..)    zero padding to PAGE_SIZE
 //! offset (1+i)·PAGE_SIZE        page i, for i in 0..page_count
 //! offset (1+page_count)·PAGE_SIZE   checksum sidecar:
 //!   page_count × u64              per-page page_checksum values
@@ -35,10 +37,15 @@ use std::path::Path;
 pub const STORE_MAGIC: [u8; 8] = *b"HDOVFRZ1";
 
 /// Current format version.
-pub const STORE_VERSION: u32 = 1;
+pub const STORE_VERSION: u32 = 2;
 
 /// Bytes of the header covered by the header checksum.
-const HEADER_BODY: usize = 32;
+const HEADER_BODY: usize = 36;
+
+/// Header flag bit recording that V-page records in this store were written
+/// with the delta codec (informational — each record also carries its own
+/// 1-byte format flag, so readers never need the header bit to decode).
+pub const STORE_FLAG_VPAGE_DELTA: u32 = 1 << 0;
 
 /// Parsed, verified header of a frozen store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +54,8 @@ pub struct StoreLayout {
     pub page_count: u64,
     /// Build generation recorded by the writer.
     pub generation: u64,
+    /// Writer-recorded flags (e.g. [`STORE_FLAG_VPAGE_DELTA`]).
+    pub flags: u32,
 }
 
 impl StoreLayout {
@@ -83,14 +92,27 @@ fn invalid(path: &Path, reason: impl Into<String>) -> StorageError {
 /// complete store or the new one, and a stale `.tmp` is simply overwritten
 /// by the next writer.
 pub fn write_store<P: AsRef<[u8]>>(path: &Path, pages: &[P], generation: u64) -> Result<()> {
+    write_store_flagged(path, pages, generation, 0)
+}
+
+/// [`write_store`] with an explicit header `flags` word (e.g.
+/// [`STORE_FLAG_VPAGE_DELTA`] for stores whose V-page records are
+/// delta-encoded).
+pub fn write_store_flagged<P: AsRef<[u8]>>(
+    path: &Path,
+    pages: &[P],
+    generation: u64,
+    flags: u32,
+) -> Result<()> {
     let mut header = [0u8; PAGE_SIZE];
     header[0..8].copy_from_slice(&STORE_MAGIC);
     header[8..12].copy_from_slice(&STORE_VERSION.to_le_bytes());
     header[12..16].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
     header[16..24].copy_from_slice(&(pages.len() as u64).to_le_bytes());
     header[24..32].copy_from_slice(&generation.to_le_bytes());
+    header[32..36].copy_from_slice(&flags.to_le_bytes());
     let hsum = page_checksum(&header[..HEADER_BODY]);
-    header[32..40].copy_from_slice(&hsum.to_le_bytes());
+    header[36..44].copy_from_slice(&hsum.to_le_bytes());
 
     let tmp = temp_sibling(path);
     let file = File::create(&tmp)?;
@@ -167,13 +189,14 @@ pub fn read_layout(file: &File, path: &Path) -> Result<StoreLayout> {
             format!("page size {page_size} does not match compiled {PAGE_SIZE}"),
         ));
     }
-    let stored = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    let stored = u64::from_le_bytes(header[36..44].try_into().unwrap());
     if page_checksum(&header[..HEADER_BODY]) != stored {
         return Err(invalid(path, "header checksum mismatch"));
     }
     let layout = StoreLayout {
         page_count: u64::from_le_bytes(header[16..24].try_into().unwrap()),
         generation: u64::from_le_bytes(header[24..32].try_into().unwrap()),
+        flags: u32::from_le_bytes(header[32..36].try_into().unwrap()),
     };
     let expected = layout.expected_len();
     if len != expected {
@@ -235,6 +258,7 @@ mod tests {
         let l = StoreLayout {
             page_count: 3,
             generation: 7,
+            flags: 0,
         };
         assert_eq!(StoreLayout::page_offset(0), PAGE_SIZE as u64);
         assert_eq!(StoreLayout::page_offset(2), 3 * PAGE_SIZE as u64);
@@ -250,6 +274,7 @@ mod tests {
         let layout = read_layout(&file, &path).unwrap();
         assert_eq!(layout.page_count, 5);
         assert_eq!(layout.generation, 42);
+        assert_eq!(layout.flags, 0);
         let table = read_checksum_table(&file, &path, &layout).unwrap();
         assert_eq!(table.len(), 5);
         // Each sidecar entry matches a fresh checksum of the stored page.
@@ -260,6 +285,27 @@ mod tests {
             assert_eq!(&buf[..8], &i.to_le_bytes());
             verify_page(&path, i, &buf, table[i as usize]).unwrap();
         }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn flags_round_trip_and_are_checksummed() {
+        let path = tmp("flags");
+        write_store_flagged(&path, &pages(2), 9, STORE_FLAG_VPAGE_DELTA).unwrap();
+        let file = File::open(&path).unwrap();
+        let layout = read_layout(&file, &path).unwrap();
+        assert_eq!(layout.flags, STORE_FLAG_VPAGE_DELTA);
+        assert_eq!(layout.generation, 9);
+        drop(file);
+        // A flipped flag bit breaks the header checksum — flags are covered.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[32] ^= 0x02;
+        std::fs::write(&path, &raw).unwrap();
+        let file = File::open(&path).unwrap();
+        assert!(read_layout(&file, &path)
+            .unwrap_err()
+            .to_string()
+            .contains("header checksum"));
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
@@ -294,7 +340,7 @@ mod tests {
         raw[0] ^= 0xFF;
         raw[8..12].copy_from_slice(&9u32.to_le_bytes());
         let hsum = page_checksum(&raw[..HEADER_BODY]);
-        raw[32..40].copy_from_slice(&hsum.to_le_bytes());
+        raw[36..44].copy_from_slice(&hsum.to_le_bytes());
         std::fs::write(&path, &raw).unwrap();
         let file = File::open(&path).unwrap();
         assert!(read_layout(&file, &path)

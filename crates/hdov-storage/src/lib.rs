@@ -42,6 +42,7 @@ pub mod wal;
 pub use backend::{FileMode, StorageBackend};
 pub use cached::CachedFile;
 pub use checksum::page_checksum;
+pub use codec::{read_varint, unzigzag, varint_len, zigzag, ByteReader, ByteWriter};
 pub use disk::{DiskModel, SimulatedDisk};
 pub use error::{Result, StorageError, StoreOrigin};
 pub use fault::{FaultPlan, FaultyFile, SharedFaultyFile};

@@ -192,8 +192,16 @@ impl FrozenPages {
     /// Serializes this store (whatever its backend) as a frozen-store file
     /// at `path`.
     pub fn write_store(&self, path: &Path, generation: u64) -> Result<()> {
+        self.write_store_flagged(path, generation, 0)
+    }
+
+    /// [`write_store`](Self::write_store) with an explicit header `flags`
+    /// word (see [`crate::frozen::STORE_FLAG_VPAGE_DELTA`]).
+    pub fn write_store_flagged(&self, path: &Path, generation: u64, flags: u32) -> Result<()> {
         match &self.repr {
-            Repr::Mem { pages } => crate::frozen::write_store(path, pages, generation),
+            Repr::Mem { pages } => {
+                crate::frozen::write_store_flagged(path, pages, generation, flags)
+            }
             _ => {
                 let mut all = Vec::with_capacity(self.page_count() as usize);
                 let mut buf = vec![0u8; PAGE_SIZE];
@@ -201,7 +209,7 @@ impl FrozenPages {
                     self.read_into(PageId(i), &mut buf)?;
                     all.push(buf.clone().into_boxed_slice());
                 }
-                crate::frozen::write_store(path, &all, generation)
+                crate::frozen::write_store_flagged(path, &all, generation, flags)
             }
         }
     }
