@@ -22,14 +22,90 @@
 //! pages.
 //!
 //! Output: `results/concurrent_sessions.csv`.
+//!
+//! Self-healing drill (`--backend file:pread@2 --corrupt-pages N [--scrub]`):
+//! after the stores are open, flip one byte in `N` data pages spread across
+//! the *primary* replica files. The session runs must then serve every frame
+//! by failing over to the healthy copy and repairing the primary in place —
+//! the binary asserts **zero degraded frames** and `pages_repaired > 0`, and
+//! with `--scrub` a background sweep (running concurrently with a session
+//! run) plus a final full sweep must leave every replica verifying clean
+//! from disk.
 
 use hdov_bench::{print_table, write_csv, EvalScene, RunOptions};
 use hdov_core::{PoolConfig, StorageScheme};
+use hdov_storage::frozen::{read_layout, StoreLayout};
+use hdov_storage::{verify_pool, ReplicaHealth, ScrubConfig, Scrubber, StorageBackend};
 use hdov_walkthrough::{ServerConfig, ServerReport, Session, SessionKind, SessionServer};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parses `--flag <v>` / `--flag=<v>` out of the raw argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
+    args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix(&eq)
+            .map(str::to_string)
+            .or_else(|| (a == flag).then(|| args.get(i + 1).cloned()).flatten())
+    })
+}
+
+/// Flips one byte in each of up to `n` distinct data pages, round-robin
+/// across the primary (`<name>.hdov`, never `<name>.rK.hdov`) store files
+/// under `dir`. Returns the number of pages actually corrupted.
+fn corrupt_primary_pages(dir: &Path, n: usize) -> usize {
+    let is_replica = |stem: &str| {
+        stem.rsplit_once(".r")
+            .is_some_and(|(_, k)| !k.is_empty() && k.bytes().all(|b| b.is_ascii_digit()))
+    };
+    let mut primaries: Vec<_> = std::fs::read_dir(dir)
+        .expect("store directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hdov"))
+        .filter(|p| !is_replica(p.file_stem().unwrap().to_str().unwrap()))
+        .collect();
+    primaries.sort();
+    assert!(!primaries.is_empty(), "no stores under {}", dir.display());
+    let pages: Vec<u64> = primaries
+        .iter()
+        .map(|p| {
+            let f = std::fs::File::open(p).unwrap();
+            read_layout(&f, p).unwrap().page_count
+        })
+        .collect();
+    let mut hit = std::collections::BTreeSet::new();
+    for i in 0..n.max(1) * primaries.len() {
+        if hit.len() >= n {
+            break;
+        }
+        let file = i % primaries.len();
+        let page = (i / primaries.len()) as u64;
+        if page >= pages[file] || !hit.insert((file, page)) {
+            continue;
+        }
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&primaries[file])
+            .unwrap();
+        let off = StoreLayout::page_offset(page) + 7;
+        let mut b = [0u8; 1];
+        f.read_exact_at(&mut b, off).unwrap();
+        b[0] ^= 0x5a;
+        f.write_all_at(&b, off).unwrap();
+        f.sync_all().unwrap();
+    }
+    hit.len()
+}
 
 fn main() {
     let opts = RunOptions::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let corrupt_pages: usize = arg_value(&args, "--corrupt-pages")
+        .map(|v| v.parse().expect("--corrupt-pages takes a page count"))
+        .unwrap_or(0);
+    let scrub = args.iter().any(|a| a == "--scrub");
     hdov_bench::start_metrics();
     let eval = EvalScene::standard(&opts);
     let n_sessions = if opts.quick { 8 } else { 16 };
@@ -37,7 +113,30 @@ fn main() {
 
     let mut built = eval.environment(StorageScheme::IndexedVertical);
     opts.relocate("concurrent_sessions", &mut built);
-    let env = built.into_shared(PoolConfig::default());
+    let env = built.into_shared(PoolConfig {
+        replicas: opts.replicas,
+        ..PoolConfig::default()
+    });
+
+    if corrupt_pages > 0 {
+        assert!(
+            opts.backend.is_file() && opts.replicas >= 2,
+            "--corrupt-pages needs a replicated file backend \
+             (e.g. --backend file:pread@2) so a healthy copy exists to heal from"
+        );
+        // The stores were verified page-by-page when they were opened above;
+        // flipping bytes *now* means only failover + repair (or the
+        // scrubber) can be the reason the answers stay intact.
+        let dir = match opts.backend.storage("concurrent_sessions") {
+            StorageBackend::File { dir, .. } => dir,
+            StorageBackend::Mem => unreachable!("is_file checked above"),
+        };
+        let flipped = corrupt_primary_pages(&dir, corrupt_pages);
+        println!(
+            "corrupted {flipped} primary data pages under {}",
+            dir.display()
+        );
+    }
     let sessions: Vec<Session> = (0..n_sessions)
         .map(|i| {
             Session::record(
@@ -53,6 +152,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut sim_qps_shared_1 = 0.0;
     let mut sim_qps_shared_4 = 0.0;
+    let mut total_health = ReplicaHealth::default();
+    let mut total_degraded = 0u64;
     for &threads in &[1usize, 2, 4, 8] {
         // Shared pool: fresh fork per run so every row starts cold.
         let run_env = env.fork_with_private_pools();
@@ -65,6 +166,8 @@ fn main() {
         if threads == 4 {
             sim_qps_shared_4 = report.simulated_qps();
         }
+        total_health.merge(&report.health);
+        total_degraded += degraded(&report);
         let (hits, misses) = run_env.pool_hit_stats();
         rows.push(row("shared", threads, n_sessions, &report, hits, misses));
 
@@ -111,12 +214,19 @@ fn main() {
         // Completion order varies with scheduling; session order keeps the
         // simulated makespan deterministic.
         outcomes.sort_by_key(|o| o.session);
+        let mut health = ReplicaHealth::default();
+        for f in &forks {
+            health.merge(&f.storage_health());
+        }
         let report = ServerReport {
             sessions: outcomes,
             wall_seconds: start.elapsed().as_secs_f64(),
             threads: threads.min(n_sessions),
             backpressure: Default::default(),
+            health,
         };
+        total_health.merge(&report.health);
+        total_degraded += degraded(&report);
         let (mut hits, mut misses) = (0u64, 0u64);
         for f in &forks {
             let (h, m) = f.pool_hit_stats();
@@ -186,6 +296,76 @@ fn main() {
         ],
         &rows,
     );
+
+    if scrub {
+        // Background scrub racing a live session run: the sweep is throttled
+        // by a pages/second wall-clock budget, the foreground queries keep
+        // their own read path (a scrub read is never charged to a session).
+        let run_env = env.fork_with_private_pools();
+        let throttled = Scrubber::new(ScrubConfig {
+            pages_per_second: Some(50_000.0),
+            ..ScrubConfig::default()
+        });
+        let (live_report, bg) = std::thread::scope(|s| {
+            let sweeper = s.spawn(|| run_env.scrub(&throttled));
+            let r = SessionServer::new(&run_env, cfg)
+                .run(&sessions, 4)
+                .expect("run under background scrub");
+            (
+                r,
+                sweeper.join().expect("scrub thread").expect("scrub sweep"),
+            )
+        });
+        // Not `live_report.health`: that snapshot was taken when the session
+        // run returned, and the sweeper may still have been repairing.
+        total_health.merge(&run_env.storage_health());
+        total_degraded += degraded(&live_report);
+        println!(
+            "background scrub (concurrent with a 4-thread run): \
+             scanned={} corrupt_found={} repaired={} unrepairable={}",
+            bg.pages_scanned,
+            bg.corrupt_found,
+            bg.repaired,
+            bg.unrepairable.len()
+        );
+        // Final synchronous sweep: whatever the foreground repaired on
+        // demand and the throttled pass caught, this must leave nothing.
+        let last = env.scrub(&Scrubber::default()).expect("final scrub sweep");
+        println!(
+            "final scrub sweep: scanned={} corrupt_found={} repaired={} unrepairable={}",
+            last.pages_scanned,
+            last.corrupt_found,
+            last.repaired,
+            last.unrepairable.len()
+        );
+        total_health.merge(&env.storage_health());
+        let mut bad = Vec::new();
+        env.for_each_pool(|pool| bad.extend(verify_pool(pool).expect("re-verify from disk")));
+        assert!(bad.is_empty(), "pages still corrupt after scrub: {bad:?}");
+        println!("post-scrub verify: every replica of every store reads back clean");
+    }
+
+    println!(
+        "health: failover_reads={} pages_repaired={} quarantined_pages={}",
+        total_health.failover_reads, total_health.pages_repaired, total_health.quarantined_pages
+    );
+    println!("degraded frames: {total_degraded}");
+    if corrupt_pages > 0 {
+        // The self-healing contract this drill exists to enforce: loss of
+        // one replica's pages is absorbed by failover and repaired in
+        // place — it never reaches the picture as a coarser frame.
+        assert_eq!(total_degraded, 0, "corruption leaked into degraded frames");
+        assert!(total_health.failover_reads > 0, "no read ever failed over");
+        assert!(
+            total_health.pages_repaired > 0,
+            "nothing was repaired in place"
+        );
+    }
+}
+
+/// Degraded-frame total of one report.
+fn degraded(report: &ServerReport) -> u64 {
+    report.sessions.iter().map(|o| o.degraded_frames).sum()
 }
 
 fn row(

@@ -91,6 +91,7 @@ impl BenchBackend {
         StorageBackend::File {
             dir: base.join(bin),
             mode,
+            replicas: 1,
         }
     }
 }
@@ -105,17 +106,24 @@ pub struct RunOptions {
     /// V-page wire format (`--codec raw|delta`). Answers are byte-identical
     /// across codecs; simulated I/O and storage footprints are not.
     pub codec: VPageCodec,
+    /// Store copies per pool (`--backend file:mmap@2` or `--replicas N`).
+    /// Answers and simulated costs are byte-identical at any count — extra
+    /// replicas only matter under faults. `mem` rejects N > 1 like
+    /// [`StorageBackend::from_arg`] does.
+    pub replicas: usize,
 }
 
 impl RunOptions {
-    /// Parses `--quick`, `--backend <mem|file|file:mmap|file:pread>`, and
-    /// `--codec <raw|delta>` (also the `--flag=<...>` forms) from the
-    /// process arguments.
+    /// Parses `--quick`, `--backend <mem|file|file:mmap|file:pread>` (with
+    /// an optional `@N` replica suffix), `--replicas <n>`, and `--codec
+    /// <raw|delta>` (also the `--flag=<...>` forms) from the process
+    /// arguments.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick" || a == "-q");
         let mut backend = BenchBackend::Mem;
         let mut codec = VPageCodec::default();
+        let mut replicas = 1usize;
         for (i, a) in args.iter().enumerate() {
             let val = if let Some(v) = a.strip_prefix("--backend=") {
                 Some(v.to_string())
@@ -125,10 +133,38 @@ impl RunOptions {
                 None
             };
             if let Some(v) = val {
-                backend = BenchBackend::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown --backend {v:?}; use mem, file, file:mmap, or file:pread");
+                let (base, copies) = match v.split_once('@') {
+                    Some((b, n)) => (b, n.parse::<usize>().ok().filter(|&n| n >= 1)),
+                    None => (v.as_str(), Some(replicas)),
+                };
+                backend = BenchBackend::parse(base).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown --backend {v:?}; use mem, file, file:mmap, or file:pread \
+                         (optionally with an @N replica suffix)"
+                    );
                     std::process::exit(2);
                 });
+                replicas = copies.unwrap_or_else(|| {
+                    eprintln!("bad replica count in --backend {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            let rval = if let Some(v) = a.strip_prefix("--replicas=") {
+                Some(v.to_string())
+            } else if a == "--replicas" {
+                args.get(i + 1).cloned()
+            } else {
+                None
+            };
+            if let Some(v) = rval {
+                replicas = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --replicas {v:?}; use an integer >= 1");
+                        std::process::exit(2);
+                    });
             }
             let cval = if let Some(v) = a.strip_prefix("--codec=") {
                 Some(v.to_string())
@@ -144,10 +180,15 @@ impl RunOptions {
                 });
             }
         }
+        if replicas > 1 && backend == BenchBackend::Mem {
+            eprintln!("--replicas {replicas} needs a file backend (mem stores are not replicated)");
+            std::process::exit(2);
+        }
         RunOptions {
             quick,
             backend,
             codec,
+            replicas,
         }
     }
 
@@ -156,7 +197,7 @@ impl RunOptions {
     /// names the store directory — pass the binary's snapshot name.
     pub fn relocate(&self, bin: &str, env: &mut HdovEnvironment) {
         if self.backend.is_file() {
-            env.relocate(&self.backend.storage(bin))
+            env.relocate(&self.backend.storage(bin).replicated(self.replicas))
                 .expect("relocate environment onto file backend");
         }
     }
@@ -432,6 +473,7 @@ mod tests {
             quick: false,
             backend: BenchBackend::Mem,
             codec: VPageCodec::Delta,
+            replicas: 1,
         };
         assert_eq!(o.query_count(), 2000);
         assert_eq!(o.session_frames(), 400);
@@ -439,6 +481,7 @@ mod tests {
             quick: true,
             backend: BenchBackend::Mem,
             codec: VPageCodec::Delta,
+            replicas: 1,
         };
         assert!(q.query_count() < o.query_count());
         assert!(q.session_frames() < o.session_frames());
@@ -473,6 +516,7 @@ mod tests {
             quick: true,
             backend: BenchBackend::Mem,
             codec: VPageCodec::Delta,
+            replicas: 1,
         };
         let eval = EvalScene::standard(&opts);
         assert!(eval.scene.len() > 100);

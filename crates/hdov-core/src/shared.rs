@@ -41,8 +41,8 @@ use hdov_obs::Phase;
 use hdov_scene::{ModelHandle, ModelStore};
 use hdov_storage::codec::ByteReader;
 use hdov_storage::{
-    FaultPlan, IoCursor, Page, PageId, PagedFile, Result, RetryPolicy, SharedCachedFile,
-    SharedFaultyFile, StorageError, PAGE_SIZE,
+    FaultPlan, IoCursor, Page, PageId, PagedFile, ReplicaHealth, Result, RetryPolicy, ScrubReport,
+    Scrubber, SharedCachedFile, SharedFaultyFile, StorageError, PAGE_SIZE,
 };
 use hdov_visibility::{CellGrid, CellId, DovTable};
 use std::collections::HashMap;
@@ -73,6 +73,12 @@ pub struct PoolConfig {
     /// Only engages under armed fault injection
     /// ([`SharedEnvironment::arm_faults`]); fault-free reads never retry.
     pub retry: RetryPolicy,
+    /// Replica count every pool is padded to (≥ 1). File backends frozen
+    /// with [`StorageBackend::replicated`](hdov_storage::StorageBackend)
+    /// already carry their on-disk copies; this pads mem-backed stores so
+    /// failover and repair are exercisable without files. Fault-free reads
+    /// never touch replicas, so answers and simulated costs are unchanged.
+    pub replicas: usize,
 }
 
 impl Default for PoolConfig {
@@ -82,6 +88,7 @@ impl Default for PoolConfig {
             shards: 8,
             decode_overlay: true,
             retry: RetryPolicy::default(),
+            replicas: 1,
         }
     }
 }
@@ -683,6 +690,7 @@ impl SharedEnvironment {
                 pool.decode_overlay,
             )
             .with_retry(pool.retry)
+            .with_replicas(pool.replicas)
         };
         let tree = SharedTree {
             nodes: mk_pool(parts.node_disk.into_inner(), node_model),
@@ -860,23 +868,74 @@ impl SharedEnvironment {
     /// visibility store's files — for inspection and
     /// [`disarming`](SharedFaultyFile::disarm).
     pub fn arm_faults(&self, plan: &FaultPlan) -> Vec<Arc<SharedFaultyFile>> {
-        let mut armed = vec![
-            self.tree.nodes.arm_faults(plan),
-            self.tree.internal_pool.arm_faults(plan),
-            self.models.pool.arm_faults(plan),
-        ];
+        let mut armed = Vec::with_capacity(6);
+        self.for_each_pool(|pool| armed.push(pool.arm_faults(plan)));
+        armed
+    }
+
+    /// Arms seeded fault injection on replica `replica` of every pool
+    /// (chaos testing of the failover path; `replica` must be within every
+    /// pool's replica count — see [`PoolConfig::replicas`]). First arming
+    /// per slot wins, as with [`arm_faults`](Self::arm_faults). Returns the
+    /// injectors in the same fixed pool order.
+    pub fn arm_replica_faults(
+        &self,
+        replica: usize,
+        plan: &FaultPlan,
+    ) -> Vec<Arc<SharedFaultyFile>> {
+        let mut armed = Vec::with_capacity(6);
+        self.for_each_pool(|pool| armed.push(pool.arm_replica_faults(replica, plan)));
+        armed
+    }
+
+    /// Applies `f` to every pool of the environment in a fixed order:
+    /// nodes, internal LoDs, object models, then the visibility store's
+    /// files (index before V-pages where both exist).
+    pub fn for_each_pool(&self, mut f: impl FnMut(&SharedCachedFile)) {
+        f(&self.tree.nodes);
+        f(&self.tree.internal_pool);
+        f(&self.models.pool);
         match &self.vstore {
-            SharedVStore::Horizontal(s) => armed.push(s.vpages.pool.arm_faults(plan)),
+            SharedVStore::Horizontal(s) => f(&s.vpages.pool),
             SharedVStore::Vertical(s) => {
-                armed.push(s.index.arm_faults(plan));
-                armed.push(s.vpages.pool.arm_faults(plan));
+                f(&s.index);
+                f(&s.vpages.pool);
             }
             SharedVStore::IndexedVertical(s) => {
-                armed.push(s.index.arm_faults(plan));
-                armed.push(s.vpages.pool.arm_faults(plan));
+                f(&s.index);
+                f(&s.vpages.pool);
             }
         }
-        armed
+    }
+
+    /// Replica-set health merged over every pool: failovers served, pages
+    /// repaired, and pages still quarantined. All-zero (`is_clean`) in
+    /// fault-free runs.
+    pub fn storage_health(&self) -> ReplicaHealth {
+        let mut health = ReplicaHealth::default();
+        self.for_each_pool(|pool| health.merge(&pool.replica_set().status()));
+        health
+    }
+
+    /// Runs one full scrub sweep over every pool's replicas, repairing
+    /// verified-bad file pages in place (see [`Scrubber`]). Returns the
+    /// merged report; fault-free stores scrub clean with zero repairs.
+    pub fn scrub(&self, scrubber: &Scrubber) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let mut failed = None;
+        self.for_each_pool(|pool| {
+            if failed.is_some() {
+                return;
+            }
+            match scrubber.scrub_pool(pool) {
+                Ok(r) => report.merge(r),
+                Err(e) => failed = Some(e),
+            }
+        });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
     }
 
     /// `(hits, misses)` summed over every pool of the environment.

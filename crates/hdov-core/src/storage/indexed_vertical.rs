@@ -188,7 +188,8 @@ impl VisibilityStore for IndexedVerticalStore {
                 pool.shards,
                 pool.decode_overlay,
             )
-            .with_retry(pool.retry),
+            .with_retry(pool.retry)
+            .with_replicas(pool.replicas),
             vpages: self.vpages.into_shared(pool),
             cells: self.cells,
             n_nodes: self.n_nodes,

@@ -361,7 +361,8 @@ impl VPageFile {
                 pool.shards,
                 pool.decode_overlay,
             )
-            .with_retry(pool.retry),
+            .with_retry(pool.retry)
+            .with_replicas(pool.replicas),
             self.records,
             self.record_bytes,
             self.records_per_page,

@@ -171,7 +171,8 @@ impl VisibilityStore for VerticalStore {
                 pool.shards,
                 pool.decode_overlay,
             )
-            .with_retry(pool.retry),
+            .with_retry(pool.retry)
+            .with_replicas(pool.replicas),
             vpages: self.vpages.into_shared(pool),
             cells: self.cells,
             n_nodes: self.n_nodes,

@@ -79,9 +79,12 @@ fn steady_state_search_shared_allocates_nothing() {
                 // Pools big enough that the steady state is all-hits.
                 let mut built = HdovEnvironment::build(&scene, &grid_cfg, cfg, scheme).unwrap();
                 built.relocate(&backend).unwrap();
+                // replicas: 2 puts the ReplicaSet (failover bitmask, health
+                // book) in the read path — it must stay alloc-free too.
                 let env = built.into_shared(PoolConfig {
                     capacity_pages: 4096,
                     shards: 8,
+                    replicas: 2,
                     ..PoolConfig::default()
                 });
                 let cells: Vec<CellId> = (0..env.grid().cell_count() as CellId).collect();

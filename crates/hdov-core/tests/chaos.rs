@@ -12,15 +12,22 @@
 //!     underlying error recorded per fallback;
 //! (d) concurrent sessions under faults keep the overlay/pool invariants:
 //!     failures stay inside the session that drew them.
+//!
+//! Every property is swept across both V-page codecs (`Raw`, `Delta`) and
+//! all three storage backends (`mem`, `file:mmap`, `file:pread`): the fault
+//! injectors sit between the pools and the stores, so checksum admission
+//! and degradation must behave identically whether the poisoned page came
+//! out of a memory image, a mapping, or a positioned read.
 
 use hdov_core::{
     search_shared, DegradeReport, HdovBuildConfig, HdovEnvironment, PoolConfig, QueryResult,
-    ResultKey, SharedEnvironment, StorageScheme,
+    ResultKey, SharedEnvironment, StorageScheme, VPageCodec,
 };
 use hdov_scene::{CityConfig, Scene};
-use hdov_storage::FaultPlan;
+use hdov_storage::{FaultPlan, StorageBackend};
 use hdov_visibility::{CellGridConfig, CellId};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 fn scene() -> &'static Scene {
@@ -28,10 +35,30 @@ fn scene() -> &'static Scene {
     SCENE.get_or_init(|| CityConfig::tiny().seed(11).generate())
 }
 
-fn env(scheme: StorageScheme) -> HdovEnvironment {
+const CODECS: [VPageCodec; 2] = [VPageCodec::Raw, VPageCodec::Delta];
+const BACKENDS: [&str; 3] = ["mem", "file:mmap", "file:pread"];
+
+fn env(scheme: StorageScheme, codec: VPageCodec, backend: &str) -> HdovEnvironment {
     let scene = scene();
     let grid_cfg = CellGridConfig::for_scene(scene).with_resolution(3, 3);
-    HdovEnvironment::build(scene, &grid_cfg, HdovBuildConfig::fast_test(), scheme).unwrap()
+    let cfg = HdovBuildConfig {
+        codec,
+        ..HdovBuildConfig::fast_test()
+    };
+    let mut e = HdovEnvironment::build(scene, &grid_cfg, cfg, scheme).unwrap();
+    if backend != "mem" {
+        // A fresh directory per relocation: parallel tests must not
+        // truncate each other's live store files.
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hdov_chaos_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let b = StorageBackend::from_arg(backend, &dir).unwrap();
+        e.relocate(&b).unwrap();
+    }
+    e
 }
 
 fn keyed(r: &QueryResult) -> Vec<(ResultKey, usize, u64, u64)> {
@@ -64,9 +91,11 @@ proptest! {
         rate in 0.0..0.10f64,
         seed in 0u64..u64::MAX,
         scheme_idx in 0usize..3,
+        codec_idx in 0usize..2,
+        backend_idx in 0usize..3,
     ) {
         let scheme = StorageScheme::all()[scheme_idx];
-        let mut e = env(scheme);
+        let mut e = env(scheme, CODECS[codec_idx], BACKENDS[backend_idx]);
         let cells: Vec<CellId> = (0..e.grid().cell_count() as CellId).collect();
         let eta = 0.002;
 
@@ -110,9 +139,11 @@ proptest! {
         page in 0u64..16,
         mask in 1u8..0xff,
         scheme_idx in 0usize..3,
+        codec_idx in 0usize..2,
+        backend_idx in 0usize..3,
     ) {
         let scheme = StorageScheme::all()[scheme_idx];
-        let mut e = env(scheme);
+        let mut e = env(scheme, CODECS[codec_idx], BACKENDS[backend_idx]);
         let cells: Vec<CellId> = (0..e.grid().cell_count() as CellId).collect();
         let eta = 0.002;
 
@@ -157,8 +188,8 @@ proptest! {
     }
 }
 
-fn shared_env(scheme: StorageScheme) -> SharedEnvironment {
-    env(scheme).into_shared(PoolConfig::default())
+fn shared_env(scheme: StorageScheme, codec: VPageCodec, backend: &str) -> SharedEnvironment {
+    env(scheme, codec, backend).into_shared(PoolConfig::default())
 }
 
 /// Concurrent chaos on the shared engine: four sessions race under a
@@ -167,7 +198,18 @@ fn shared_env(scheme: StorageScheme) -> SharedEnvironment {
 #[test]
 fn shared_chaos_isolates_failures_per_session() {
     for scheme in StorageScheme::all() {
-        let shared = shared_env(scheme);
+        for (c, backend) in BACKENDS.iter().enumerate() {
+            // Alternate codecs across the sweep; both appear on every
+            // scheme and every backend appears with both codecs overall.
+            shared_chaos_case(scheme, CODECS[c % 2], backend);
+            shared_chaos_case(scheme, CODECS[(c + 1) % 2], backend);
+        }
+    }
+}
+
+fn shared_chaos_case(scheme: StorageScheme, codec: VPageCodec, backend: &str) {
+    {
+        let shared = shared_env(scheme, codec, backend);
         let cells: Vec<CellId> = (0..shared.grid().cell_count() as CellId).collect();
         let eta = 0.002;
 
@@ -231,8 +273,15 @@ fn shared_chaos_isolates_failures_per_session() {
         let mut ctx = shared.session();
         for (i, &c) in cells.iter().enumerate() {
             let (r, _) = shared.query_cell(&mut ctx, c, eta).unwrap();
-            assert!(!r.degrade().is_degraded(), "{scheme}: degradation leaked");
-            assert_eq!(keyed(&r), baseline[i], "{scheme}: pooled frame was bad");
+            assert!(
+                !r.degrade().is_degraded(),
+                "{scheme}/{codec:?}/{backend}: degradation leaked"
+            );
+            assert_eq!(
+                keyed(&r),
+                baseline[i],
+                "{scheme}/{codec:?}/{backend}: pooled frame was bad"
+            );
         }
     }
 }
@@ -242,7 +291,15 @@ fn shared_chaos_isolates_failures_per_session() {
 /// degrades, and the poisoned bytes never reach a pool.
 #[test]
 fn shared_corruption_never_reaches_the_pool() {
-    let shared = shared_env(StorageScheme::IndexedVertical);
+    for codec in CODECS {
+        for backend in BACKENDS {
+            shared_corruption_case(codec, backend);
+        }
+    }
+}
+
+fn shared_corruption_case(codec: VPageCodec, backend: &str) {
+    let shared = shared_env(StorageScheme::IndexedVertical, codec, backend);
     let cells: Vec<CellId> = (0..shared.grid().cell_count() as CellId).collect();
     let eta = 0.002;
 

@@ -40,6 +40,7 @@ fn cold_prefetch_issues_one_physical_read_per_run() {
             let backend = StorageBackend::File {
                 dir: dir.join(format!("{scheme}_{mode:?}")),
                 mode,
+                replicas: 1,
             };
             let mut store = scheme
                 .build(&counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)

@@ -115,6 +115,7 @@ proptest! {
                 let backend = StorageBackend::File {
                     dir: dir.join(format!("{scheme}_{mode:?}")),
                     mode,
+                    replicas: 1,
                 };
                 let mut filed = scheme
                     .build(&entry_counts, &cells, DiskModel::PAPER_ERA, VPageCodec::Delta)

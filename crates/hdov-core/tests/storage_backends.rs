@@ -52,10 +52,12 @@ fn file_backends(dir: &std::path::Path) -> [StorageBackend; 2] {
         StorageBackend::File {
             dir: dir.join("mmap"),
             mode: FileMode::Mmap,
+            replicas: 1,
         },
         StorageBackend::File {
             dir: dir.join("pread"),
             mode: FileMode::Pread,
+            replicas: 1,
         },
     ]
 }

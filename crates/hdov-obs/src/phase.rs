@@ -125,11 +125,24 @@ pub enum Counter {
     /// V-page record decodes executed (single-record reads and batch
     /// overlay decodes both count per record decoded).
     CodecDecodes,
+    /// Page reads served by a non-primary replica after the primary failed
+    /// (checksum mismatch or exhausted retries) or was quarantined.
+    FailoverReads,
+    /// Replica pages rewritten in place from a verified healthy copy
+    /// (failover-path and scrubber repairs both count).
+    PagesRepaired,
+    /// Pages verified by scrubber sweeps (one per page per replica scanned).
+    ScrubPages,
+    /// Corrupt pages found and repaired by the scrubber specifically.
+    ScrubRepairs,
+    /// Pages quarantined after a checksum failure (first quarantine of a
+    /// `(replica, page)` pair; repaired pages leave quarantine).
+    QuarantinedPages,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 34;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -162,6 +175,11 @@ impl Counter {
         Counter::VpageBytesRaw,
         Counter::VpageBytesEncoded,
         Counter::CodecDecodes,
+        Counter::FailoverReads,
+        Counter::PagesRepaired,
+        Counter::ScrubPages,
+        Counter::ScrubRepairs,
+        Counter::QuarantinedPages,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -196,6 +214,11 @@ impl Counter {
             Counter::VpageBytesRaw => "vpage_bytes_raw",
             Counter::VpageBytesEncoded => "vpage_bytes_encoded",
             Counter::CodecDecodes => "codec_decodes",
+            Counter::FailoverReads => "failover_reads",
+            Counter::PagesRepaired => "pages_repaired",
+            Counter::ScrubPages => "scrub_pages",
+            Counter::ScrubRepairs => "scrub_repairs",
+            Counter::QuarantinedPages => "quarantined_pages",
         }
     }
 

@@ -39,35 +39,77 @@ pub enum StorageBackend {
         dir: PathBuf,
         /// How reopened stores are read.
         mode: FileMode,
+        /// Copies written per store (≥ 1). Replica `k ≥ 1` lives at
+        /// `<dir>/<name>.r<k>.hdov`; all copies share one generation, and
+        /// the reopened store carries the extras for failover + repair.
+        replicas: usize,
     },
+}
+
+/// Path of replica `k` of store `name` under `dir`: the primary (`k = 0`)
+/// is `<name>.hdov`, replica `k ≥ 1` is `<name>.r<k>.hdov`.
+pub fn replica_path(dir: &Path, name: &str, k: usize) -> PathBuf {
+    if k == 0 {
+        dir.join(format!("{name}.hdov"))
+    } else {
+        dir.join(format!("{name}.r{k}.hdov"))
+    }
 }
 
 /// Monotonic build counter stamped into store headers as the generation.
 static GENERATION: AtomicU64 = AtomicU64::new(1);
 
 impl StorageBackend {
-    /// The file backend in its default (mmap) mode.
+    /// The file backend in its default (mmap) mode, unreplicated.
     pub fn file(dir: impl Into<PathBuf>) -> Self {
         StorageBackend::File {
             dir: dir.into(),
             mode: FileMode::Mmap,
+            replicas: 1,
         }
     }
 
+    /// Sets the copy count on a file backend (≥ 1; a no-op on `Mem`, whose
+    /// replication is provided by pool-level padding — see
+    /// [`SharedCachedFile::with_replicas`](crate::SharedCachedFile::with_replicas)).
+    #[must_use]
+    pub fn replicated(mut self, n: usize) -> Self {
+        if let StorageBackend::File { replicas, .. } = &mut self {
+            *replicas = n.max(1);
+        }
+        self
+    }
+
     /// Parses a `--backend` argument: `mem`, `file` (= `file:mmap`),
-    /// `file:mmap`, or `file:pread`; file stores go under `dir`.
+    /// `file:mmap`, or `file:pread`, optionally suffixed `@N` for N store
+    /// replicas (file backends only); file stores go under `dir`.
     pub fn from_arg(arg: &str, dir: &Path) -> Option<Self> {
-        match arg {
-            "mem" => Some(StorageBackend::Mem),
+        let (base, replicas) = match arg.split_once('@') {
+            Some((b, n)) => (b, n.parse::<usize>().ok().filter(|&n| n >= 1)?),
+            None => (arg, 1),
+        };
+        match base {
+            "mem" => (replicas == 1).then_some(StorageBackend::Mem),
             "file" | "file:mmap" => Some(StorageBackend::File {
                 dir: dir.to_path_buf(),
                 mode: FileMode::Mmap,
+                replicas,
             }),
             "file:pread" => Some(StorageBackend::File {
                 dir: dir.to_path_buf(),
                 mode: FileMode::Pread,
+                replicas,
             }),
             _ => None,
+        }
+    }
+
+    /// Copies written per store (1 for `Mem` and unreplicated file
+    /// backends).
+    pub fn replicas(&self) -> usize {
+        match self {
+            StorageBackend::Mem => 1,
+            StorageBackend::File { replicas, .. } => (*replicas).max(1),
         }
     }
 
@@ -106,17 +148,24 @@ impl StorageBackend {
     pub fn freeze_flagged(&self, name: &str, file: StoreFile, flags: u32) -> Result<StoreFile> {
         match self {
             StorageBackend::Mem => Ok(StoreFile::Frozen(file.into_frozen())),
-            StorageBackend::File { dir, mode } => {
+            StorageBackend::File {
+                dir,
+                mode,
+                replicas,
+            } => {
                 std::fs::create_dir_all(dir)?;
-                let path = dir.join(format!("{name}.hdov"));
+                let n = (*replicas).max(1);
                 let frozen = file.into_frozen();
                 let generation = GENERATION.fetch_add(1, Ordering::Relaxed);
-                frozen.write_store_flagged(&path, generation, flags)?;
-                let reopened = match mode {
-                    FileMode::Mmap => FrozenPages::open_mmap(&path)?,
-                    FileMode::Pread => FrozenPages::open_pread(&path)?,
+                let paths: Vec<PathBuf> = (0..n).map(|k| replica_path(dir, name, k)).collect();
+                frozen.write_replicated(&paths, generation, flags)?;
+                let open = |p: &PathBuf| match mode {
+                    FileMode::Mmap => FrozenPages::open_mmap(p),
+                    FileMode::Pread => FrozenPages::open_pread(p),
                 };
-                Ok(StoreFile::Frozen(reopened))
+                let primary = open(&paths[0])?;
+                let extras = paths[1..].iter().map(open).collect::<Result<Vec<_>>>()?;
+                Ok(StoreFile::Frozen(primary.with_replicas(extras)))
             }
         }
     }
@@ -159,6 +208,41 @@ mod tests {
     }
 
     #[test]
+    fn parse_replica_suffix() {
+        let d = Path::new("/tmp/stores");
+        let b = StorageBackend::from_arg("file:pread@3", d).unwrap();
+        assert_eq!(b.replicas(), 3);
+        assert_eq!(b.label(), "file:pread");
+        assert_eq!(StorageBackend::from_arg("file@2", d).unwrap().replicas(), 2);
+        assert_eq!(StorageBackend::from_arg("file@0", d), None);
+        assert_eq!(StorageBackend::from_arg("file@x", d), None);
+        assert_eq!(StorageBackend::from_arg("mem@2", d), None);
+        assert_eq!(StorageBackend::from_arg("mem", d).unwrap().replicas(), 1);
+        assert_eq!(StorageBackend::file("/x").replicated(2).replicas(), 2);
+        assert_eq!(StorageBackend::Mem.replicated(2).replicas(), 1);
+    }
+
+    #[test]
+    fn replicated_freeze_writes_n_identical_stores() {
+        let dir = std::env::temp_dir().join(format!("hdov_backend_rep_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let b = StorageBackend::file(&dir).replicated(3);
+        let s = b.freeze("cells", built(4)).unwrap();
+        let fp = s.frozen().unwrap();
+        assert_eq!(fp.replica_count(), 3);
+        let bytes0 = std::fs::read(replica_path(&dir, "cells", 0)).unwrap();
+        for k in 1..3 {
+            let p = replica_path(&dir, "cells", k);
+            assert_eq!(std::fs::read(&p).unwrap(), bytes0, "{}", p.display());
+        }
+        for (k, r) in fp.replicas().iter().enumerate() {
+            assert_eq!(r.page_count(), 4);
+            assert_eq!(r.generation(), fp.generation(), "replica {k} generation");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn freeze_on_every_backend_serves_identical_pages() {
         let dir = std::env::temp_dir().join(format!("hdov_backend_{}", std::process::id()));
         let backends = [
@@ -166,10 +250,12 @@ mod tests {
             StorageBackend::File {
                 dir: dir.clone(),
                 mode: FileMode::Mmap,
+                replicas: 1,
             },
             StorageBackend::File {
                 dir: dir.clone(),
                 mode: FileMode::Pread,
+                replicas: 1,
             },
         ];
         for b in backends {

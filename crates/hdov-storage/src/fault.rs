@@ -65,6 +65,15 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that fails **every** read: the device is dead. Used to model
+    /// a replica whose backing file is gone entirely.
+    pub fn dead() -> Self {
+        FaultPlan {
+            fail_every_nth_read: 1,
+            ..Default::default()
+        }
+    }
+
     /// A plan that fails each read with probability `rate`, seeded.
     pub fn transient(rate: f64, seed: u64) -> Self {
         FaultPlan {

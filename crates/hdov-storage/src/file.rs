@@ -254,7 +254,9 @@ impl PagedFile for StoreFile {
     fn read_page(&mut self, id: PageId, out: &mut Page) -> Result<()> {
         match self {
             StoreFile::Mem(f) => f.read_page(id, out),
-            StoreFile::Frozen(fp) => fp.read_into(id, out.bytes_mut()),
+            // Frozen reads are verified and fail over to any attached
+            // replicas — the sequential engine's self-healing seam.
+            StoreFile::Frozen(fp) => fp.read_into_failover(id, out.bytes_mut()),
         }
     }
 

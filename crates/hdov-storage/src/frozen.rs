@@ -28,7 +28,7 @@
 //! fast at open, never as a wrong answer mid-query.
 
 use crate::{page_checksum, Result, StorageError, PAGE_SIZE};
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
@@ -233,6 +233,75 @@ pub fn verify_page(path: &Path, id: u64, bytes: &[u8], expected: u64) -> Result<
     Ok(())
 }
 
+/// Rewrites data page `id` of the frozen store at `path` in place with
+/// verified-good `bytes`, restamping the checksum sidecar from `table` (the
+/// trusted per-page table captured when the store was opened).
+///
+/// The *whole* sidecar is rewritten, not just one slot: the table checksum
+/// at its tail covers every entry, so a single-entry patch could not bring a
+/// store whose sidecar was itself hit back to a verifiable state. After
+/// writing and syncing, the page is read back from disk and re-verified, so
+/// the caller learns definitively whether the store is healthy again.
+///
+/// This is the one sanctioned in-place mutation of a frozen store. It can
+/// only rewrite a page to the exact bytes the trusted table already
+/// promised (`bytes` must hash to `table[id]`), so a store can be *healed*
+/// but never *changed*.
+pub fn repair_page(path: &Path, id: u64, bytes: &[u8], table: &[u64]) -> Result<()> {
+    if bytes.len() != PAGE_SIZE {
+        return Err(StorageError::Corrupt(format!(
+            "repair given a {}-byte page (expected {PAGE_SIZE})",
+            bytes.len()
+        )));
+    }
+    let expected = *table.get(id as usize).ok_or_else(|| {
+        invalid(
+            path,
+            format!("repair of page {id} beyond the {}-entry table", table.len()),
+        )
+    })?;
+    if page_checksum(bytes) != expected {
+        return Err(invalid(
+            path,
+            format!("repair bytes for page {id} fail the trusted checksum"),
+        ));
+    }
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    let layout = read_layout(&file, path)?;
+    if layout.page_count as usize != table.len() {
+        return Err(invalid(
+            path,
+            format!(
+                "repair table has {} entries but the store holds {} pages",
+                table.len(),
+                layout.page_count
+            ),
+        ));
+    }
+    file.write_all_at(bytes, StoreLayout::page_offset(id))?;
+    let mut sidecar = Vec::with_capacity((table.len() + 1) * 8);
+    for &c in table {
+        sidecar.extend_from_slice(&c.to_le_bytes());
+    }
+    let tsum = page_checksum(&sidecar);
+    sidecar.extend_from_slice(&tsum.to_le_bytes());
+    file.write_all_at(&sidecar, layout.sidecar_offset())?;
+    file.sync_all()?;
+    let mut back = vec![0u8; PAGE_SIZE];
+    file.read_exact_at(&mut back, StoreLayout::page_offset(id))?;
+    verify_page(path, id, &back, expected)
+}
+
+/// Reads the `len`-page run starting at data page `first` straight from an
+/// open store file with one positioned read — the scrubber's sweep
+/// primitive, deliberately bypassing any mapping so verification always
+/// sees the bytes currently on disk.
+pub fn read_run_raw(file: &File, first: u64, len: u64, out: &mut [u8]) -> Result<()> {
+    let n = len as usize * PAGE_SIZE;
+    file.read_exact_at(&mut out[..n], StoreLayout::page_offset(first))?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +476,60 @@ mod tests {
         assert_eq!(layout.page_count, 4);
         assert_eq!(layout.generation, 2);
         read_checksum_table(&file, &path, &layout).unwrap();
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn repair_page_heals_page_and_sidecar() {
+        let path = tmp("repair");
+        let good = pages(4);
+        write_store(&path, &good, 3).unwrap();
+        let file = File::open(&path).unwrap();
+        let layout = read_layout(&file, &path).unwrap();
+        let table = read_checksum_table(&file, &path, &layout).unwrap();
+        drop(file);
+        // Corrupt one data page *and* its sidecar slot — repair must bring
+        // both back.
+        let mut raw = std::fs::read(&path).unwrap();
+        let off = StoreLayout::page_offset(2) as usize;
+        raw[off] ^= 0xFF;
+        let slot = layout.sidecar_offset() as usize + 2 * 8;
+        raw[slot] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        repair_page(&path, 2, &good[2], &table).unwrap();
+        let file = File::open(&path).unwrap();
+        let layout = read_layout(&file, &path).unwrap();
+        assert_eq!(read_checksum_table(&file, &path, &layout).unwrap(), table);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for i in 0..4u64 {
+            file.read_exact_at(&mut buf, StoreLayout::page_offset(i))
+                .unwrap();
+            verify_page(&path, i, &buf, table[i as usize]).unwrap();
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn repair_page_rejects_untrusted_bytes() {
+        let path = tmp("repair_bad");
+        let good = pages(2);
+        write_store(&path, &good, 1).unwrap();
+        let file = File::open(&path).unwrap();
+        let layout = read_layout(&file, &path).unwrap();
+        let table = read_checksum_table(&file, &path, &layout).unwrap();
+        drop(file);
+        // Bytes that do not hash to the trusted table entry are refused —
+        // repair can heal a store, never rewrite it.
+        let err = repair_page(&path, 0, &good[1], &table).unwrap_err();
+        assert!(
+            err.to_string().contains("fail the trusted checksum"),
+            "{err}"
+        );
+        let err = repair_page(&path, 7, &good[0], &table).unwrap_err();
+        assert!(err.to_string().contains("beyond"), "{err}");
+        // The failed repairs never touched the store.
+        let file = File::open(&path).unwrap();
+        read_layout(&file, &path).unwrap();
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

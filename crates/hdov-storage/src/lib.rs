@@ -34,12 +34,14 @@ pub mod mmap;
 pub mod mutable;
 pub mod page;
 pub mod pread;
+pub mod replica;
 pub mod retry;
+pub mod scrub;
 pub mod shared;
 pub mod stats;
 pub mod wal;
 
-pub use backend::{FileMode, StorageBackend};
+pub use backend::{replica_path, FileMode, StorageBackend};
 pub use cached::CachedFile;
 pub use checksum::page_checksum;
 pub use codec::{read_varint, unzigzag, varint_len, zigzag, ByteReader, ByteWriter};
@@ -53,7 +55,9 @@ pub use mmap::MappedStore;
 pub use mutable::{MutTxn, MutableStore, PageLoc, PageTable, StoreSnapshot};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pread::PreadStore;
+pub use replica::{ReplicaHealth, ReplicaSet};
 pub use retry::RetryPolicy;
+pub use scrub::{verify_pool, ScrubConfig, ScrubReport, Scrubber};
 pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};
 pub use stats::IoStats;
 pub use wal::{RecoveredTxn, Wal};

@@ -27,13 +27,14 @@
 use crate::error::StoreOrigin;
 use crate::mmap::MappedStore;
 use crate::pread::PreadStore;
+use crate::replica::ReplicaSet;
 use crate::{
     page_checksum, DiskModel, FaultPlan, Frame, IoStats, LruCache, MemPagedFile, Page, PageId,
     Result, RetryPolicy, SharedFaultyFile, StorageError, PAGE_SIZE,
 };
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Locks a pool shard, recovering from poison.
 ///
@@ -66,6 +67,9 @@ fn lock_shard<T>(shard: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug, Clone)]
 pub struct FrozenPages {
     repr: Repr,
+    /// Replica stores opened alongside this one (empty for an unreplicated
+    /// store); attached replicas never carry replicas of their own.
+    extra: Arc<[FrozenPages]>,
 }
 
 #[derive(Debug, Clone)]
@@ -82,6 +86,7 @@ impl FrozenPages {
             repr: Repr::Mem {
                 pages: file.into_pages().into(),
             },
+            extra: Vec::new().into(),
         }
     }
 
@@ -91,6 +96,7 @@ impl FrozenPages {
             repr: Repr::Mapped {
                 store: Arc::new(MappedStore::open(path)?),
             },
+            extra: Vec::new().into(),
         })
     }
 
@@ -100,7 +106,37 @@ impl FrozenPages {
             repr: Repr::Pread {
                 store: Arc::new(PreadStore::open(path)?),
             },
+            extra: Vec::new().into(),
         })
+    }
+
+    /// Attaches opened replica stores: byte-identical copies of this one
+    /// that the read path may fail over to (and repair) when this store
+    /// serves bad bytes. See [`crate::ReplicaSet`].
+    ///
+    /// # Panics
+    /// Panics when a replica's page count differs from this store's.
+    #[must_use]
+    pub fn with_replicas(mut self, extras: Vec<FrozenPages>) -> Self {
+        for e in &extras {
+            assert_eq!(
+                e.page_count(),
+                self.page_count(),
+                "replica page counts must match"
+            );
+        }
+        self.extra = extras.into();
+        self
+    }
+
+    /// The replica stores attached to this one (empty when unreplicated).
+    pub fn replicas(&self) -> &[FrozenPages] {
+        &self.extra
+    }
+
+    /// Total copies behind this handle (1 + attached replicas).
+    pub fn replica_count(&self) -> usize {
+        1 + self.extra.len()
     }
 
     /// Number of pages.
@@ -212,6 +248,78 @@ impl FrozenPages {
                 crate::frozen::write_store_flagged(path, &all, generation, flags)
             }
         }
+    }
+
+    /// Serializes this store to every path in `paths`: N byte-identical
+    /// replica files sharing one generation, each written through the
+    /// atomic temp-file + rename path of
+    /// [`write_store_flagged`](Self::write_store_flagged), so a crash
+    /// mid-replication leaves every target either complete or untouched.
+    pub fn write_replicated<P: AsRef<Path>>(
+        &self,
+        paths: &[P],
+        generation: u64,
+        flags: u32,
+    ) -> Result<()> {
+        for p in paths {
+            self.write_store_flagged(p.as_ref(), generation, flags)?;
+        }
+        Ok(())
+    }
+
+    /// The verified on-disk sidecar table, when this store is file-backed
+    /// (mem stores have no sidecar; their bytes are the source of truth).
+    pub fn stored_checksums(&self) -> Option<&Arc<[u64]>> {
+        match &self.repr {
+            Repr::Mem { .. } => None,
+            Repr::Mapped { store } => Some(store.checksums()),
+            Repr::Pread { store } => Some(store.checksums()),
+        }
+    }
+
+    /// [`read_into`](Self::read_into) with verification and transparent
+    /// failover to attached replicas — the sequential engine's self-healing
+    /// read. File-backed reads are verified against the store's sidecar
+    /// (counting `checksum_failures` on a mismatch); a failed or corrupt
+    /// primary read retries each replica in order, and a replica-served
+    /// page counts `failover_reads`. Out-of-bounds errors never fail over
+    /// (every copy is the same length). Unreplicated mem stores behave
+    /// bit-identically to [`read_into`](Self::read_into).
+    ///
+    /// Repair is deliberately not wired here: the sequential engine is the
+    /// single-session path, and in-place healing (with its per-page repair
+    /// locking) lives in the shared pool's [`crate::ReplicaSet`] and the
+    /// [`crate::Scrubber`].
+    pub fn read_into_failover(&self, id: PageId, out: &mut [u8]) -> Result<()> {
+        match self.read_verified(id, out) {
+            Ok(()) => Ok(()),
+            Err(e @ StorageError::PageOutOfBounds { .. }) => Err(e),
+            Err(first) => {
+                for r in self.extra.iter() {
+                    if r.read_verified(id, out).is_ok() {
+                        hdov_obs::add(hdov_obs::Counter::FailoverReads, 1);
+                        return Ok(());
+                    }
+                }
+                Err(first)
+            }
+        }
+    }
+
+    /// [`read_into`](Self::read_into), verified against the on-disk sidecar
+    /// when one exists.
+    fn read_verified(&self, id: PageId, out: &mut [u8]) -> Result<()> {
+        self.read_into(id, out)?;
+        if let Some(table) = self.stored_checksums() {
+            if page_checksum(&out[..PAGE_SIZE]) != table[id.0 as usize] {
+                hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
+                return Err(StorageError::Corrupt(format!(
+                    "checksum mismatch on {id} ({})",
+                    self.origin()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The mmap store behind this handle, when the mmap backend is active
@@ -394,9 +502,14 @@ pub struct SharedCachedFile {
     /// frame admission. Verification is charged zero simulated time.
     checksums: Arc<[u64]>,
     retry: RetryPolicy,
-    /// Armed at most once; misses read through it when set. Hits never
-    /// consult it (pooled frames were verified at admission).
-    faults: OnceLock<Arc<SharedFaultyFile>>,
+    /// The store's replicas (replica 0 *is* `data`) plus the
+    /// quarantine/repair book. A verified miss that fails on the primary —
+    /// corrupt bytes or exhausted retries — retries each further replica
+    /// in order *before* any error escapes toward the LoD-degradation
+    /// fallback; recovered bytes repair the corrupt copies in place. Also
+    /// owns the per-replica fault slots (replica 0's slot is the pool's
+    /// historical injector).
+    replicas: ReplicaSet,
 }
 
 impl SharedCachedFile {
@@ -426,7 +539,8 @@ impl SharedCachedFile {
         assert!(capacity > 0, "pool capacity must be positive");
         assert!(shards > 0, "shard count must be positive");
         let per_shard = capacity.div_ceil(shards);
-        let checksums = data.checksum_table();
+        let replicas = ReplicaSet::new(&data);
+        let checksums = Arc::clone(replicas.checksums());
         SharedCachedFile {
             data,
             model,
@@ -437,8 +551,18 @@ impl SharedCachedFile {
             cache_overlay,
             checksums,
             retry: RetryPolicy::default(),
-            faults: OnceLock::new(),
+            replicas,
         }
+    }
+
+    /// Pads the replica set to at least `n` copies by cloning the primary —
+    /// mem-backed replication for chaos tests, examples, and the alloc-free
+    /// gate. File-backed stores usually arrive already replicated (see
+    /// [`FrozenPages::with_replicas`]); this never shrinks a wider set.
+    #[must_use]
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        self.replicas.pad_to(n);
+        self
     }
 
     /// Sets the transient-read retry policy, chainable at construction.
@@ -454,21 +578,36 @@ impl SharedCachedFile {
         self
     }
 
-    /// Arms deterministic fault injection on the miss path: subsequent
-    /// misses read through a [`SharedFaultyFile`] over the same frozen
-    /// snapshot. Returns the injector (also returned to later callers — a
-    /// pool arms at most once; use [`SharedFaultyFile::disarm`] to stop
-    /// injecting).
+    /// Arms deterministic fault injection on the primary's miss path:
+    /// subsequent misses read through a [`SharedFaultyFile`] over the same
+    /// frozen snapshot. Returns the injector (also returned to later
+    /// callers — each replica arms at most once; use
+    /// [`SharedFaultyFile::disarm`] to stop injecting). Equivalent to
+    /// [`arm_replica_faults`](Self::arm_replica_faults)`(0, plan)`.
     pub fn arm_faults(&self, plan: &FaultPlan) -> Arc<SharedFaultyFile> {
-        Arc::clone(
-            self.faults
-                .get_or_init(|| Arc::new(SharedFaultyFile::new(self.data.clone(), plan.clone()))),
-        )
+        self.replicas.arm(0, plan)
     }
 
-    /// The armed fault injector, if any.
+    /// Arms deterministic fault injection on replica `replica`'s read path
+    /// (first plan per replica wins) — chaos can kill replica 0 outright
+    /// while the others keep serving.
+    pub fn arm_replica_faults(&self, replica: usize, plan: &FaultPlan) -> Arc<SharedFaultyFile> {
+        self.replicas.arm(replica, plan)
+    }
+
+    /// The primary's armed fault injector, if any.
     pub fn faults(&self) -> Option<&Arc<SharedFaultyFile>> {
-        self.faults.get()
+        self.replicas.faults(0)
+    }
+
+    /// The replica set (and quarantine/repair book) behind this pool.
+    pub fn replica_set(&self) -> &ReplicaSet {
+        &self.replicas
+    }
+
+    /// Number of store copies behind this pool (1 = unreplicated).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 
     /// The retry policy in use.
@@ -496,8 +635,10 @@ impl SharedCachedFile {
             cache_overlay: self.cache_overlay,
             checksums: Arc::clone(&self.checksums),
             retry: self.retry,
-            // Faults are not inherited: each pool arms its own injector.
-            faults: OnceLock::new(),
+            // Faults and health are not inherited: each pool arms its own
+            // injectors and keeps its own quarantine/repair book (over the
+            // same stores, at the same replica count).
+            replicas: self.replicas.fork(),
         }
     }
 
@@ -558,21 +699,102 @@ impl SharedCachedFile {
 
     /// Copies page `id` into `out`: through the armed fault injector when
     /// present, retrying transient failures per the pool's [`RetryPolicy`],
-    /// then verifies the sidecar checksum before returning.
+    /// then verifies the sidecar checksum — and, when the primary is
+    /// exhausted (checksum mismatch or retries spent), transparently fails
+    /// over to the next healthy replica *before* any error escapes toward
+    /// the LoD-degradation fallback. Bytes a replica recovers are used to
+    /// repair the corrupt copies in place (see [`ReplicaSet::repair`]).
     ///
     /// Each *failed transient* attempt charges `seek + transfer + backoff`
     /// as pure simulated time (no read counters) against `cursor` and the
     /// global stats, as does a latency spike on the winning attempt.
     /// Checksum verification itself costs zero simulated time; a mismatch is
-    /// permanent ([`StorageError::Corrupt`]) and never retried. With no
-    /// faults armed this is a plain copy + verify and cannot fail transiently.
+    /// permanent ([`StorageError::Corrupt`]) for the copy that served it and
+    /// never retried there. With no faults armed and one replica this is a
+    /// plain copy + verify and cannot fail transiently.
     fn fetch_into(&self, cursor: &mut IoCursor, id: PageId, out: &mut Page) -> Result<()> {
+        match self.fetch_from(0, cursor, id, out) {
+            Ok(()) => {
+                self.replicas.note_clean(0, id.0);
+                Ok(())
+            }
+            Err(e) => self.fetch_failover(e, cursor, id, out),
+        }
+    }
+
+    /// The failover tail of [`fetch_into`](Self::fetch_into): the primary
+    /// has failed terminally; try each further replica in order, then
+    /// repair every corrupt copy from the first verified-good bytes. Out of
+    /// the hot path — it runs only when something is actually broken.
+    #[cold]
+    fn fetch_failover(
+        &self,
+        primary_err: StorageError,
+        cursor: &mut IoCursor,
+        id: PageId,
+        out: &mut Page,
+    ) -> Result<()> {
+        // Bounds errors are caller bugs, not bad copies: never fail over.
+        if matches!(primary_err, StorageError::PageOutOfBounds { .. }) {
+            return Err(primary_err);
+        }
+        // Which replicas served corrupt bytes (capped at 64; sets are tiny
+        // in practice). Only these are repair targets: an I/O-dead copy has
+        // nothing written back to it.
+        let mut corrupt_mask: u64 = 0;
+        if matches!(primary_err, StorageError::Corrupt(_)) {
+            corrupt_mask |= 1;
+            self.replicas.quarantine(0, id.0);
+        }
+        let mut last = primary_err;
+        for k in 1..self.replicas.len() {
+            match self.fetch_from(k, cursor, id, out) {
+                Ok(()) => {
+                    self.replicas.note_clean(k, id.0);
+                    self.replicas.record_failover();
+                    let mut m = corrupt_mask;
+                    while m != 0 {
+                        let j = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        // Repair failures are non-fatal: the read succeeded,
+                        // and the page stays quarantined for the scrubber.
+                        let _ = self.replicas.repair(j, id.0, out.bytes());
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if matches!(e, StorageError::Corrupt(_)) {
+                        if k < 64 {
+                            corrupt_mask |= 1 << k;
+                        }
+                        self.replicas.quarantine(k, id.0);
+                    }
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One replica's copy-out: the retry loop over replica `k`'s injector
+    /// (when armed) or its store, then sidecar verification.
+    fn fetch_from(
+        &self,
+        replica: usize,
+        cursor: &mut IoCursor,
+        id: PageId,
+        out: &mut Page,
+    ) -> Result<()> {
         let attempts = self.retry.attempts();
         let mut attempt = 0u32;
         loop {
-            let outcome = match self.faults.get() {
+            let outcome = match self.replicas.faults(replica) {
                 Some(f) => f.read_into(id, out.bytes_mut()),
-                None => self.data.read_into(id, out.bytes_mut()).map(|()| 0.0),
+                None => self
+                    .replicas
+                    .data(replica)
+                    .read_into(id, out.bytes_mut())
+                    .map(|()| 0.0),
             };
             match outcome {
                 Ok(spike_us) => {
@@ -629,14 +851,16 @@ impl SharedCachedFile {
     /// any armed fault injector — copies through [`fetch_into`](Self::fetch_into)
     /// so fault/retry semantics are byte-for-byte the historical ones.
     fn build_frame(&self, cursor: &mut IoCursor, id: PageId) -> Result<Frame> {
-        if self.faults.get().is_none() {
+        if !self.replicas.any_faults() {
             if let Some(store) = self.data.mapped() {
                 let bytes = store.page_bytes(id)?;
-                if page_checksum(bytes) != self.checksums[id.0 as usize] {
-                    hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
-                    return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+                if page_checksum(bytes) == self.checksums[id.0 as usize] {
+                    return Ok(Frame::borrowed(id, Arc::clone(store), self.cache_overlay));
                 }
-                return Ok(Frame::borrowed(id, Arc::clone(store), self.cache_overlay));
+                // Corrupt (or stale) mapping: fall through to the copying
+                // path, which counts the failure once and can fail over to
+                // a replica. With one replica the outcome is the same
+                // Corrupt error the borrow path historically returned.
             }
         }
         let mut page = Page::zeroed();
@@ -726,7 +950,7 @@ impl SharedCachedFile {
             return Ok(());
         }
         hdov_obs::add(hdov_obs::Counter::PrefetchRuns, 1);
-        if self.faults.get().is_some() {
+        if self.replicas.any_faults() {
             for k in 0..len {
                 self.warm(cursor, PageId(first.0 + k))?;
             }
@@ -766,8 +990,13 @@ impl SharedCachedFile {
             }
             let bytes = &buf[k as usize * PAGE_SIZE..(k as usize + 1) * PAGE_SIZE];
             if page_checksum(bytes) != self.checksums[id.0 as usize] {
-                hdov_obs::add(hdov_obs::Counter::ChecksumFailures, 1);
-                return Err(StorageError::Corrupt(format!("checksum mismatch on {id}")));
+                // The run read surfaced a corrupt page: route this page
+                // through the full per-page warm, whose fetch path counts
+                // the failure and fails over to a healthy replica (the
+                // shard lock must drop first — `warm` re-takes it).
+                drop(pool);
+                self.warm(cursor, id)?;
+                continue;
             }
             let mut page = Page::zeroed();
             page.bytes_mut().copy_from_slice(bytes);
@@ -1095,6 +1324,106 @@ mod tests {
         let mut cur = IoCursor::new();
         let mut out = Page::zeroed();
         fork.read_page(&mut cur, PageId(0), &mut out).unwrap();
+    }
+
+    #[test]
+    fn corrupt_primary_fails_over_and_repairs() {
+        let pool = SharedCachedFile::new(frozen(3), DiskModel::PAPER_ERA, 8, 2).with_replicas(2);
+        let injector = pool.arm_replica_faults(0, &FaultPlan::corrupt_one(1));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        // The primary serves page 1 corrupt; the replica heals the read.
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &1u64.to_le_bytes());
+        assert_eq!(injector.injected(), 1);
+        let h = pool.replica_set().status();
+        assert_eq!(h.replicas, 2);
+        assert_eq!(h.failover_reads, 1);
+        assert_eq!(h.pages_repaired, 1, "mem repair re-verifies and heals");
+        assert_eq!(h.quarantined_pages, 0, "repaired pages leave quarantine");
+        // The winning read is charged exactly like a clean miss.
+        assert_eq!(cur.stats().page_reads, 1);
+        assert_eq!(cur.stats().elapsed_us, 8000.0 + 100.0);
+        assert!(pool.contains(PageId(1)), "recovered bytes are pooled");
+        // Hits keep serving without consulting any injector.
+        pool.read_page(&mut cur, PageId(1), &mut out).unwrap();
+        assert_eq!(injector.reads(), 1);
+    }
+
+    #[test]
+    fn dead_primary_fails_over_without_repair() {
+        let pool = SharedCachedFile::new(frozen(2), DiskModel::FREE, 4, 2)
+            .with_replicas(2)
+            .with_retry(RetryPolicy::NONE);
+        pool.arm_replica_faults(0, &FaultPlan::dead());
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        for i in 0..2 {
+            pool.read_page(&mut cur, PageId(i), &mut out).unwrap();
+            assert_eq!(&out.bytes()[..8], &i.to_le_bytes());
+        }
+        let h = pool.replica_set().status();
+        assert_eq!(h.failover_reads, 2);
+        assert_eq!(
+            h.pages_repaired, 0,
+            "I/O-dead replicas are not repair targets: their bytes were never observed wrong"
+        );
+    }
+
+    #[test]
+    fn all_replicas_corrupt_quarantines_without_negative_caching() {
+        let pool = SharedCachedFile::new(frozen(2), DiskModel::FREE, 4, 2).with_replicas(2);
+        let a = pool.arm_replica_faults(0, &FaultPlan::corrupt_one(0));
+        let b = pool.arm_replica_faults(1, &FaultPlan::corrupt_one(0));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        let err = pool.read_page(&mut cur, PageId(0), &mut out).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert!(!pool.contains(PageId(0)), "poison must not enter the pool");
+        let h = pool.replica_set().status();
+        assert_eq!(h.quarantined_pages, 2, "both copies quarantined");
+        assert_eq!(h.failover_reads, 0, "no replica served the read");
+        // Quarantine is bookkeeping, not a verdict: disarm and the page
+        // reads clean again on the first try.
+        a.disarm();
+        b.disarm();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
+        // The clean primary read clears its own entry; the untouched
+        // replica stays quarantined until a scrub revisits it.
+        assert_eq!(pool.replica_set().status().quarantined_pages, 1);
+    }
+
+    #[test]
+    fn fault_free_replication_charges_identically() {
+        let single = SharedCachedFile::new(frozen(4), DiskModel::PAPER_ERA, 2, 1);
+        let triple = SharedCachedFile::new(frozen(4), DiskModel::PAPER_ERA, 2, 1).with_replicas(3);
+        let (mut c1, mut c3) = (IoCursor::new(), IoCursor::new());
+        let (mut o1, mut o3) = (Page::zeroed(), Page::zeroed());
+        for i in [0u64, 1, 2, 3, 0, 2] {
+            single.read_page(&mut c1, PageId(i), &mut o1).unwrap();
+            triple.read_page(&mut c3, PageId(i), &mut o3).unwrap();
+            assert_eq!(o1.bytes(), o3.bytes());
+        }
+        assert_eq!(c1.stats(), c3.stats(), "replication is free when healthy");
+        assert_eq!(single.hit_stats(), triple.hit_stats());
+        assert!(triple.replica_set().status().is_clean());
+    }
+
+    #[test]
+    fn fork_keeps_replicas_but_resets_health() {
+        let pool = SharedCachedFile::new(frozen(2), DiskModel::FREE, 4, 2).with_replicas(2);
+        pool.arm_replica_faults(0, &FaultPlan::corrupt_one(0));
+        let mut cur = IoCursor::new();
+        let mut out = Page::zeroed();
+        pool.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(pool.replica_set().status().failover_reads, 1);
+        let fork = pool.fork();
+        let h = fork.replica_set().status();
+        assert_eq!(h.replicas, 2, "forks keep the replica topology");
+        assert!(h.is_clean(), "health and faults are not inherited");
+        fork.read_page(&mut cur, PageId(0), &mut out).unwrap();
+        assert_eq!(&out.bytes()[..8], &0u64.to_le_bytes());
     }
 
     #[test]

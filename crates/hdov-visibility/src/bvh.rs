@@ -212,9 +212,9 @@ fn build_rec(
     };
     let mid = (start + end) / 2;
     order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
-        boxes[a as usize].center()[axis]
-            .partial_cmp(&boxes[b as usize].center()[axis])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        // total_cmp: degenerate boxes can have NaN centers, and a partial
+        // comparator would break the partition invariant (or panic).
+        boxes[a as usize].center()[axis].total_cmp(&boxes[b as usize].center()[axis])
     });
     let left = build_rec(boxes, order, start, mid, nodes);
     let right = build_rec(boxes, order, mid, end, nodes);
@@ -276,6 +276,30 @@ mod tests {
         match bvh.first_hit(&Ray::new(Vec3::new(0.0, 50.0, 2.0), -Vec3::Z)) {
             Hit::Ground { t } => assert!((t - 2.0).abs() < 1e-9),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_nan_box_does_not_poison_the_build() {
+        // An empty box (a geometry-less object) has a NaN centre
+        // (∞ + −∞), which makes every axis comparison unordered. The
+        // median partition must stay total (total_cmp) so the build neither
+        // panics nor misplaces the finite boxes around the pivot.
+        let mut boxes = row_of_boxes(9);
+        assert!(Aabb::EMPTY.center().x.is_nan());
+        boxes.insert(4, Aabb::EMPTY);
+        let bvh = Bvh::build(boxes, None);
+        // Every finite box is still found first-hit from its own row slot.
+        for (i, x) in (0..9).map(|i| (i, 10.0 + i as f64 * 10.0)) {
+            let ray = Ray::new(Vec3::new(x - 1.0, 0.0, 1.0), Vec3::X);
+            match bvh.first_hit(&ray) {
+                Hit::Object { index, t } => {
+                    let want = if i < 4 { i } else { i + 1 } as u32;
+                    assert_eq!(index, want, "box at x = {x}");
+                    assert!((t - 1.0).abs() < 1e-9);
+                }
+                other => panic!("box at x = {x}: {other:?}"),
+            }
         }
     }
 
@@ -351,7 +375,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, b)| b.ray_hit(&ray).map(|t| (i as u32, t)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             match (bvh.first_hit(&ray), brute) {
                 (Hit::Object { index, t }, Some((bi, bt))) => {
                     assert!((t - bt).abs() < 1e-9, "t mismatch");

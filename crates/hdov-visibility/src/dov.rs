@@ -484,10 +484,7 @@ mod tests {
                 continue;
             }
             let center = grid.cell_bounds(cell).center();
-            let best = list
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+            let best = list.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
             let best_dist = scene.object(best.0 as u64).mbr.distance_to_point(center);
             let mean_dist: f64 = list
                 .iter()

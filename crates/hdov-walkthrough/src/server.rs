@@ -27,7 +27,7 @@ use crate::frame::FrameModel;
 use crate::session::Session;
 use hdov_core::{DeltaSearch, QueryBudget, ResultKey, SearchScratch, SharedEnvironment};
 use hdov_obs::{Counter, Hist};
-use hdov_storage::Result;
+use hdov_storage::{ReplicaHealth, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -159,6 +159,10 @@ pub struct ServerReport {
     /// Admission counters for the run (all zero without
     /// [`ServerConfig::admission`]).
     pub backpressure: BackpressureStats,
+    /// Replica-set health merged over the environment's pools at the end of
+    /// the run: failovers served, pages repaired, pages still quarantined.
+    /// All-zero (`is_clean`) in fault-free runs.
+    pub health: ReplicaHealth,
 }
 
 impl ServerReport {
@@ -386,6 +390,7 @@ impl<'a> SessionServer<'a> {
             wall_seconds,
             threads: workers,
             backpressure: slots.map(|s| s.stats()).unwrap_or_default(),
+            health: self.env.storage_health(),
         })
     }
 
@@ -825,6 +830,7 @@ mod tests {
             wall_seconds: four.wall_seconds,
             threads: 1,
             backpressure: BackpressureStats::default(),
+            health: ReplicaHealth::default(),
         };
         assert!(one.simulated_makespan_ms() > 0.0);
         assert!(

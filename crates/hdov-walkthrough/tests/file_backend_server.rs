@@ -65,6 +65,7 @@ fn server_outcomes_identical_on_file_backends() {
         let backend = StorageBackend::File {
             dir: dir.join(format!("{mode:?}")),
             mode,
+            replicas: 1,
         };
         let env = build_env(&backend);
         let report = SessionServer::new(&env, cfg).run(&sessions, 1).unwrap();
