@@ -34,6 +34,7 @@ pub mod mutable;
 pub mod node;
 pub mod priority;
 pub mod search;
+pub mod shard;
 pub mod shared;
 pub mod storage;
 pub mod vpage;
@@ -48,6 +49,9 @@ pub use priority::{search_prioritized, search_prioritized_delta, PrioritizedOutc
 pub use search::{
     naive_query, search, search_budgeted, DegradeCause, DegradeEvent, DegradeReport, QueryResult,
     ResultEntry, ResultKey, SearchStats,
+};
+pub use shard::{
+    merge_frames, search_shard_into_budgeted, PathKey, ShardFrame, ShardPlan, MAX_SHARDS,
 };
 pub use shared::{
     search_shared, search_shared_budgeted, search_shared_into, search_shared_into_budgeted,

@@ -68,6 +68,10 @@ pub enum DegradeCause {
     /// The query's [`QueryBudget`] ran out before this subtree's descent
     /// (DESIGN.md §12) — the fallback preserves coverage, not the error path.
     BudgetExhausted,
+    /// A shard engine was tripped, timed out, or failed, and the router
+    /// served its tiles from the shard's precomputed coarse cover instead
+    /// of failing the frame (DESIGN.md §17).
+    ShardUnavailable,
 }
 
 /// The `error` string recorded on a [`DegradeCause::BudgetExhausted`] event

@@ -138,11 +138,22 @@ pub enum Counter {
     /// Pages quarantined after a checksum failure (first quarantine of a
     /// `(replica, page)` pair; repaired pages leave quarantine).
     QuarantinedPages,
+    /// Shard sub-queries abandoned because they exceeded the router's
+    /// per-request deadline.
+    ShardTimeouts,
+    /// Circuit-breaker transitions from closed (or half-open) to open.
+    BreakerOpens,
+    /// Hedged sub-queries issued to a replica engine after the primary
+    /// shard exceeded its hedge budget or answered degraded.
+    HedgedReads,
+    /// Frames in which at least one shard's tiles were served coarse
+    /// because the shard was tripped, timed out, or failed.
+    ShardDegradedFrames,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 38;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -180,6 +191,10 @@ impl Counter {
         Counter::ScrubPages,
         Counter::ScrubRepairs,
         Counter::QuarantinedPages,
+        Counter::ShardTimeouts,
+        Counter::BreakerOpens,
+        Counter::HedgedReads,
+        Counter::ShardDegradedFrames,
     ];
 
     /// Stable snake_case name used in snapshot keys.
@@ -219,6 +234,10 @@ impl Counter {
             Counter::ScrubPages => "scrub_pages",
             Counter::ScrubRepairs => "scrub_repairs",
             Counter::QuarantinedPages => "quarantined_pages",
+            Counter::ShardTimeouts => "shard_timeouts",
+            Counter::BreakerOpens => "breaker_opens",
+            Counter::HedgedReads => "hedged_reads",
+            Counter::ShardDegradedFrames => "shard_degraded_frames",
         }
     }
 

@@ -1,0 +1,487 @@
+//! The shard router: fan out, survive, merge (DESIGN.md §17).
+//!
+//! [`ShardRouter`] fronts one engine per spatial tile — each engine a fork
+//! of the same frozen [`SharedEnvironment`] with its own pools, so a fault
+//! plan armed on one shard's pools cannot touch another's. Per frame it:
+//!
+//! 1. maps the visitor's cell to its *fan-out mask* — the home tile plus
+//!    every shard that can contribute an entry for this cell (precomputed
+//!    by [`ShardPlan`] from the ground-truth visible set),
+//! 2. runs the pruned sharded search on each fanned-out shard, guarded by
+//!    that shard's circuit breaker, a simulated per-request deadline, a
+//!    deterministic retry budget, and (optionally) a hedged read to the
+//!    shard's replica engine,
+//! 3. merges the per-shard frames into one deterministic
+//!    [`QueryResult`] — stable object order
+//!    independent of shard completion order.
+//!
+//! A shard that is tripped, timed out, or dead past its retries contributes
+//! its precomputed coarse cover instead of failing the frame
+//! ([`DegradeCause::ShardUnavailable`](hdov_core::DegradeCause)); the
+//! router never returns an error for a routable frame.
+//!
+//! All robustness accounting is simulated-time and deterministic: deadlines
+//! compare *simulated* search milliseconds, retries are instant (a retry
+//! against a dead engine models the network timeout the real system would
+//! pay — the simulated clock, like the paper's, only charges I/O), and the
+//! breaker counts requests, not seconds.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::tile::TileMap;
+use hdov_core::shard::{merge_frames, search_shard_into_budgeted, ShardFrame, ShardPlan};
+use hdov_core::{DeltaSearch, QueryBudget, QueryResult, SessionCtx, SharedEnvironment};
+use hdov_geom::Vec3;
+use hdov_obs::Counter;
+use hdov_storage::{ReplicaHealth, Result};
+use hdov_visibility::CellId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Router tuning. The defaults keep every fault-domain mechanism inert:
+/// infinite deadline, no hedging, and a breaker that a fault-free run never
+/// feeds a failure — a default-configured fan-out is byte-identical to the
+/// unsharded search.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Per-sub-query deadline in *simulated* milliseconds; a sub-query
+    /// whose simulated search time exceeds it is treated as abandoned
+    /// (`shard_timeouts`) and the shard degrades for that frame.
+    pub deadline_sim_ms: f64,
+    /// Deterministic retry attempts after a failed sub-query (dead engine
+    /// or storage error), before the shard degrades or hedges.
+    pub retries: u32,
+    /// Per-shard circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Simulated search time above which a *successful* primary sub-query
+    /// is hedged to the shard's replica engine (when one is attached): the
+    /// faster of the two answers wins. `INFINITY` never hedges.
+    pub hedge_sim_ms: f64,
+    /// Per-sub-query traversal budget (passed through to the shard search).
+    pub budget: QueryBudget,
+    /// Batched V-page prefetch on cell entry (as in the unsharded path).
+    pub prefetch: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            deadline_sim_ms: f64::INFINITY,
+            retries: 1,
+            breaker: BreakerConfig::default(),
+            hedge_sim_ms: f64::INFINITY,
+            budget: QueryBudget::UNLIMITED,
+            prefetch: true,
+        }
+    }
+}
+
+/// A deterministic chaos schedule: kill one shard at a global frame index,
+/// revive it at another (`u64::MAX` = never). Frame indices count every
+/// routed frame across all sessions, in routing order.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardChaos {
+    /// The shard to kill.
+    pub shard: usize,
+    /// Global frame index at which the shard dies.
+    pub kill_at_frame: u64,
+    /// Global frame index at which it comes back.
+    pub revive_at_frame: u64,
+}
+
+/// One shard: a private-pool fork of the frozen environment, its optional
+/// hedge replica, and a liveness flag the chaos schedule (or an operator)
+/// flips. A dead engine refuses queries; its in-memory directories stay
+/// readable, which is exactly what serving the coarse cover needs.
+pub struct ShardEngine {
+    env: SharedEnvironment,
+    replica: Option<SharedEnvironment>,
+    alive: AtomicBool,
+}
+
+impl ShardEngine {
+    fn new(env: SharedEnvironment, replica: Option<SharedEnvironment>) -> ShardEngine {
+        ShardEngine {
+            env,
+            replica,
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// The shard's frozen environment.
+    pub fn env(&self) -> &SharedEnvironment {
+        &self.env
+    }
+
+    /// The hedge replica, when attached.
+    pub fn replica(&self) -> Option<&SharedEnvironment> {
+        self.replica.as_ref()
+    }
+
+    /// Is the engine accepting queries?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Stops the engine: subsequent sub-queries fail until [`revive`](Self::revive).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Restarts the engine.
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Per-visitor routing state: one cursor set per shard (plus one per
+/// replica), the per-shard frame slots, the merged frame, and the delta
+/// resident set — everything a visitor carries between frames.
+pub struct SessionLane {
+    ctxs: Vec<SessionCtx>,
+    hedge_ctxs: Vec<SessionCtx>,
+    frames: Vec<ShardFrame>,
+    merged: QueryResult,
+    delta: DeltaSearch,
+}
+
+impl SessionLane {
+    /// The most recent merged frame.
+    pub fn merged(&self) -> &QueryResult {
+        &self.merged
+    }
+
+    /// The visitor's delta resident set.
+    pub fn delta(&self) -> &DeltaSearch {
+        &self.delta
+    }
+}
+
+/// What one routed frame cost and survived.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteStats {
+    /// Simulated search time of the frame in ms: the **max** over the
+    /// fanned-out sub-queries — the fan-out is parallel, so the frame waits
+    /// for the slowest shard, not the sum.
+    pub search_ms: f64,
+    /// Simulated page reads summed over the sub-queries.
+    pub page_reads: u64,
+    /// Shards fanned out to.
+    pub fanout: u32,
+    /// Shards that contributed their coarse cover instead of a live answer.
+    pub degraded_shards: u32,
+    /// Sub-queries abandoned past the simulated deadline.
+    pub timeouts: u32,
+    /// Hedged sub-queries issued to replica engines.
+    pub hedged: u32,
+}
+
+/// Aggregate router counters since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterTotals {
+    /// Frames routed.
+    pub frames: u64,
+    /// Frames with at least one shard served from its cover.
+    pub degraded_frames: u64,
+    /// Sub-queries abandoned past the deadline.
+    pub timeouts: u64,
+    /// Hedged sub-queries issued.
+    pub hedged: u64,
+    /// Breaker open transitions.
+    pub breaker_opens: u64,
+}
+
+/// The resilient session router over a set of tile shards.
+pub struct ShardRouter {
+    engines: Vec<ShardEngine>,
+    plan: ShardPlan,
+    tiles: TileMap,
+    cfg: RouterConfig,
+    breakers: Vec<CircuitBreaker>,
+    chaos: Option<ShardChaos>,
+    frames_routed: AtomicU64,
+    degraded_frames: AtomicU64,
+    timeouts: AtomicU64,
+    hedged: AtomicU64,
+    breaker_opens: AtomicU64,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` tile shards of `base`: the tile map
+    /// from the grid, the ownership plan from one tree walk, then one
+    /// private-pool engine fork per shard (cold pools — each shard is its
+    /// own fault domain). With `hedge`, each shard also gets a replica
+    /// engine for hedged reads.
+    pub fn new(base: &SharedEnvironment, shards: usize, cfg: RouterConfig) -> Result<ShardRouter> {
+        Self::build(base, shards, cfg, false)
+    }
+
+    /// [`new`](Self::new) with a hedge replica engine per shard.
+    pub fn new_hedged(
+        base: &SharedEnvironment,
+        shards: usize,
+        cfg: RouterConfig,
+    ) -> Result<ShardRouter> {
+        Self::build(base, shards, cfg, true)
+    }
+
+    fn build(
+        base: &SharedEnvironment,
+        shards: usize,
+        cfg: RouterConfig,
+        hedge: bool,
+    ) -> Result<ShardRouter> {
+        let tiles = TileMap::new(base.grid(), shards);
+        let grid = base.grid();
+        let plan = ShardPlan::build(base, shards, |_, center| {
+            tiles.shard_of_cell(grid.clamped_cell_of(center))
+        })?;
+        let engines = (0..shards)
+            .map(|_| {
+                ShardEngine::new(
+                    base.fork_with_private_pools(),
+                    hedge.then(|| base.fork_with_private_pools()),
+                )
+            })
+            .collect();
+        let breakers = (0..shards)
+            .map(|_| CircuitBreaker::new(cfg.breaker))
+            .collect();
+        Ok(ShardRouter {
+            engines,
+            plan,
+            tiles,
+            cfg,
+            breakers,
+            chaos: None,
+            frames_routed: AtomicU64::new(0),
+            degraded_frames: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            hedged: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+        })
+    }
+
+    /// Installs (or clears) the chaos schedule. Set before routing.
+    pub fn set_chaos(&mut self, chaos: Option<ShardChaos>) {
+        if let Some(c) = chaos {
+            assert!(c.shard < self.engines.len(), "chaos shard out of range");
+        }
+        self.chaos = chaos;
+    }
+
+    /// The shard engines, indexed by shard id.
+    pub fn engines(&self) -> &[ShardEngine] {
+        &self.engines
+    }
+
+    /// The ownership plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The tile map.
+    pub fn tiles(&self) -> &TileMap {
+        &self.tiles
+    }
+
+    /// Shard `shard`'s breaker state.
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.breakers[shard].state()
+    }
+
+    /// Counters since construction.
+    pub fn totals(&self) -> RouterTotals {
+        RouterTotals {
+            frames: self.frames_routed.load(Ordering::Relaxed),
+            degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            hedged: self.hedged.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replica-set health merged over every shard engine's pools (and
+    /// hedge replicas) — the cross-shard view of the PR 9 self-healing
+    /// counters.
+    pub fn storage_health(&self) -> ReplicaHealth {
+        let mut health = ReplicaHealth::default();
+        for e in &self.engines {
+            health.merge(&e.env.storage_health());
+            if let Some(r) = &e.replica {
+                health.merge(&r.storage_health());
+            }
+        }
+        health
+    }
+
+    /// A fresh per-visitor lane.
+    pub fn lane(&self) -> SessionLane {
+        let n = self.engines.len();
+        SessionLane {
+            ctxs: self.engines.iter().map(|e| e.env.session()).collect(),
+            hedge_ctxs: self.engines.iter().map(|e| e.env.session()).collect(),
+            frames: (0..n).map(|_| ShardFrame::new()).collect(),
+            merged: QueryResult::default(),
+            delta: DeltaSearch::new(),
+        }
+    }
+
+    /// Routes one delta frame for the visitor at `viewpoint`: fan out,
+    /// guard, merge into `lane.merged()`, fold into the delta resident set.
+    pub fn route(&self, lane: &mut SessionLane, viewpoint: Vec3, eta: f64) -> RouteStats {
+        let cell = self.engines[0].env.cell_of(viewpoint);
+        self.route_cell(lane, cell, eta)
+    }
+
+    /// [`route`](Self::route) by cell id.
+    pub fn route_cell(&self, lane: &mut SessionLane, cell: CellId, eta: f64) -> RouteStats {
+        let frame_no = self.frames_routed.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.chaos {
+            // fetch_add hands each frame index to exactly one caller, so
+            // kill and revive each fire exactly once even under threads.
+            if frame_no == c.kill_at_frame {
+                self.engines[c.shard].kill();
+            }
+            if frame_no == c.revive_at_frame {
+                self.engines[c.shard].revive();
+            }
+        }
+
+        let mask = self.plan.cell_mask(cell) | (1u64 << self.tiles.shard_of_cell(cell));
+        let skip = lane.delta.skip_map();
+        let mut rs = RouteStats::default();
+
+        for s in 0..self.engines.len() {
+            if mask & (1u64 << s) == 0 {
+                lane.frames[s].clear();
+                continue;
+            }
+            rs.fanout += 1;
+            self.sub_query(lane, s, cell, eta, &skip, &mut rs);
+        }
+
+        merge_frames(&mut lane.frames, &mut lane.merged);
+        lane.delta.apply(&lane.merged);
+
+        if rs.degraded_shards > 0 {
+            self.degraded_frames.fetch_add(1, Ordering::Relaxed);
+            hdov_obs::add(Counter::ShardDegradedFrames, 1);
+        }
+        rs
+    }
+
+    /// One shard's guarded sub-query: breaker gate → primary (with retries
+    /// and deadline) → hedge → coarse cover. Leaves `lane.frames[s]`
+    /// holding the shard's contribution no matter what failed.
+    fn sub_query(
+        &self,
+        lane: &mut SessionLane,
+        s: usize,
+        cell: CellId,
+        eta: f64,
+        skip: &std::collections::HashMap<hdov_core::ResultKey, usize>,
+        rs: &mut RouteStats,
+    ) {
+        let engine = &self.engines[s];
+        let breaker = &self.breakers[s];
+        let mut detail = String::new();
+        let mut primary_ms: Option<f64> = None;
+
+        if breaker.allow() {
+            for _attempt in 0..=self.cfg.retries {
+                if !engine.is_alive() {
+                    detail = format!("shard {s} engine down");
+                    continue; // deterministic retry: instant in simulated time
+                }
+                match search_shard_into_budgeted(
+                    &engine.env,
+                    &mut lane.ctxs[s],
+                    &self.plan,
+                    s,
+                    &mut lane.frames[s],
+                    cell,
+                    eta,
+                    Some(skip),
+                    self.cfg.prefetch,
+                    self.cfg.budget,
+                ) {
+                    Ok(stats) => {
+                        let ms = stats.search_time_ms();
+                        if ms > self.cfg.deadline_sim_ms {
+                            // Abandoned reply: the same deterministic query
+                            // would bust the same deadline, so no retry.
+                            rs.timeouts += 1;
+                            self.timeouts.fetch_add(1, Ordering::Relaxed);
+                            hdov_obs::add(Counter::ShardTimeouts, 1);
+                            detail = format!(
+                                "shard {s} deadline exceeded ({ms:.3} ms > {:.3} ms)",
+                                self.cfg.deadline_sim_ms
+                            );
+                            break;
+                        }
+                        rs.page_reads += stats.total_io().page_reads;
+                        primary_ms = Some(ms);
+                        break;
+                    }
+                    Err(e) => detail = format!("shard {s}: {e}"),
+                }
+            }
+            match primary_ms {
+                Some(_) => breaker.record_success(),
+                None => {
+                    if breaker.record_failure() {
+                        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                        hdov_obs::add(Counter::BreakerOpens, 1);
+                    }
+                }
+            }
+        } else {
+            detail = format!("shard {s} circuit open");
+        }
+
+        // Hedge: on a slow primary the faster of the two identical answers
+        // wins; on a failed/denied primary the replica is the serve path.
+        let hedge_due = match primary_ms {
+            Some(ms) => ms > self.cfg.hedge_sim_ms,
+            None => true,
+        };
+        if hedge_due {
+            if let Some(replica) = &engine.replica {
+                rs.hedged += 1;
+                self.hedged.fetch_add(1, Ordering::Relaxed);
+                hdov_obs::add(Counter::HedgedReads, 1);
+                // Rerunning into the same slot is safe: frozen data, so the
+                // replica's entries are identical to the primary's.
+                if let Ok(stats) = search_shard_into_budgeted(
+                    replica,
+                    &mut lane.hedge_ctxs[s],
+                    &self.plan,
+                    s,
+                    &mut lane.frames[s],
+                    cell,
+                    eta,
+                    Some(skip),
+                    self.cfg.prefetch,
+                    self.cfg.budget,
+                ) {
+                    let ms = stats.search_time_ms();
+                    if primary_ms.is_none() {
+                        rs.page_reads += stats.total_io().page_reads;
+                    }
+                    primary_ms = Some(primary_ms.map_or(ms, |p| p.min(ms)));
+                }
+            }
+        }
+
+        match primary_ms {
+            Some(ms) => rs.search_ms = rs.search_ms.max(ms),
+            None => {
+                // Tripped, timed out, or dead past retries and hedges: the
+                // shard's tiles arrive at the coarsest internal LoD instead
+                // of failing the frame.
+                self.plan
+                    .cover_frame(&engine.env, s, &detail, &mut lane.frames[s]);
+                rs.degraded_shards += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The sharded session server: many visitors, many shards, one admission
+//! book (DESIGN.md §17).
+//!
+//! [`ShardedServer`] is the sharded counterpart of
+//! [`SessionServer`](hdov_walkthrough::SessionServer): the same worker-pool
+//! shape (atomic claim queue, first-wave barrier, scoped threads), the same
+//! per-session outcome bookkeeping — but every frame goes through the
+//! [`ShardRouter`] instead of a single engine, and admission is **global**:
+//! a visitor spanning several shards holds ONE logical slot in the
+//! router-level admission book, not one per shard (the DESIGN.md §12
+//! cross-engine follow-on). The η controller stays per-visitor, driven by
+//! the *merged* frame's `(max sub-query search time, total polygons)` — the
+//! sharded reading of the paper's Eq. 4 cost estimate.
+//!
+//! Fault-free, a single-shard `ShardedServer` produces byte-identical
+//! answers to the unsharded `SessionServer` (pinned by this crate's tests
+//! and the CI `shard-chaos` job); under faults, shards degrade to their
+//! coarse covers and every session still completes every frame.
+
+use crate::router::{SessionLane, ShardRouter};
+use hdov_core::ResultKey;
+use hdov_obs::{Counter, Hist};
+use hdov_storage::Result;
+use hdov_walkthrough::control::estimate_cell_polygons;
+use hdov_walkthrough::{
+    AdmissionConfig, EtaAction, EtaControlConfig, EtaController, FrameModel, ServerReport, Session,
+    SessionOutcome, SessionSlots,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Same fidelity ladder as the unsharded server: internal LoDs rank
+/// coarser than any object level (object chains are ≤ 4 levels deep
+/// throughout the repo).
+const INTERNAL_LOD_RANK_BASE: u64 = 4;
+
+fn served_lod_rank(key: ResultKey, level: usize) -> u64 {
+    match key {
+        ResultKey::Object(_) => level as u64,
+        ResultKey::Internal(_) => INTERNAL_LOD_RANK_BASE + level as u64,
+    }
+}
+
+/// Sharded-server tuning. Like the unsharded
+/// [`ServerConfig`](hdov_walkthrough::ServerConfig), every overload feature
+/// defaults off.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Static DoV threshold η (ignored when [`control`](Self::control) is
+    /// active).
+    pub eta: f64,
+    /// Render-cost model for per-frame times.
+    pub frame_model: FrameModel,
+    /// Closed-loop AIMD η control per visitor, fed by the merged frame.
+    pub control: Option<EtaControlConfig>,
+    /// Warm-start the controller's first-frame η from the Eq. 4 polygon
+    /// estimate of the visitor's starting cell instead of the cold
+    /// `eta_initial` (no effect without [`control`](Self::control)).
+    pub warm_start: bool,
+    /// Global admission book: ONE logical slot per visitor across all
+    /// shards; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            eta: 0.002,
+            frame_model: FrameModel::PAPER_ERA,
+            control: None,
+            warm_start: false,
+            admission: None,
+        }
+    }
+}
+
+/// A [`ServerReport`] plus the router's fault-domain counters.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// The per-session outcomes and aggregates, in the same shape as the
+    /// unsharded server's report.
+    pub report: ServerReport,
+    /// Frames in which at least one shard was served from its coarse cover.
+    pub shard_degraded_frames: u64,
+    /// Sub-queries abandoned past the router deadline.
+    pub shard_timeouts: u64,
+    /// Hedged sub-queries issued to replica engines.
+    pub hedged_reads: u64,
+    /// Breaker open transitions during the run.
+    pub breaker_opens: u64,
+}
+
+/// Drives recorded sessions concurrently through a [`ShardRouter`].
+pub struct ShardedServer<'a> {
+    router: &'a ShardRouter,
+    cfg: ShardedConfig,
+}
+
+impl<'a> ShardedServer<'a> {
+    /// A server routing through `router` with configuration `cfg`.
+    pub fn new(router: &'a ShardRouter, cfg: ShardedConfig) -> Self {
+        ShardedServer { router, cfg }
+    }
+
+    /// Runs every session to completion on `threads` scoped workers — the
+    /// same claim-queue/barrier discipline as the unsharded server, with
+    /// the admission book held at the router layer.
+    pub fn run(&self, sessions: &[Session], threads: usize) -> Result<ShardedReport> {
+        let workers = threads.clamp(1, sessions.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots = self.cfg.admission.map(|a| SessionSlots::new(a.slots));
+        let barrier = std::sync::Barrier::new(workers);
+        let totals0 = self.router.totals();
+        let start = Instant::now();
+
+        let per_worker: Vec<Vec<SessionOutcome>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let slots = slots.as_ref();
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        let first = next.fetch_add(1, Ordering::Relaxed);
+                        let admitted = (first < sessions.len()).then(|| self.try_admit(slots));
+                        barrier.wait();
+                        if let Some(adm) = admitted {
+                            done.push(self.finish_claim(adm, slots, first, &sessions[first]));
+                        }
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= sessions.len() {
+                                break done;
+                            }
+                            let adm = self.try_admit(slots);
+                            done.push(self.finish_claim(adm, slots, i, &sessions[i]));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sharded session worker panicked"))
+                .collect()
+        });
+
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let mut outcomes = Vec::with_capacity(sessions.len());
+        for r in per_worker {
+            outcomes.extend(r);
+        }
+        outcomes.sort_by_key(|o| o.session);
+        let totals = self.router.totals();
+        Ok(ShardedReport {
+            report: ServerReport {
+                sessions: outcomes,
+                wall_seconds,
+                threads: workers,
+                backpressure: slots.map(|s| s.stats()).unwrap_or_default(),
+                health: self.router.storage_health(),
+            },
+            shard_degraded_frames: totals.degraded_frames - totals0.degraded_frames,
+            shard_timeouts: totals.timeouts - totals0.timeouts,
+            hedged_reads: totals.hedged - totals0.hedged,
+            breaker_opens: totals.breaker_opens - totals0.breaker_opens,
+        })
+    }
+
+    fn try_admit(&self, slots: Option<&SessionSlots>) -> Option<bool> {
+        match (slots, self.cfg.admission) {
+            (Some(slots), Some(adm)) => Some(slots.try_acquire(adm.queue_timeout)),
+            _ => None,
+        }
+    }
+
+    fn finish_claim(
+        &self,
+        admitted: Option<bool>,
+        slots: Option<&SessionSlots>,
+        index: usize,
+        session: &Session,
+    ) -> SessionOutcome {
+        match admitted {
+            Some(false) => self.drive_shed(index, session),
+            Some(true) => {
+                let out = self.drive(index, session);
+                if let Some(slots) = slots {
+                    slots.release();
+                }
+                out
+            }
+            None => self.drive(index, session),
+        }
+    }
+
+    /// The controller for one visitor: warm-started from the Eq. 4 polygon
+    /// estimate of their starting cell when configured.
+    fn controller_for(&self, session: &Session) -> Option<EtaController> {
+        let cfg = self.cfg.control?;
+        if self.cfg.warm_start && !session.viewpoints.is_empty() {
+            let env = self.router.engines()[0].env();
+            let cell = env.cell_of(session.viewpoints[0]);
+            Some(EtaController::warm_start(
+                cfg,
+                estimate_cell_polygons(env, cell),
+            ))
+        } else {
+            Some(EtaController::new(cfg))
+        }
+    }
+
+    /// A shed visitor is served the root's finest internal LoD per frame —
+    /// identical to the unsharded shed path (shard 0's directory serves;
+    /// all shards share the frozen data, so any would).
+    fn drive_shed(&self, index: usize, session: &Session) -> SessionOutcome {
+        let tree = self.router.engines()[0].env().tree();
+        let root = tree.root_ordinal();
+        let level = tree.internal_store().select_level(root as u64, 1.0);
+        let h = tree.internal_store().handle(root as u64, level);
+        let frames = session.len();
+        let frame_ms = self.cfg.frame_model.frame_time_ms(0.0, h.polygons as u64);
+
+        hdov_obs::add(Counter::ShedSessions, 1);
+        hdov_obs::add(Counter::SessionsCompleted, 1);
+        SessionOutcome {
+            session: index,
+            search_ms: vec![0.0; frames],
+            frame_ms: vec![frame_ms; frames],
+            total_polygons: h.polygons as u64 * frames as u64,
+            page_reads: 0,
+            prefetched_pages: 0,
+            degraded_frames: 0,
+            failed_frames: 0,
+            budget_stops: 0,
+            deadline_misses: 0,
+            eta_raises: 0,
+            eta_drops: 0,
+            eta_final: self.cfg.eta,
+            shed: true,
+            lod_level_sum: (INTERNAL_LOD_RANK_BASE + level as u64) * frames as u64,
+            lod_entries: frames as u64,
+        }
+    }
+
+    /// Replays one admitted visitor: routed delta frame per viewpoint,
+    /// merged-frame feedback into the per-visitor η controller.
+    ///
+    /// Infallible by construction: the router serves unreachable shards
+    /// from their coarse covers, so a frame cannot fail while even one
+    /// model directory is readable.
+    fn drive(&self, index: usize, session: &Session) -> SessionOutcome {
+        let mut lane: SessionLane = self.router.lane();
+        let mut controller = self.controller_for(session);
+        let mut search_ms = Vec::with_capacity(session.len());
+        let mut frame_ms = Vec::with_capacity(session.len());
+        let mut total_polygons = 0u64;
+        let mut page_reads = 0u64;
+        let mut degraded_frames = 0u64;
+        let mut budget_stops = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut eta_raises = 0u64;
+        let mut eta_drops = 0u64;
+        let mut lod_level_sum = 0u64;
+        let mut lod_entries = 0u64;
+
+        for &vp in &session.viewpoints {
+            let eta = controller.as_ref().map_or(self.cfg.eta, |c| c.eta());
+            let wall = hdov_obs::is_enabled().then(Instant::now);
+            let rs = self.router.route(&mut lane, vp, eta);
+            if let Some(t0) = wall {
+                hdov_obs::observe(Hist::WallSearchNs, t0.elapsed().as_nanos() as u64);
+            }
+            let polygons = lane.merged().total_polygons();
+            search_ms.push(rs.search_ms);
+            frame_ms.push(self.cfg.frame_model.frame_time_ms(rs.search_ms, polygons));
+            total_polygons += polygons;
+            page_reads += rs.page_reads;
+            if lane.merged().degrade().errors_absorbed() > 0 {
+                degraded_frames += 1;
+            }
+            budget_stops += lane.merged().degrade().budget_stops();
+            for e in lane.merged().entries() {
+                lod_level_sum += served_lod_rank(e.key, e.level);
+                lod_entries += 1;
+            }
+            if let Some(c) = &mut controller {
+                let t = self.cfg.frame_model.frame_time_ms(rs.search_ms, polygons);
+                hdov_obs::observe(Hist::SimFrameTimeNs, (t * 1e6) as u64);
+                if t > c.target_frame_ms() {
+                    deadline_misses += 1;
+                    hdov_obs::add(Counter::FrameDeadlineMiss, 1);
+                }
+                match c.observe(rs.search_ms, polygons) {
+                    EtaAction::Raise => {
+                        eta_raises += 1;
+                        hdov_obs::add(Counter::EtaRaises, 1);
+                    }
+                    EtaAction::Drop => {
+                        eta_drops += 1;
+                        hdov_obs::add(Counter::EtaDrops, 1);
+                    }
+                    EtaAction::Hold => {}
+                }
+            }
+        }
+        hdov_obs::add(Counter::SessionsCompleted, 1);
+        hdov_obs::add(Counter::SessionPageReads, page_reads);
+        SessionOutcome {
+            session: index,
+            search_ms,
+            frame_ms,
+            total_polygons,
+            page_reads,
+            prefetched_pages: 0, // motion prefetch is an unsharded-engine warmup; answers unaffected
+            degraded_frames,
+            failed_frames: 0,
+            budget_stops,
+            deadline_misses,
+            eta_raises,
+            eta_drops,
+            eta_final: controller.as_ref().map_or(self.cfg.eta, |c| c.eta()),
+            shed: false,
+            lod_level_sum,
+            lod_entries,
+        }
+    }
+}

@@ -57,7 +57,7 @@ pub use page::{Page, PageId, PAGE_SIZE};
 pub use pread::PreadStore;
 pub use replica::{ReplicaHealth, ReplicaSet};
 pub use retry::RetryPolicy;
-pub use scrub::{verify_pool, ScrubConfig, ScrubReport, Scrubber};
+pub use scrub::{verify_pool, ManualScrubClock, ScrubClock, ScrubConfig, ScrubReport, Scrubber};
 pub use shared::{AtomicIoStats, FrozenPages, IoCursor, SharedCachedFile};
 pub use stats::IoStats;
 pub use wal::{RecoveredTxn, Wal};

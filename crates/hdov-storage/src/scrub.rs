@@ -2,20 +2,24 @@
 //! latent corruption before a query does, and repair it from a healthy
 //! replica.
 //!
-//! A [`Scrubber`] walks every replica of a pool's [`ReplicaSet`] in
+//! A [`Scrubber`] walks every replica of a pool's
+//! [`ReplicaSet`](crate::ReplicaSet) in
 //! sequential runs (one positioned read per run, the same streaming-scan
 //! discipline as the vectored prefetch path), verifies each page against
 //! the trusted checksum table, and hands any mismatch to
-//! [`ReplicaSet::repair`] with bytes recovered from the first healthy
+//! [`ReplicaSet::repair`](crate::ReplicaSet::repair) with bytes recovered
+//! from the first healthy
 //! replica. Pages with *no* healthy copy anywhere stay quarantined and are
 //! reported as unrepairable — the one case where the read path's
 //! LoD-degradation fallback remains the last resort.
 //!
 //! **Budget currency is wall-clock time**: with
 //! [`ScrubConfig::pages_per_second`] set, every run of `R` pages costs
-//! `R / pages_per_second` seconds of wall time (the scrubber sleeps the full
+//! `R / pages_per_second` seconds of wall time (the scrubber pauses the full
 //! quota regardless of how fast the read finished), so a scrub can be pinned
 //! well below a disk's throughput and never competes with foreground I/O.
+//! The pause goes through a [`ScrubClock`] seam: production sleeps for real,
+//! tests swap in [`ManualScrubClock`] and assert the requested budget exactly.
 //! Simulated time is never charged: scrubbing is maintenance, not a session
 //! workload, and fault-free benchmark figures are unchanged by running it.
 //!
@@ -27,7 +31,55 @@ use crate::error::StoreOrigin;
 use crate::shared::SharedCachedFile;
 use crate::{page_checksum, FrozenPages, PageId, Result, PAGE_SIZE};
 use std::fs::File;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// The scrubber's time source.
+///
+/// Production scrubbing throttles with real [`std::thread::sleep`]; tests
+/// swap in a [`ManualScrubClock`] that *records* every requested pause
+/// instead of taking it, so the pages/second budget is asserted exactly —
+/// no sleep, no timer-resolution flake.
+#[derive(Debug, Clone, Default)]
+pub enum ScrubClock {
+    /// Real wall-clock throttling.
+    #[default]
+    Wall,
+    /// Deterministic ledger: pauses are summed, never slept.
+    Manual(Arc<ManualScrubClock>),
+}
+
+impl ScrubClock {
+    fn pause(&self, d: Duration) {
+        match self {
+            ScrubClock::Wall => std::thread::sleep(d),
+            ScrubClock::Manual(m) => {
+                m.requested_us
+                    .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Deterministic stand-in for the scrub throttle's sleeps: accumulates the
+/// total pause the budget *asked for*, in microseconds.
+#[derive(Debug, Default)]
+pub struct ManualScrubClock {
+    requested_us: AtomicU64,
+}
+
+impl ManualScrubClock {
+    /// A fresh zeroed clock, ready to hand to [`Scrubber::with_clock`].
+    pub fn new() -> Arc<Self> {
+        Arc::default()
+    }
+
+    /// Total pause the throttle has requested so far.
+    pub fn requested(&self) -> Duration {
+        Duration::from_micros(self.requested_us.load(Ordering::Relaxed))
+    }
+}
 
 /// Scrub pacing and sweep geometry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,15 +172,26 @@ impl RawReader {
 }
 
 /// Drives budgeted verification sweeps over a pool's replica set.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Scrubber {
     cfg: ScrubConfig,
+    clock: ScrubClock,
 }
 
 impl Scrubber {
-    /// A scrubber with the given pacing.
+    /// A scrubber with the given pacing (throttled by real wall time).
     pub fn new(cfg: ScrubConfig) -> Self {
-        Scrubber { cfg }
+        Scrubber {
+            cfg,
+            clock: ScrubClock::Wall,
+        }
+    }
+
+    /// Replaces the throttle's time source (tests pass
+    /// [`ScrubClock::Manual`] to assert the budget without sleeping).
+    pub fn with_clock(mut self, clock: ScrubClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The pacing in use.
@@ -186,7 +249,7 @@ impl Scrubber {
                 }
                 if let Some(pps) = self.cfg.pages_per_second {
                     if pps > 0.0 {
-                        std::thread::sleep(Duration::from_secs_f64(len as f64 / pps));
+                        self.clock.pause(Duration::from_secs_f64(len as f64 / pps));
                     }
                 }
                 first += len;
@@ -324,18 +387,33 @@ mod tests {
     }
 
     #[test]
-    fn throttled_scrub_spends_the_budget() {
+    fn throttled_scrub_requests_exactly_the_budget() {
         let dir = tmp("budget");
         let pool = replicated_pool(&dir, 4);
-        // 8 page-verifies at 400 pages/sec ≥ 20ms of wall time.
-        let t0 = std::time::Instant::now();
+        // 4 pages × 2 replicas in runs of 2 = 4 runs; each run of 2 pages at
+        // 400 pages/sec pauses 5ms → exactly 20ms requested, zero slept.
+        let clock = ManualScrubClock::new();
         Scrubber::new(ScrubConfig {
             run_pages: 2,
             pages_per_second: Some(400.0),
         })
+        .with_clock(ScrubClock::Manual(clock.clone()))
         .scrub_pool(&pool)
         .unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(18));
+        assert_eq!(clock.requested(), Duration::from_millis(20));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unthrottled_scrub_requests_no_pause() {
+        let dir = tmp("nopause");
+        let pool = replicated_pool(&dir, 3);
+        let clock = ManualScrubClock::new();
+        Scrubber::default()
+            .with_clock(ScrubClock::Manual(clock.clone()))
+            .scrub_pool(&pool)
+            .unwrap();
+        assert_eq!(clock.requested(), Duration::ZERO);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -71,6 +71,11 @@ pub struct ServerConfig {
     /// Closed-loop AIMD η control per session; `None` (the default) keeps η
     /// static at [`eta`](Self::eta).
     pub control: Option<EtaControlConfig>,
+    /// Seed each session's controller from the Eq. 4 polygon estimate of
+    /// its first viewing cell ([`EtaController::warm_start`]) instead of
+    /// cold-starting at `eta_initial`. No effect unless
+    /// [`control`](Self::control) is active.
+    pub warm_start: bool,
     /// Bounded session admission; `None` (the default) admits everything.
     pub admission: Option<AdmissionConfig>,
 }
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
             frame_model: FrameModel::PAPER_ERA,
             budget: QueryBudget::UNLIMITED,
             control: None,
+            warm_start: false,
             admission: None,
         }
     }
@@ -477,7 +483,14 @@ impl<'a> SessionServer<'a> {
         let mut prefetch_ctx = env.session(); // prefetch I/O stays off the books
         let mut scratch = SearchScratch::new();
         let mut delta = DeltaSearch::new();
-        let mut controller = self.cfg.control.map(EtaController::new);
+        let mut controller = self.cfg.control.map(|c| {
+            if self.cfg.warm_start && !session.viewpoints.is_empty() {
+                let cell = env.cell_of(session.viewpoints[0]);
+                EtaController::warm_start(c, crate::control::estimate_cell_polygons(env, cell))
+            } else {
+                EtaController::new(c)
+            }
+        });
         let mut search_ms = Vec::with_capacity(session.len());
         let mut frame_ms = Vec::with_capacity(session.len());
         let mut total_polygons = 0u64;

@@ -18,6 +18,7 @@
 //! | [`core`] | `hdov-core` | **the HDoV-tree**: build, 3 storage schemes, search |
 //! | [`review`] | `hdov-review` | REVIEW baseline (R-tree window queries) |
 //! | [`walkthrough`] | `hdov-walkthrough` | VISUAL system, sessions, metrics |
+//! | [`shard`] | `hdov-shard` | tile-sharded scenes behind a resilient session router |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use hdov_mesh as mesh;
 pub use hdov_review as review;
 pub use hdov_rtree as rtree;
 pub use hdov_scene as scene;
+pub use hdov_shard as shard;
 pub use hdov_storage as storage;
 pub use hdov_visibility as visibility;
 pub use hdov_walkthrough as walkthrough;
